@@ -1,0 +1,68 @@
+// Command benchtab regenerates the paper's evaluation tables (I–VI), printing
+// paper-reported values next to this reproduction's measured values, plus the
+// simulated speedup curves behind Table III's speedup column.
+//
+// Usage:
+//
+//	benchtab              # all tables
+//	benchtab -table 3     # one table
+//	benchtab -curves      # speedup-vs-threads series per benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pardetect/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1..6); 0 prints all")
+	curves := flag.Bool("curves", false, "print the simulated speedup curves")
+	flag.Parse()
+
+	needRuns := *curves || *table == 0 || (*table >= 3 && *table <= 5)
+	var runs []*report.AppRun
+	if needRuns {
+		var err error
+		runs, err = report.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	show := func(n int) bool { return *table == 0 || *table == n }
+	if show(1) {
+		fmt.Println(report.TableI())
+	}
+	if show(2) {
+		fmt.Println(report.TableII())
+	}
+	if show(3) {
+		fmt.Println(report.TableIII(runs))
+	}
+	if show(4) {
+		fmt.Println(report.TableIV(runs))
+	}
+	if show(5) {
+		fmt.Println(report.TableV(runs))
+	}
+	if show(6) {
+		t6, err := report.TableVI()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t6)
+	}
+	if *curves {
+		for _, r := range runs {
+			if r.Sweep == nil {
+				continue
+			}
+			fmt.Println(report.SpeedupCurve(r))
+		}
+	}
+}

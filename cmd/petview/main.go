@@ -1,0 +1,62 @@
+// Command petview renders the paper's figures from the reproduction:
+//
+//	petview -fig 1    # Figure 1: CU division (read-compute-write)
+//	petview -fig 2    # Figure 2: example Program Execution Tree
+//	petview -fig 3    # Figure 3: cilksort() CU graph + classification
+//	petview <bench>   # PET and CU graph of any built-in benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/core"
+	"pardetect/internal/cu"
+	"pardetect/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "render the paper figure (1..3)")
+	flag.Parse()
+
+	var out string
+	var err error
+	switch {
+	case *fig == 1:
+		out, err = report.Figure1()
+	case *fig == 2:
+		out, err = report.Figure2()
+	case *fig == 3:
+		out, err = report.Figure3()
+	case flag.NArg() == 1:
+		out, err = benchView(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: petview -fig <1|2|3>  |  petview <benchmark>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "petview: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+func benchView(name string) (string, error) {
+	app := apps.Get(name)
+	if app == nil {
+		return "", fmt.Errorf("unknown benchmark %q", name)
+	}
+	p := app.Build()
+	res, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	out := res.Tree.String()
+	if region, err := cu.FuncRegion(p, res.HotspotFunc); err == nil {
+		g := cu.Build(p, region, res.Profile)
+		out += "\n" + g.String()
+	}
+	return out, nil
+}

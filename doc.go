@@ -1,0 +1,23 @@
+// Package pardetect is a from-scratch Go reproduction of "Automatic Parallel
+// Pattern Detection in the Algorithm Structure Design Space" (Huda, Atre,
+// Jannesari, Wolf; IPDPS Workshops 2016): a DiscoPoP-style hybrid
+// static/dynamic detector for multi-loop pipelines, loop fusion, task
+// parallelism (with fork/worker/barrier classification), geometric
+// decomposition and reduction patterns in sequential programs.
+//
+// The analysis pipeline lives under internal/: a mini-IR and instrumenting
+// interpreter replace the paper's LLVM substrate (internal/ir, internal/interp),
+// a dynamic dependence profiler and Program Execution Tree reconstruct the
+// DiscoPoP analyses (internal/trace, internal/cu, internal/pet), and the
+// pattern detectors of §III are implemented in internal/patterns with the
+// orchestration in internal/core. The 17 evaluation benchmarks plus the two
+// synthetic reduction programs are re-implemented in internal/apps, with the
+// evaluation harness in internal/report and the parallel-execution support
+// structures in internal/parallel and internal/sched.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package pardetect

@@ -1,0 +1,38 @@
+// Polybench sweep: run the detector over the Polybench benchmarks of the
+// evaluation, print each detection headline, validate the pattern-based
+// parallel implementation against the sequential one, and show the simulated
+// speedup curve (the data behind Table III).
+//
+//	go run ./examples/polybench-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/report"
+)
+
+func main() {
+	polybench := []string{"ludcmp", "reg_detect", "correlation", "2mm", "3mm", "mvt", "fdtd-2d", "bicg", "gesummv"}
+	for _, name := range polybench {
+		run, err := report.RunApp(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app := apps.Get(name)
+		fmt.Printf("%-12s detected: %-28s (paper: %s)\n", name, run.Result.Headline, app.Expect.Pattern)
+
+		// Validate the transformation the detection suggests.
+		want := app.RunSeq()
+		got := app.RunPar(8)
+		status := "ok"
+		if got != want {
+			status = fmt.Sprintf("MISMATCH %v != %v", got, want)
+		}
+		fmt.Printf("%-12s parallel == sequential: %s\n", "", status)
+		fmt.Print(report.SpeedupCurve(run))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module pardetect
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package apps contains the 17 benchmark programs of the paper's evaluation
+// (§IV, Table III) plus the two synthetic reduction benchmarks of Table VI,
+// re-implemented from the paper's listings and the public benchmark sources.
+//
+// Every app provides three faithful forms:
+//
+//   - an IR form (Build) with the same loop and dependence structure as the
+//     original kernel, which is what the detector analyses;
+//   - native Go sequential and parallel forms (RunSeq / RunPar), the
+//     parallel one implemented with the support structure of the pattern
+//     the paper detected (package parallel), validated for equal results;
+//   - a schedule model (Schedule) that replays the parallel implementation
+//     as a task graph for the speedup simulator (package sched), with task
+//     costs taken from the dynamic operation counts of the profiled run.
+//
+// Expected values from the paper's tables are embedded per app so the
+// benchmark harness can print paper-vs-measured rows.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/pet"
+	"pardetect/internal/sched"
+	"pardetect/internal/trace"
+)
+
+// Expect holds the values the paper reports for one application.
+type Expect struct {
+	// Pattern is the "Detected Pattern" column of Table III.
+	Pattern string
+	// HotspotPct is the "Exec Inst % in Hotspot" column of Table III.
+	HotspotPct float64
+	// Speedup and Threads are the best speedup columns of Table III.
+	Speedup float64
+	Threads int
+	// PipeA, PipeB, PipeE are the Table IV coefficients (pipeline apps).
+	PipeA, PipeB, PipeE float64
+	// EstSpeedup is the Table V estimated speedup (task-parallel apps).
+	EstSpeedup float64
+}
+
+// App is one benchmark of the evaluation.
+type App struct {
+	// Name and Suite as in Table III.
+	Name  string
+	Suite string
+	// PaperLOC is the LOC column of Table III (the original C sources).
+	PaperLOC int
+	// Expect holds the paper-reported results.
+	Expect Expect
+	// Hotspot names the function the paper analyses (detection focus).
+	Hotspot string
+	// Build constructs the IR form. The parameterless form uses each
+	// app's default evaluation size.
+	Build func() *ir.Program
+	// RunSeq runs the native sequential Go form and returns a checksum.
+	RunSeq func() float64
+	// RunPar runs the native parallel Go form (the paper's detected
+	// pattern implemented with package parallel) and returns the same
+	// checksum.
+	RunPar func(threads int) float64
+	// Schedule builds the speedup-simulation task graph of the parallel
+	// implementation for the given thread count, using measured costs.
+	Schedule func(cm CostModel, threads int) []sched.Node
+	// Spawn is the per-task dispatch overhead (in IR operations) used in
+	// the speedup simulation; it reflects how fine-grained the app's
+	// parallel tasks are.
+	Spawn float64
+	// Join is the per-barrier synchronisation cost factor: every join
+	// point in the schedule costs Join × threads operations (fork/join
+	// latency grows with the number of threads to gather).
+	Join float64
+}
+
+// CostModel exposes dynamic operation counts of a profiled run to the
+// schedule builders, so simulated task costs are measured, not guessed.
+type CostModel struct {
+	Prof *trace.Profile
+	Tree *pet.Tree
+}
+
+// LoopTotal returns the inclusive dynamic cost of a loop.
+func (c CostModel) LoopTotal(loopID string) float64 {
+	if n := c.Tree.FindLoop(loopID); n != nil {
+		return float64(n.Total)
+	}
+	return 0
+}
+
+// LoopPerIter returns the average cost of one iteration of a loop.
+func (c CostModel) LoopPerIter(loopID string) float64 {
+	n := c.Tree.FindLoop(loopID)
+	if n == nil || n.Iterations == 0 {
+		return 0
+	}
+	return float64(n.Total) / float64(n.Iterations)
+}
+
+// LoopIters returns the total observed iterations of a loop.
+func (c CostModel) LoopIters(loopID string) int {
+	return int(c.Prof.LoopTrips[loopID].Iterations)
+}
+
+// FuncTotal returns the inclusive dynamic cost of a function (summed over
+// all PET nodes of that function).
+func (c CostModel) FuncTotal(name string) float64 {
+	var t float64
+	for _, n := range c.Tree.FindFunc(name) {
+		t += float64(n.Total)
+	}
+	return t
+}
+
+// FuncPerCall returns the average per-activation cost of a function.
+func (c CostModel) FuncPerCall(name string) float64 {
+	nodes := c.Tree.FindFunc(name)
+	var t float64
+	var acts int64
+	for _, n := range nodes {
+		t += float64(n.Total)
+		acts += n.Activations
+	}
+	if acts == 0 {
+		return 0
+	}
+	return t / float64(acts)
+}
+
+// Total returns the whole program's dynamic cost.
+func (c CostModel) Total() float64 { return float64(c.Tree.Total) }
+
+// joinCost returns the cost of one barrier/join point in the named app's
+// schedule: Join × threads (gathering more workers costs more).
+func joinCost(name string, threads int) float64 {
+	if a := Get(name); a != nil {
+		return a.Join * float64(threads)
+	}
+	return 0
+}
+
+// registry of all apps, populated by each app file's init.
+var registry = map[string]*App{}
+
+func register(a *App) {
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("apps: duplicate app %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// Get returns the named app, or nil.
+func Get(name string) *App { return registry[name] }
+
+// All returns every registered app sorted by name.
+func All() []*App {
+	out := make([]*App, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableIIIOrder lists the apps in the row order of Table III.
+var TableIIIOrder = []string{
+	"ludcmp", "reg_detect", "fluidanimate",
+	"rot-cc", "correlation", "2mm",
+	"fib", "sort", "strassen", "3mm", "mvt", "fdtd-2d",
+	"kmeans", "streamcluster",
+	"nqueens", "bicg", "gesummv",
+}
+
+// TableVIOrder lists the apps in the column order of Table VI.
+var TableVIOrder = []string{"nqueens", "kmeans", "bicg", "gesummv", "sum_local", "sum_module"}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"math"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// correlation reproduces the Polybench correlation benchmark's dependent
+// hotspot pair: the column-mean loop and the column-stddev loop, both do-all
+// over the same column range with the stddev of column j reading mean[j].
+// The detector classifies the pair as fusion; the paper's hand-fused
+// implementation reached 10.74× on 32 threads.
+const (
+	corrM = 24 // rows (observations)
+	corrN = 24 // columns (variables)
+)
+
+func init() {
+	register(&App{
+		Name:     "correlation",
+		Suite:    "Polybench",
+		PaperLOC: 137,
+		Expect: Expect{
+			Pattern:    "Fusion",
+			HotspotPct: 99.27,
+			Speedup:    10.74,
+			Threads:    32,
+			PipeA:      1, PipeB: 0, PipeE: 1,
+		},
+		Hotspot:  "kernel_correlation",
+		Build:    buildCorrelation,
+		RunSeq:   func() float64 { return correlationGo(1) },
+		RunPar:   correlationGo,
+		Schedule: correlationSchedule,
+		Spawn:    640,
+		Join:     3,
+	})
+}
+
+// CorrelationLoops exposes the hotspot loop IDs after Build has run.
+var CorrelationLoops = struct{ L1, L2, L3 string }{}
+
+func buildCorrelation() *ir.Program {
+	m, n := corrM, corrN
+	b := ir.NewBuilder("correlation")
+	b.GlobalArray("data", m, n)
+	b.GlobalArray("mean", n)
+	b.GlobalArray("stddev", n)
+	b.GlobalArray("corr", n, n)
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(m), func(k *ir.Block) {
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("data", []ir.Expr{ir.V("ii"), ir.V("jj")},
+				ir.AddE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(11)), ir.MulE(ir.V("jj"), ir.C(5))), R: ir.C(23)}, ir.C(1)))
+		})
+	})
+	f.Call("kernel_correlation")
+	f.Ret(ir.Ld("corr", ir.C(0), ir.CI(n-1)))
+
+	kf := b.Function("kernel_correlation")
+	// Loop 1 (do-all over columns; the inner sum is a scalar reduction).
+	CorrelationLoops.L1 = kf.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("s", ir.C(0))
+		k.For("i", ir.C(0), ir.CI(m), func(k2 *ir.Block) {
+			k2.Assign("s", ir.AddE(ir.V("s"), ir.Ld("data", ir.V("i"), ir.V("j"))))
+		})
+		k.Store("mean", []ir.Expr{ir.V("j")}, ir.DivE(ir.V("s"), ir.CI(m)))
+	})
+	// Loop 2 (do-all over the same columns, reading mean[j] at j).
+	CorrelationLoops.L2 = kf.For("j2", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("v", ir.C(0))
+		k.For("i2", ir.C(0), ir.CI(m), func(k2 *ir.Block) {
+			k2.Assign("d", ir.SubE(ir.Ld("data", ir.V("i2"), ir.V("j2")), ir.Ld("mean", ir.V("j2"))))
+			k2.Assign("v", ir.AddE(ir.V("v"), ir.MulE(ir.V("d"), ir.V("d"))))
+		})
+		k.Store("stddev", []ir.Expr{ir.V("j2")}, &ir.Un{Op: ir.Sqrt, X: ir.DivE(ir.V("v"), ir.CI(m))})
+	})
+	// The correlation-matrix nest (the bulk of the kernel's work; do-all
+	// over rows). It consumes mean and stddev far from where they are
+	// produced, so its pipeline fits against loops 1 and 2 are reported
+	// with e ≈ 0 — inefficient — while the (loop1, loop2) pair fuses.
+	CorrelationLoops.L3 = kf.For("i3", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j3", ir.AddE(ir.V("i3"), ir.C(1)), ir.CI(n), func(k2 *ir.Block) {
+			k2.Assign("acc", ir.C(0))
+			k2.For("k3", ir.C(0), ir.CI(m), func(k4 *ir.Block) {
+				k4.Assign("da", ir.SubE(ir.Ld("data", ir.V("k3"), ir.V("i3")), ir.Ld("mean", ir.V("i3"))))
+				k4.Assign("db", ir.SubE(ir.Ld("data", ir.V("k3"), ir.V("j3")), ir.Ld("mean", ir.V("j3"))))
+				k4.Assign("acc", ir.AddE(ir.V("acc"), ir.MulE(ir.V("da"), ir.V("db"))))
+			})
+			k2.Store("corr", []ir.Expr{ir.V("i3"), ir.V("j3")},
+				ir.DivE(ir.V("acc"), ir.AddE(ir.MulE(ir.Ld("stddev", ir.V("i3")), ir.Ld("stddev", ir.V("j3"))), ir.C(1))))
+		})
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func correlationGo(threads int) float64 {
+	m, n := corrM, corrN
+	data := make([]float64, m*n)
+	mean := make([]float64, n)
+	stddev := make([]float64, n)
+	corr := make([]float64, n*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			data[i*n+j] = float64((i*11+j*5)%23 + 1)
+		}
+	}
+	// Fused loop: mean and stddev of column j in one do-all iteration.
+	parallel.DoAll(n, threads, func(j int) {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += data[i*n+j]
+		}
+		mean[j] = s / float64(m)
+		v := 0.0
+		for i := 0; i < m; i++ {
+			d := data[i*n+j] - mean[j]
+			v += d * d
+		}
+		stddev[j] = math.Sqrt(v / float64(m))
+	})
+	// Correlation matrix (do-all over rows).
+	parallel.DoAll(n, threads, func(i int) {
+		for j := i + 1; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < m; k++ {
+				acc += (data[k*n+i] - mean[i]) * (data[k*n+j] - mean[j])
+			}
+			corr[i*n+j] = acc / (stddev[i]*stddev[j] + 1)
+		}
+	})
+	return corr[n-1]
+}
+
+func correlationSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	per := cm.LoopPerIter(CorrelationLoops.L1) + cm.LoopPerIter(CorrelationLoops.L2)
+	fused := b.DoAll(corrN, per, threads)
+	bar := b.Add(joinCost("correlation", threads), fused...)
+	// The triangular correlation nest is load-imbalanced: model each row
+	// as one task with its true (decreasing) cost.
+	rowBase := cm.LoopTotal(CorrelationLoops.L3)
+	total := float64(corrN*(corrN-1)) / 2
+	var rows []int
+	for i := 0; i < corrN; i++ {
+		cost := rowBase * float64(corrN-1-i) / total
+		rows = append(rows, b.Add(cost, bar))
+	}
+	b.Add(joinCost("correlation", threads), rows...)
+	return b.Nodes()
+}

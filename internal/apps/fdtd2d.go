@@ -1,0 +1,169 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// fdtd-2d reproduces the Polybench 2-D finite-difference time-domain kernel.
+// The hotspot is the time-step loop; its body holds four CUs — the ey
+// boundary update, the ey nest and the ex nest (three independent workers)
+// and the hz nest, which reads all three and is their barrier (§IV-B). The
+// paper's task implementation reached 5.19× on 8 threads; Table V estimates
+// 2.17.
+const (
+	fdtdN = 24
+	fdtdT = 6
+)
+
+func init() {
+	register(&App{
+		Name:     "fdtd-2d",
+		Suite:    "Polybench",
+		PaperLOC: 142,
+		Expect: Expect{
+			Pattern:    "Task parallelism",
+			HotspotPct: 76.51,
+			Speedup:    5.19,
+			Threads:    8,
+			EstSpeedup: 2.17,
+		},
+		Hotspot:  "kernel_fdtd_2d",
+		Build:    buildFdtd2d,
+		RunSeq:   func() float64 { return fdtdGo(1) },
+		RunPar:   fdtdGo,
+		Schedule: fdtdSchedule,
+		Spawn:    5,
+		Join:     300,
+	})
+}
+
+// FdtdLoops exposes the loop IDs after Build has run.
+var FdtdLoops = struct{ LT, LB, LEy, LEx, LHz string }{}
+
+func buildFdtd2d() *ir.Program {
+	n, tmax := fdtdN, fdtdT
+	b := ir.NewBuilder("fdtd-2d")
+	b.GlobalArray("ex", n, n+1)
+	b.GlobalArray("ey", n+1, n)
+	b.GlobalArray("hz", n, n)
+	f := b.Function("main")
+	// Initialisation is a visible share of this small kernel's execution
+	// (the paper reports 76.51% in the hotspot).
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("ex", []ir.Expr{ir.V("ii"), ir.V("jj")}, &ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(3)), ir.V("jj")), R: ir.C(11)})
+			k2.Store("ey", []ir.Expr{ir.V("ii"), ir.V("jj")}, &ir.Bin{Op: ir.Mod, L: ir.AddE(ir.V("ii"), ir.MulE(ir.V("jj"), ir.C(2))), R: ir.C(13)})
+			k2.Store("hz", []ir.Expr{ir.V("ii"), ir.V("jj")}, &ir.Bin{Op: ir.Mod, L: ir.AddE(ir.V("ii"), ir.V("jj")), R: ir.C(7)})
+		})
+	})
+	f.Call("kernel_fdtd_2d")
+	f.Ret(ir.Ld("hz", ir.CI(n-1), ir.CI(n-1)))
+
+	kf := b.Function("kernel_fdtd_2d")
+	FdtdLoops.LT = kf.For("t", ir.C(0), ir.CI(tmax), func(kt *ir.Block) {
+		// CU 1: ey boundary row.
+		FdtdLoops.LB = kt.For("jb", ir.C(0), ir.CI(n), func(k *ir.Block) {
+			k.Store("ey", []ir.Expr{ir.C(0), ir.V("jb")}, ir.V("t"))
+		})
+		// CU 2: ey field update (reads hz of the previous time step).
+		FdtdLoops.LEy = kt.For("i1", ir.C(1), ir.CI(n), func(k *ir.Block) {
+			k.For("j1", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+				k2.Store("ey", []ir.Expr{ir.V("i1"), ir.V("j1")},
+					ir.SubE(ir.Ld("ey", ir.V("i1"), ir.V("j1")),
+						ir.MulE(ir.C(0.5), ir.SubE(ir.Ld("hz", ir.V("i1"), ir.V("j1")), ir.Ld("hz", ir.SubE(ir.V("i1"), ir.C(1)), ir.V("j1"))))))
+			})
+		})
+		// CU 3: ex field update (also reads previous hz).
+		FdtdLoops.LEx = kt.For("i2", ir.C(0), ir.CI(n), func(k *ir.Block) {
+			k.For("j2", ir.C(1), ir.CI(n), func(k2 *ir.Block) {
+				k2.Store("ex", []ir.Expr{ir.V("i2"), ir.V("j2")},
+					ir.SubE(ir.Ld("ex", ir.V("i2"), ir.V("j2")),
+						ir.MulE(ir.C(0.5), ir.SubE(ir.Ld("hz", ir.V("i2"), ir.V("j2")), ir.Ld("hz", ir.V("i2"), ir.SubE(ir.V("j2"), ir.C(1)))))))
+			})
+		})
+		// CU 4: hz update — the barrier, reading ex and ey of this step.
+		FdtdLoops.LHz = kt.For("i3", ir.C(0), ir.CI(n-1), func(k *ir.Block) {
+			k.For("j3", ir.C(0), ir.CI(n-1), func(k2 *ir.Block) {
+				k2.Store("hz", []ir.Expr{ir.V("i3"), ir.V("j3")},
+					ir.SubE(ir.Ld("hz", ir.V("i3"), ir.V("j3")),
+						ir.MulE(ir.C(0.7),
+							ir.AddE(
+								ir.SubE(ir.Ld("ex", ir.V("i3"), ir.AddE(ir.V("j3"), ir.C(1))), ir.Ld("ex", ir.V("i3"), ir.V("j3"))),
+								ir.SubE(ir.Ld("ey", ir.AddE(ir.V("i3"), ir.C(1)), ir.V("j3")), ir.Ld("ey", ir.V("i3"), ir.V("j3")))))))
+			})
+		})
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func fdtdGo(threads int) float64 {
+	n, tmax := fdtdN, fdtdT
+	ex := make([]float64, n*(n+1))
+	ey := make([]float64, (n+1)*n)
+	hz := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ex[i*(n+1)+j] = float64((i*3 + j) % 11)
+			ey[i*n+j] = float64((i + j*2) % 13)
+			hz[i*n+j] = float64((i + j) % 7)
+		}
+	}
+	for t := 0; t < tmax; t++ {
+		tv := float64(t)
+		// The three workers run as parallel tasks (each internally
+		// do-all); the hz update joins them.
+		parallel.RunTasks(threads, []parallel.Task{
+			{Run: func() {
+				parallel.DoAll(n, threads, func(j int) { ey[j] = tv })
+			}},
+			{Run: func() {
+				parallel.DoAll(n-1, threads, func(ii int) {
+					i := ii + 1
+					for j := 0; j < n; j++ {
+						ey[i*n+j] -= 0.5 * (hz[i*n+j] - hz[(i-1)*n+j])
+					}
+				})
+			}},
+			{Run: func() {
+				parallel.DoAll(n, threads, func(i int) {
+					for j := 1; j < n; j++ {
+						ex[i*(n+1)+j] -= 0.5 * (hz[i*n+j] - hz[i*n+j-1])
+					}
+				})
+			}},
+			{Run: func() {
+				parallel.DoAll(n-1, threads, func(i int) {
+					for j := 0; j < n-1; j++ {
+						hz[i*n+j] -= 0.7 * (ex[i*(n+1)+j+1] - ex[i*(n+1)+j] + ey[(i+1)*n+j] - ey[i*n+j])
+					}
+				})
+			}, Deps: []int{0, 1, 2}},
+		})
+	}
+	return hz[(n-1)*n+n-1]
+}
+
+func fdtdSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	perB := cm.LoopTotal(FdtdLoops.LB) / fdtdT
+	perEy := cm.LoopTotal(FdtdLoops.LEy) / fdtdT
+	perEx := cm.LoopTotal(FdtdLoops.LEx) / fdtdT
+	perHz := cm.LoopTotal(FdtdLoops.LHz) / fdtdT
+	prev := -1
+	for t := 0; t < fdtdT; t++ {
+		var deps []int
+		if prev >= 0 {
+			deps = []int{prev}
+		}
+		bb := b.Add(perB, deps...)
+		eys := b.DoAll(fdtdN-1, perEy/float64(fdtdN-1), threads, deps...)
+		exs := b.DoAll(fdtdN, perEx/float64(fdtdN), threads, deps...)
+		join := b.Add(joinCost("fdtd-2d", threads), append(append([]int{bb}, eys...), exs...)...)
+		hzs := b.DoAll(fdtdN-1, perHz/float64(fdtdN-1), threads, join)
+		prev = b.Add(joinCost("fdtd-2d", threads), hzs...)
+	}
+	return b.Nodes()
+}

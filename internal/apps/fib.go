@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"sync"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/sched"
+)
+
+// fib reproduces the BOTS fib benchmark (Listing 4): two independent
+// recursive calls per invocation, detected as independent worker tasks with
+// the return as their synchronisation point. The estimated speedup is based
+// on one recursive step (the paper's 3.25); the BOTS task implementation,
+// exploiting all levels of the recursion, reached 13.25× on 32 threads.
+const (
+	fibN      = 18
+	fibCutoff = 8 // sequential below this depth, as BOTS does
+)
+
+func init() {
+	register(&App{
+		Name:     "fib",
+		Suite:    "BOTS",
+		PaperLOC: 32,
+		Expect: Expect{
+			Pattern:    "Task parallelism",
+			HotspotPct: 100.0,
+			Speedup:    13.25,
+			Threads:    32,
+			EstSpeedup: 3.25,
+		},
+		Hotspot:  "fib",
+		Build:    buildFib,
+		RunSeq:   func() float64 { return float64(fibSeq(fibN)) },
+		RunPar:   fibPar,
+		Schedule: fibSchedule,
+		Spawn:    20,
+		Join:     10,
+	})
+}
+
+func buildFib() *ir.Program {
+	b := ir.NewBuilder("fib")
+	f := b.Function("main")
+	f.Ret(ir.CallE("fib", ir.CI(fibN)))
+	g := b.Function("fib", "n")
+	g.If(ir.LtE(ir.V("n"), ir.C(2)), func(k *ir.Block) { k.Ret(ir.V("n")) })
+	g.Assign("x", ir.CallE("fib", ir.SubE(ir.V("n"), ir.C(1))))
+	g.Assign("y", ir.CallE("fib", ir.SubE(ir.V("n"), ir.C(2))))
+	g.Ret(ir.AddE(ir.V("x"), ir.V("y")))
+	return b.Build()
+}
+
+func fibSeq(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	return fibSeq(n-1) + fibSeq(n-2)
+}
+
+// fibPar is the fork/join implementation of the detected pattern: the two
+// worker calls run as tasks, the addition is their join.
+func fibPar(threads int) float64 {
+	// threads bounds the number of concurrently spawned goroutines.
+	sem := make(chan struct{}, threads)
+	var rec func(n int) int64
+	rec = func(n int) int64 {
+		if n < 2 {
+			return int64(n)
+		}
+		if n <= fibCutoff {
+			return fibSeq(n)
+		}
+		var x, y int64
+		select {
+		case sem <- struct{}{}:
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				x = rec(n - 1)
+			}()
+			y = rec(n - 2)
+			wg.Wait()
+		default:
+			x = rec(n - 1)
+			y = rec(n - 2)
+		}
+		return x + y
+	}
+	return float64(rec(fibN))
+}
+
+// fibSchedule models the BOTS task tree: every recursive invocation above
+// the cutoff is a task whose two children run in parallel; below the cutoff
+// the remaining work is one sequential leaf. Costs come from the measured
+// per-call cost of fib scaled by the subtree size.
+func fibSchedule(cm CostModel, threads int) []sched.Node {
+	perCall := cm.FuncPerCall("fib")
+	if perCall == 0 {
+		perCall = 15
+	}
+	calls := func(n int) float64 {
+		// Number of fib activations in the subtree: 2·fib(n+1)-1.
+		return float64(2*fibSeq(n+1) - 1)
+	}
+	// BOTS cuts the task recursion well above the base case; below the
+	// cutoff a whole (uneven) subtree is one sequential task, which is
+	// what bounds fib's scaling in Table III.
+	const schedCutoff = 12
+	b := sched.NewBuilder()
+	var rec func(n int) int
+	rec = func(n int) int {
+		if n <= schedCutoff {
+			return b.Add(perCall * calls(n))
+		}
+		l := rec(n - 1)
+		r := rec(n - 2)
+		return b.Add(perCall+joinCost("fib", threads), l, r) // the join step
+	}
+	rec(fibN)
+	return b.Nodes()
+}

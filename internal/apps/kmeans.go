@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// kmeans reproduces the Starbench kmeans benchmark: the cluster() function
+// contains only do-all loops (point assignment, centre update) and a
+// histogram-style reduction (per-cluster sums), so the detector suggests it
+// for geometric decomposition with a reduction inside (§IV-C, §IV-D). The
+// while loop in main carries the centre state between rounds and is
+// sequential. Data preparation dominates the execution (the paper reports
+// only 2.04% of instructions in the hotspot); speedup is measured on the
+// clustering region, where the paper reached 3.97× on 8 threads.
+const (
+	kmPoints = 120
+	kmK      = 5
+	kmRounds = 4
+	kmPrep   = 28000 // data-preparation iterations (dominates execution)
+)
+
+func init() {
+	register(&App{
+		Name:     "kmeans",
+		Suite:    "Starbench",
+		PaperLOC: 347,
+		Expect: Expect{
+			Pattern:    "Geometric decomposition + Reduction",
+			HotspotPct: 2.04,
+			Speedup:    3.97,
+			Threads:    8,
+		},
+		Hotspot:  "cluster",
+		Build:    buildKmeans,
+		RunSeq:   func() float64 { return kmeansGo(1) },
+		RunPar:   kmeansGo,
+		Schedule: kmeansSchedule,
+		Spawn:    10,
+		Join:     100,
+	})
+}
+
+// KmeansLoops exposes the loop IDs after Build has run.
+var KmeansLoops = struct{ LAssign, LZero, LAcc, LUpd string }{}
+
+func buildKmeans() *ir.Program {
+	p, kk := kmPoints, kmK
+	b := ir.NewBuilder("kmeans")
+	b.GlobalArray("raw", kmPrep)
+	b.GlobalArray("points", p)
+	b.GlobalArray("assign", p)
+	b.GlobalArray("centers", kk)
+	b.GlobalArray("csum", kk)
+	b.GlobalArray("ccount", kk)
+	f := b.Function("main")
+	// Heavy data preparation (decompression/parsing in the real
+	// benchmark) — the reason the clustering hotspot is only ~2% of the
+	// executed instructions.
+	f.For("w", ir.C(0), ir.CI(kmPrep), func(k *ir.Block) {
+		k.Store("raw", []ir.Expr{ir.V("w")},
+			&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("w"), ir.C(1103)), ir.C(12345)), R: ir.C(4096)})
+	})
+	f.For("ii", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Store("points", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.Ld("raw", ir.MulE(ir.V("ii"), ir.C(7))), R: ir.C(100)})
+	})
+	f.For("c0", ir.C(0), ir.CI(kk), func(k *ir.Block) {
+		k.Store("centers", []ir.Expr{ir.V("c0")}, ir.MulE(ir.V("c0"), ir.C(20)))
+	})
+	f.Assign("r", ir.C(0))
+	f.While(ir.LtE(ir.V("r"), ir.CI(kmRounds)), func(k *ir.Block) {
+		k.Call("cluster")
+		k.Assign("r", ir.AddE(ir.V("r"), ir.C(1)))
+	})
+	f.Ret(ir.Ld("centers", ir.C(0)))
+
+	cf := b.Function("cluster")
+	// Assignment (do-all): nearest centre by quantised distance.
+	KmeansLoops.LAssign = cf.For("pp", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Assign("v", ir.Ld("points", ir.V("pp")))
+		k.Assign("d0", &ir.Un{Op: ir.Abs, X: ir.SubE(ir.V("v"), ir.Ld("centers", ir.C(0)))})
+		k.Store("assign", []ir.Expr{ir.V("pp")},
+			&ir.Bin{Op: ir.Mod, L: &ir.Un{Op: ir.Floor, X: ir.DivE(ir.AddE(ir.V("v"), ir.V("d0")), ir.C(25))}, R: ir.CI(kk)})
+	})
+	// Zero the accumulators (do-all).
+	KmeansLoops.LZero = cf.For("z", ir.C(0), ir.CI(kk), func(k *ir.Block) {
+		k.Store("csum", []ir.Expr{ir.V("z")}, ir.C(0))
+		k.Store("ccount", []ir.Expr{ir.V("z")}, ir.C(0))
+	})
+	// Histogram reduction over points.
+	KmeansLoops.LAcc = cf.For("q", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Assign("cl", ir.Ld("assign", ir.V("q")))
+		k.Store("csum", []ir.Expr{ir.V("cl")}, ir.AddE(ir.Ld("csum", ir.V("cl")), ir.Ld("points", ir.V("q"))))
+		k.Store("ccount", []ir.Expr{ir.V("cl")}, ir.AddE(ir.Ld("ccount", ir.V("cl")), ir.C(1)))
+	})
+	// Centre update (do-all).
+	KmeansLoops.LUpd = cf.For("u", ir.C(0), ir.CI(kk), func(k *ir.Block) {
+		k.Store("centers", []ir.Expr{ir.V("u")},
+			&ir.Un{Op: ir.Floor, X: ir.DivE(ir.Ld("csum", ir.V("u")), &ir.Bin{Op: ir.Max, L: ir.Ld("ccount", ir.V("u")), R: ir.C(1)})})
+	})
+	cf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func kmeansGo(threads int) float64 {
+	p, kk := kmPoints, kmK
+	points := make([]float64, p)
+	assign := make([]int, p)
+	centers := make([]float64, kk)
+	raw := make([]float64, kmPrep)
+	for w := 0; w < kmPrep; w++ {
+		raw[w] = float64((w*1103 + 12345) % 4096)
+	}
+	for i := 0; i < p; i++ {
+		points[i] = float64(int(raw[i*7%kmPrep]) % 100)
+	}
+	for c := 0; c < kk; c++ {
+		centers[c] = float64(c * 20)
+	}
+	for r := 0; r <= kmRounds; r++ {
+		// Geometric decomposition: the point range is split into chunks,
+		// each processed by one call with private accumulators.
+		type partial struct {
+			sum   []float64
+			count []float64
+		}
+		chunks := threads
+		if chunks < 1 {
+			chunks = 1
+		}
+		parts := make([]partial, p) // indexed by stable chunk index
+		parallel.GeoDecomp(p, chunks, threads, func(lo, hi int) {
+			ci := lo * chunks / p // stable, injective chunk index from the bounds
+			ps := partial{sum: make([]float64, kk), count: make([]float64, kk)}
+			for i := lo; i < hi; i++ {
+				v := points[i]
+				d0 := v - centers[0]
+				if d0 < 0 {
+					d0 = -d0
+				}
+				c := int((v+d0)/25) % kk
+				assign[i] = c
+				ps.sum[c] += v
+				ps.count[c]++
+			}
+			parts[ci] = ps
+		})
+		csum := make([]float64, kk)
+		ccount := make([]float64, kk)
+		for _, ps := range parts {
+			if ps.sum == nil {
+				continue
+			}
+			for c := 0; c < kk; c++ {
+				csum[c] += ps.sum[c]
+				ccount[c] += ps.count[c]
+			}
+		}
+		for c := 0; c < kk; c++ {
+			d := ccount[c]
+			if d < 1 {
+				d = 1
+			}
+			centers[c] = float64(int(csum[c] / d))
+		}
+	}
+	return centers[0]
+}
+
+// kmeansSchedule models the timed clustering region only (the paper times
+// the kernel, not the data preparation): per round, geometric decomposition
+// of the point range with a combine step.
+func kmeansSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	perPoint := cm.LoopPerIter(KmeansLoops.LAssign) + cm.LoopPerIter(KmeansLoops.LAcc)
+	updCost := cm.LoopTotal(KmeansLoops.LUpd) / float64(kmRounds+1)
+	prev := -1
+	for r := 0; r <= kmRounds; r++ {
+		var deps []int
+		if prev >= 0 {
+			deps = []int{prev}
+		}
+		chunks := b.DoAll(kmPoints, perPoint, threads, deps...)
+		prev = b.Add(joinCost("kmeans", threads)+updCost, chunks...)
+	}
+	return b.Nodes()
+}

@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// ludcmp reproduces the Polybench ludcmp benchmark as analysed in §IV-A:
+// kernel_ludcmp contains two hotspot loops — a do-all first loop producing a
+// B matrix, and a second loop with inter-iteration dependences whose
+// iteration i consumes exactly what iteration i of the first loop produced
+// (a perfect multi-loop pipeline, a=1 b=0 e=1, Table IV row 1). The paper's
+// hand implementation ran the first stage as a parallel do-all and pipelined
+// the second stage with parallel rows, reaching 14.06× on 32 threads.
+const (
+	ludcmpN = 48
+)
+
+func init() {
+	register(&App{
+		Name:     "ludcmp",
+		Suite:    "Polybench",
+		PaperLOC: 135,
+		Expect: Expect{
+			Pattern:    "Multi-loop pipeline",
+			HotspotPct: 88.64,
+			Speedup:    14.06,
+			Threads:    32,
+			PipeA:      1, PipeB: 0, PipeE: 1,
+		},
+		Hotspot:  "kernel_ludcmp",
+		Build:    buildLudcmp,
+		RunSeq:   func() float64 { return ludcmpGo(1) },
+		RunPar:   ludcmpGo,
+		Schedule: ludcmpSchedule,
+		Spawn:    10,
+		Join:     1,
+	})
+}
+
+// LudcmpLoops exposes the hotspot loop IDs for tests and the harness.
+var LudcmpLoops = struct{ L1, L2 string }{}
+
+func buildLudcmp() *ir.Program {
+	n := ludcmpN
+	b := ir.NewBuilder("ludcmp")
+	b.GlobalArray("A", n, n)
+	b.GlobalArray("X", n)
+	b.GlobalArray("B", n, n)
+	b.GlobalArray("Y", n+1, n)
+	f := b.Function("main")
+	// Input initialisation (untimed in the paper's runs; it is what keeps
+	// the hotspot share at ~89% rather than 100%).
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("A", []ir.Expr{ir.V("ii"), ir.V("jj")},
+				ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(31)), ir.MulE(ir.V("jj"), ir.C(17))), R: ir.C(19)}, ir.C(9)))
+		})
+	})
+	f.For("j0", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("X", []ir.Expr{ir.V("j0")}, ir.AddE(&ir.Bin{Op: ir.Mod, L: ir.V("j0"), R: ir.C(7)}, ir.C(1)))
+		k.Store("Y", []ir.Expr{ir.C(0), ir.V("j0")}, ir.C(1))
+	})
+	f.Call("kernel_ludcmp")
+	f.Ret(ir.Ld("Y", ir.CI(n), ir.CI(n-1)))
+
+	kf := b.Function("kernel_ludcmp")
+	// Loop 1 (do-all): scale the matrix rows.
+	LudcmpLoops.L1 = kf.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("B", []ir.Expr{ir.V("i"), ir.V("j")},
+				ir.AddE(ir.MulE(ir.Ld("A", ir.V("i"), ir.V("j")), ir.Ld("X", ir.V("j"))), ir.C(1)))
+		})
+	})
+	// Loop 2 (forward substitution shape): row i+1 of Y needs row i of Y
+	// and row i of B — iteration i of this loop depends exactly on
+	// iteration i of loop 1.
+	LudcmpLoops.L2 = kf.For("i2", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j2", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("Y", []ir.Expr{ir.AddE(ir.V("i2"), ir.C(1)), ir.V("j2")},
+				ir.AddE(ir.MulE(ir.Ld("Y", ir.V("i2"), ir.V("j2")), ir.C(0.5)),
+					ir.Ld("B", ir.V("i2"), ir.V("j2"))))
+		})
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+// ludcmpGo is the native form; threads == 1 runs sequentially.
+func ludcmpGo(threads int) float64 {
+	n := ludcmpN
+	A := make([]float64, n*n)
+	X := make([]float64, n)
+	B := make([]float64, n*n)
+	Y := make([]float64, (n+1)*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A[i*n+j] = float64((i*31+j*17)%19 - 9)
+		}
+	}
+	for j := 0; j < n; j++ {
+		X[j] = float64(j%7 + 1)
+		Y[j] = 1
+	}
+	// Stage 1: do-all.
+	parallel.DoAll(n, threads, func(i int) {
+		for j := 0; j < n; j++ {
+			B[i*n+j] = A[i*n+j]*X[j] + 1
+		}
+	})
+	// Stage 2: rows are serially dependent; each row is an inner do-all.
+	for i := 0; i < n; i++ {
+		parallel.DoAll(n, threads, func(j int) {
+			Y[(i+1)*n+j] = Y[i*n+j]*0.5 + B[i*n+j]
+		})
+	}
+	return Y[n*n+n-1]
+}
+
+// ludcmpSchedule models the timed kernel: stage-1 do-all overlapped with the
+// row-pipelined stage 2 (row i of stage 2 needs stage-1 chunk covering row
+// i, plus the previous stage-2 row).
+func ludcmpSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	n := ludcmpN
+	c1 := cm.LoopPerIter(LudcmpLoops.L1) // cost of one stage-1 row
+	c2 := cm.LoopPerIter(LudcmpLoops.L2) // cost of one stage-2 row
+	// Stage-1 rows, chunked across threads, in order per chunk.
+	chunk := (n + threads - 1) / threads
+	var stage1 []int
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		stage1 = append(stage1, b.Add(float64(hi-lo)*c1))
+	}
+	// Stage-2 rows: each row is an inner do-all split across threads,
+	// gated on the previous row's barrier and the stage-1 chunk holding
+	// its B row.
+	prevBarrier := -1
+	for i := 0; i < n; i++ {
+		deps := []int{stage1[i/chunk]}
+		if prevBarrier >= 0 {
+			deps = append(deps, prevBarrier)
+		}
+		rowChunks := b.DoAll(n, c2/float64(n), threads, deps...)
+		prevBarrier = b.Add(joinCost("ludcmp", threads), rowChunks...)
+	}
+	return b.Nodes()
+}

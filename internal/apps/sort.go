@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"sync"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/sched"
+)
+
+// sort reproduces the BOTS sort benchmark (cilksort): the input is split in
+// four, sorted recursively, and merged pairwise — the CU graph of Figure 3,
+// with the four recursive calls as workers, the two pair merges as parallel
+// barriers and the final merge as their barrier. BOTS's task implementation
+// reached 3.67× on 32 threads (the merges bound the span).
+const (
+	sortN    = 256
+	sortBase = 16
+)
+
+func init() {
+	register(&App{
+		Name:     "sort",
+		Suite:    "BOTS",
+		PaperLOC: 305,
+		Expect: Expect{
+			Pattern:    "Task parallelism",
+			HotspotPct: 94.89,
+			Speedup:    3.67,
+			Threads:    32,
+			EstSpeedup: 2.11,
+		},
+		Hotspot:  "cilksort",
+		Build:    buildSort,
+		RunSeq:   func() float64 { return sortGo(1) },
+		RunPar:   sortGo,
+		Schedule: sortSchedule,
+		Spawn:    320,
+		Join:     1000,
+	})
+}
+
+func buildSort() *ir.Program {
+	n := sortN
+	b := ir.NewBuilder("sort")
+	b.GlobalArray("arr", n)
+	b.GlobalArray("tmp", n)
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("arr", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.C(167)), R: ir.CI(n)})
+	})
+	f.Call("cilksort", ir.C(0), ir.CI(n))
+	f.Ret(ir.Ld("arr", ir.CI(n/2)))
+
+	cs := b.Function("cilksort", "lo", "n")
+	cs.If(ir.LtE(ir.V("n"), ir.CI(sortBase)), func(k *ir.Block) {
+		k.Call("insertsort", ir.V("lo"), ir.V("n"))
+		k.Ret(ir.C(0))
+	})
+	cs.Assign("q", &ir.Un{Op: ir.Floor, X: ir.DivE(ir.V("n"), ir.C(4))})
+	cs.Call("cilksort", ir.V("lo"), ir.V("q"))
+	cs.Call("cilksort", ir.AddE(ir.V("lo"), ir.V("q")), ir.V("q"))
+	cs.Call("cilksort", ir.AddE(ir.V("lo"), ir.MulE(ir.C(2), ir.V("q"))), ir.V("q"))
+	cs.Call("cilksort", ir.AddE(ir.V("lo"), ir.MulE(ir.C(3), ir.V("q"))), ir.SubE(ir.V("n"), ir.MulE(ir.C(3), ir.V("q"))))
+	cs.Call("cilkmerge", ir.V("lo"), ir.V("q"), ir.V("q"))
+	cs.Call("cilkmerge", ir.AddE(ir.V("lo"), ir.MulE(ir.C(2), ir.V("q"))), ir.V("q"), ir.SubE(ir.V("n"), ir.MulE(ir.C(3), ir.V("q"))))
+	cs.Call("cilkmerge", ir.V("lo"), ir.MulE(ir.C(2), ir.V("q")), ir.SubE(ir.V("n"), ir.MulE(ir.C(2), ir.V("q"))))
+	cs.Ret(ir.C(0))
+
+	// insertsort: in-place insertion sort of arr[lo, lo+n).
+	is := b.Function("insertsort", "lo", "n")
+	is.For("i", ir.AddE(ir.V("lo"), ir.C(1)), ir.AddE(ir.V("lo"), ir.V("n")), func(k *ir.Block) {
+		k.Assign("key", ir.Ld("arr", ir.V("i")))
+		k.Assign("j", ir.SubE(ir.V("i"), ir.C(1)))
+		k.Assign("run", ir.C(1))
+		k.While(&ir.Bin{Op: ir.And, L: ir.V("run"), R: ir.GeE(ir.V("j"), ir.V("lo"))}, func(k2 *ir.Block) {
+			k2.IfElse(&ir.Bin{Op: ir.Gt, L: ir.Ld("arr", ir.V("j")), R: ir.V("key")},
+				func(k3 *ir.Block) {
+					k3.Store("arr", []ir.Expr{ir.AddE(ir.V("j"), ir.C(1))}, ir.Ld("arr", ir.V("j")))
+					k3.Assign("j", ir.SubE(ir.V("j"), ir.C(1)))
+				},
+				func(k3 *ir.Block) { k3.Assign("run", ir.C(0)) })
+		})
+		k.Store("arr", []ir.Expr{ir.AddE(ir.V("j"), ir.C(1))}, ir.V("key"))
+	})
+	is.Ret(ir.C(0))
+
+	// cilkmerge: merge the sorted runs arr[lo,lo+n1) and arr[lo+n1,lo+n1+n2)
+	// through tmp, back into arr.
+	cm := b.Function("cilkmerge", "lo", "n1", "n2")
+	cm.Assign("a", ir.V("lo"))
+	cm.Assign("bb", ir.AddE(ir.V("lo"), ir.V("n1")))
+	cm.Assign("ea", ir.AddE(ir.V("lo"), ir.V("n1")))
+	cm.Assign("eb", ir.AddE(ir.AddE(ir.V("lo"), ir.V("n1")), ir.V("n2")))
+	cm.For("t", ir.V("lo"), ir.AddE(ir.AddE(ir.V("lo"), ir.V("n1")), ir.V("n2")), func(k *ir.Block) {
+		k.IfElse(&ir.Bin{Op: ir.And, L: ir.LtE(ir.V("a"), ir.V("ea")),
+			R: &ir.Bin{Op: ir.Or, L: ir.GeE(ir.V("bb"), ir.V("eb")),
+				R: ir.LtE(ir.Ld("arr", ir.V("a")), ir.AddE(ir.Ld("arr", &ir.Bin{Op: ir.Min, L: ir.V("bb"), R: ir.SubE(ir.V("eb"), ir.C(1))}), ir.C(1)))}},
+			func(k2 *ir.Block) {
+				k2.Store("tmp", []ir.Expr{ir.V("t")}, ir.Ld("arr", ir.V("a")))
+				k2.Assign("a", ir.AddE(ir.V("a"), ir.C(1)))
+			},
+			func(k2 *ir.Block) {
+				k2.Store("tmp", []ir.Expr{ir.V("t")}, ir.Ld("arr", ir.V("bb")))
+				k2.Assign("bb", ir.AddE(ir.V("bb"), ir.C(1)))
+			})
+	})
+	cm.For("t2", ir.V("lo"), ir.AddE(ir.AddE(ir.V("lo"), ir.V("n1")), ir.V("n2")), func(k *ir.Block) {
+		k.Store("arr", []ir.Expr{ir.V("t2")}, ir.Ld("tmp", ir.V("t2")))
+	})
+	cm.Ret(ir.C(0))
+	return b.Build()
+}
+
+// sortGo sorts the same input with the task-parallel cilksort structure.
+func sortGo(threads int) float64 {
+	n := sortN
+	arr := make([]float64, n)
+	tmp := make([]float64, n)
+	for i := range arr {
+		arr[i] = float64(i * 167 % n)
+	}
+	sem := make(chan struct{}, threads)
+	merge := func(lo, n1, n2 int) {
+		a, bb := lo, lo+n1
+		ea, eb := lo+n1, lo+n1+n2
+		for t := lo; t < eb; t++ {
+			if a < ea && (bb >= eb || arr[a] <= arr[bb]) {
+				tmp[t] = arr[a]
+				a++
+			} else {
+				tmp[t] = arr[bb]
+				bb++
+			}
+		}
+		copy(arr[lo:eb], tmp[lo:eb])
+	}
+	insert := func(lo, n int) {
+		for i := lo + 1; i < lo+n; i++ {
+			key := arr[i]
+			j := i - 1
+			for j >= lo && arr[j] > key {
+				arr[j+1] = arr[j]
+				j--
+			}
+			arr[j+1] = key
+		}
+	}
+	var rec func(lo, n int)
+	rec = func(lo, n int) {
+		if n <= sortBase {
+			insert(lo, n)
+			return
+		}
+		q := n / 4
+		quarters := [][2]int{{lo, q}, {lo + q, q}, {lo + 2*q, q}, {lo + 3*q, n - 3*q}}
+		var wg sync.WaitGroup
+		for _, qt := range quarters {
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(lo, n int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					rec(lo, n)
+				}(qt[0], qt[1])
+			default:
+				rec(qt[0], qt[1])
+			}
+		}
+		wg.Wait()
+		// The two pair-merges are parallel barriers (Figure 3).
+		var mg sync.WaitGroup
+		mg.Add(1)
+		go func() {
+			defer mg.Done()
+			merge(lo, q, q)
+		}()
+		merge(lo+2*q, q, n-3*q)
+		mg.Wait()
+		merge(lo, 2*q, n-2*q)
+	}
+	rec(0, n)
+	sum := 0.0
+	for i, v := range arr {
+		sum += float64(i+1) * v
+	}
+	return sum
+}
+
+// sortSchedule models the BOTS task DAG of cilksort: four-way recursion with
+// pairwise and final merges; the final merge of the whole array bounds the
+// span, which is why the paper's speedup saturates at 3.67.
+func sortSchedule(cm CostModel, threads int) []sched.Node {
+	mergePer := cm.FuncPerCall("cilkmerge")
+	if mergePer == 0 {
+		mergePer = 100
+	}
+	// cilkmerge cost scales with the merged span; normalise the measured
+	// average to a per-element unit (the average merge spans n/2 elements
+	// over the whole recursion, roughly).
+	unit := mergePer / float64(sortN/2)
+	basePer := cm.FuncPerCall("insertsort")
+	if basePer == 0 {
+		basePer = 200
+	}
+	b := sched.NewBuilder()
+	var rec func(n int) int
+	rec = func(n int) int {
+		if n <= sortBase {
+			return b.Add(basePer)
+		}
+		q := n / 4
+		c1, c2, c3, c4 := rec(q), rec(q), rec(q), rec(n-3*q)
+		jc := joinCost("sort", threads)
+		m1 := b.Add(unit*float64(2*q)+jc, c1, c2)
+		m2 := b.Add(unit*float64(n-2*q)+jc, c3, c4)
+		return b.Add(unit*float64(n)+jc, m1, m2)
+	}
+	rec(sortN)
+	return b.Nodes()
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// streamcluster reproduces the Starbench streamcluster benchmark (§IV-C,
+// Listings 6 and 7): the streamCluster() while loop is sequential — each
+// round's clusters feed the next — but localSearch(), called inside it,
+// contains only do-all and reduction loops and is the detected geometric
+// decomposition candidate. Starbench's parallel version decomposes exactly
+// localSearch over point chunks; the paper reports 6.38× on 32 threads.
+// Roughly half the executed instructions sit in the (untimed) stream intake
+// outside the analysed hotspot — the paper reports 49.99% in it.
+const (
+	scPoints = 160
+	scRounds = 5
+	scPrep   = 1600 // stream-intake iterations before clustering (untimed)
+)
+
+func init() {
+	register(&App{
+		Name:     "streamcluster",
+		Suite:    "Starbench",
+		PaperLOC: 551,
+		Expect: Expect{
+			Pattern:    "Geometric decomposition",
+			HotspotPct: 49.99,
+			Speedup:    6.38,
+			Threads:    32,
+		},
+		Hotspot:  "localSearch",
+		Build:    buildStreamcluster,
+		RunSeq:   func() float64 { return streamclusterGo(1) },
+		RunPar:   streamclusterGo,
+		Schedule: streamclusterSchedule,
+		Spawn:    320,
+		Join:     10,
+	})
+}
+
+// StreamclusterLoops exposes the loop IDs after Build has run.
+var StreamclusterLoops = struct{ LMain, LCost, LGain string }{}
+
+func buildStreamcluster() *ir.Program {
+	p := scPoints
+	b := ir.NewBuilder("streamcluster")
+	b.GlobalArray("pts", p)
+	b.GlobalArray("cost", p)
+	b.GlobalArray("work", scPrep)
+	b.GlobalArray("best", 1)
+	f := b.Function("main")
+	// Stream intake: sequential generation of the point stream. It is not
+	// part of the timed clustering region but accounts for roughly half
+	// the executed instructions.
+	f.For("w", ir.C(1), ir.CI(scPrep), func(k *ir.Block) {
+		k.Store("work", []ir.Expr{ir.V("w")},
+			&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.Ld("work", ir.SubE(ir.V("w"), ir.C(1))), ir.C(7)), ir.C(13)), R: ir.C(1009)})
+	})
+	f.For("ii", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Store("pts", []ir.Expr{ir.V("ii")}, &ir.Bin{Op: ir.Mod, L: ir.Ld("work", ir.MulE(ir.V("ii"), ir.C(9))), R: ir.C(101)})
+	})
+	f.Assign("r", ir.C(0))
+	StreamclusterLoops.LMain = f.While(ir.LtE(ir.V("r"), ir.CI(scRounds)), func(k *ir.Block) {
+		k.Call("localSearch")
+		k.Assign("r", ir.AddE(ir.V("r"), ir.C(1)))
+	})
+	f.Ret(ir.Ld("best", ir.C(0)))
+
+	ls := b.Function("localSearch")
+	// Per-point cost computation (do-all).
+	StreamclusterLoops.LCost = ls.For("i", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Assign("v", ir.Ld("pts", ir.V("i")))
+		k.Assign("d", &ir.Un{Op: ir.Abs, X: ir.SubE(ir.V("v"), ir.Ld("best", ir.C(0)))})
+		k.Assign("d2", &ir.Un{Op: ir.Abs, X: ir.SubE(ir.V("v"), ir.AddE(ir.Ld("best", ir.C(0)), ir.C(31)))})
+		k.Assign("d3", &ir.Bin{Op: ir.Min, L: ir.V("d"), R: ir.V("d2")})
+		k.Assign("w1", &ir.Un{Op: ir.Sqrt, X: ir.AddE(ir.MulE(ir.V("d3"), ir.V("d3")), ir.C(1))})
+		k.Store("cost", []ir.Expr{ir.V("i")},
+			ir.AddE(ir.MulE(ir.V("w1"), ir.V("d3")), ir.MulE(ir.V("v"), ir.C(2))))
+	})
+	// Total gain (reduction).
+	ls.Assign("g", ir.C(0))
+	StreamclusterLoops.LGain = ls.For("j", ir.C(0), ir.CI(p), func(k *ir.Block) {
+		k.Assign("g", ir.AddE(ir.V("g"), ir.Ld("cost", ir.V("j"))))
+	})
+	ls.Store("best", []ir.Expr{ir.C(0)}, &ir.Bin{Op: ir.Mod, L: &ir.Un{Op: ir.Floor, X: ir.DivE(ir.V("g"), ir.CI(p))}, R: ir.C(97)})
+	ls.Ret(ir.C(0))
+	return b.Build()
+}
+
+func streamclusterGo(threads int) float64 {
+	p := scPoints
+	pts := make([]float64, p)
+	cost := make([]float64, p)
+	work := make([]float64, scPrep)
+	best := 0.0
+	for w := 1; w < scPrep; w++ {
+		work[w] = float64((int(work[w-1])*7 + 13) % 1009)
+	}
+	for i := range pts {
+		pts[i] = float64(int(work[i*9%scPrep]) % 101)
+	}
+	for r := 0; r <= scRounds; r++ {
+		// localSearch via geometric decomposition (Listing 7): chunked
+		// cost computation plus a chunked gain reduction.
+		parallel.GeoDecomp(p, threads, threads, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := pts[i]
+				d := v - best
+				if d < 0 {
+					d = -d
+				}
+				cost[i] = d*d + v*2
+			}
+		})
+		g := parallel.Reduce(p, threads, 0,
+			func(i int) float64 { return cost[i] },
+			func(a, b float64) float64 { return a + b })
+		best = float64(int(g/float64(p)) % 97)
+	}
+	return best
+}
+
+// streamclusterSchedule models the timed clustering region: per round, the
+// decomposed localSearch with its combine step; rounds are serial.
+func streamclusterSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	rounds := scRounds + 1
+	perPoint := cm.LoopPerIter(StreamclusterLoops.LCost) + cm.LoopPerIter(StreamclusterLoops.LGain)
+	prev := -1
+	for r := 0; r < rounds; r++ {
+		var deps []int
+		if prev >= 0 {
+			deps = []int{prev}
+		}
+		chunks := b.DoAll(scPoints, perPoint, threads, deps...)
+		prev = b.Add(joinCost("streamcluster", threads), chunks...)
+	}
+	return b.Nodes()
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// sum_local and sum_module are the two synthetic reduction benchmarks of
+// §IV-D (Listings 8 and 9), built to contrast dynamic reduction detection
+// with the static analyses of icc and Sambamba (Table VI): sum_local
+// accumulates in the lexical extent of the loop; sum_module accumulates
+// through a by-reference parameter inside a callee, which no static lexical
+// analysis can see.
+const synthN = 96
+
+func init() {
+	register(&App{
+		Name:     "sum_local",
+		Suite:    "Synthetic",
+		PaperLOC: 5,
+		Expect:   Expect{Pattern: "Reduction"},
+		Hotspot:  "sum_local",
+		Build:    buildSumLocal,
+		RunSeq:   func() float64 { return sumLocalGo(1) },
+		RunPar:   sumLocalGo,
+		Schedule: sumSynthSchedule,
+		Spawn:    10,
+	})
+	register(&App{
+		Name:     "sum_module",
+		Suite:    "Synthetic",
+		PaperLOC: 13,
+		Expect:   Expect{Pattern: "Reduction"},
+		Hotspot:  "sum_module",
+		Build:    buildSumModule,
+		RunSeq:   func() float64 { return sumModuleGo(1) },
+		RunPar:   sumModuleGo,
+		Schedule: sumSynthSchedule,
+		Spawn:    10,
+	})
+}
+
+// SumLocalLoop and SumModuleLoop expose the loop IDs after Build has run.
+var (
+	SumLocalLoop  string
+	SumModuleLoop string
+)
+
+func buildSumLocal() *ir.Program {
+	b := ir.NewBuilder("sum_local")
+	b.GlobalArray("arr", synthN)
+	f := b.Function("main")
+	f.For("w", ir.C(0), ir.CI(synthN), func(k *ir.Block) {
+		k.Store("arr", []ir.Expr{ir.V("w")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("w"), ir.C(31)), R: ir.C(101)})
+	})
+	f.Ret(ir.CallE("sum_local"))
+
+	s := b.Function("sum_local")
+	s.Assign("sum", ir.C(0))
+	SumLocalLoop = s.For("i", ir.C(0), ir.CI(synthN), func(k *ir.Block) {
+		k.Assign("sum", ir.AddE(ir.V("sum"), ir.Ld("arr", ir.V("i"))))
+	})
+	s.Ret(ir.V("sum"))
+	return b.Build()
+}
+
+func buildSumModule() *ir.Program {
+	b := ir.NewBuilder("sum_module")
+	b.GlobalArray("arr", synthN)
+	b.GlobalArray("sum", 1) // the &sum by-reference accumulator
+	f := b.Function("main")
+	f.For("w", ir.C(0), ir.CI(synthN), func(k *ir.Block) {
+		k.Store("arr", []ir.Expr{ir.V("w")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("w"), ir.C(31)), R: ir.C(101)})
+	})
+	f.Ret(ir.CallE("sum_module"))
+
+	s := b.Function("sum_module")
+	s.Store("sum", []ir.Expr{ir.C(0)}, ir.C(0))
+	SumModuleLoop = s.For("i", ir.C(0), ir.CI(synthN), func(k *ir.Block) {
+		k.Assign("xx", ir.CallE("addmod", ir.Ld("arr", ir.V("i"))))
+		k.Assign("foo", ir.MulE(ir.V("xx"), ir.C(2)))
+	})
+	s.Ret(ir.Ld("sum", ir.C(0)))
+
+	g := b.Function("addmod", "val")
+	g.Assign("x", ir.AddE(ir.MulE(ir.V("val"), ir.C(3)), ir.C(1))) // "heavy work"
+	g.Store("sum", []ir.Expr{ir.C(0)}, ir.AddE(ir.Ld("sum", ir.C(0)), ir.V("x")))
+	g.Ret(ir.V("x"))
+	return b.Build()
+}
+
+func sumLocalGo(threads int) float64 {
+	arr := make([]float64, synthN)
+	for w := range arr {
+		arr[w] = float64(w * 31 % 101)
+	}
+	return parallel.Reduce(synthN, threads, 0,
+		func(i int) float64 { return arr[i] },
+		func(a, b float64) float64 { return a + b })
+}
+
+func sumModuleGo(threads int) float64 {
+	arr := make([]float64, synthN)
+	for w := range arr {
+		arr[w] = float64(w * 31 % 101)
+	}
+	return parallel.Reduce(synthN, threads, 0,
+		func(i int) float64 { return arr[i]*3 + 1 },
+		func(a, b float64) float64 { return a + b })
+}
+
+func sumSynthSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	b.Reduction(synthN, 8, 3, threads)
+	return b.Nodes()
+}

@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// 3mm reproduces the Polybench 3mm benchmark (Listing 5): E := A·B and
+// F := C·D are independent worker tasks; G := E·F is their barrier. All
+// three nests are also do-all, so the paper implemented combined task +
+// do-all parallelism and reached 12.93× on 16 threads. The estimated
+// speedup from the CU graph is 1.5 (the G nest is half of the critical
+// path), exactly Table V's value.
+const threemmN = 24
+
+func init() {
+	register(&App{
+		Name:     "3mm",
+		Suite:    "Polybench",
+		PaperLOC: 166,
+		Expect: Expect{
+			Pattern:    "Task parallelism + Do-all",
+			HotspotPct: 99.44,
+			Speedup:    12.93,
+			Threads:    16,
+			EstSpeedup: 1.5,
+		},
+		Hotspot:  "kernel_3mm",
+		Build:    build3mm,
+		RunSeq:   func() float64 { return threemmGo(1) },
+		RunPar:   threemmGo,
+		Schedule: threemmSchedule,
+		Spawn:    640,
+		Join:     300,
+	})
+}
+
+// ThreemmLoops exposes the three nest loop IDs after Build has run.
+var ThreemmLoops = struct{ LE, LF, LG string }{}
+
+func matmulNest(kf *ir.Block, n int, pfx, dst, l, r string) string {
+	return kf.For("i"+pfx, ir.C(0), ir.CI(n), func(ki *ir.Block) {
+		ki.For("j"+pfx, ir.C(0), ir.CI(n), func(kj *ir.Block) {
+			kj.Assign("t"+pfx, ir.C(0))
+			kj.For("k"+pfx, ir.C(0), ir.CI(n), func(kk *ir.Block) {
+				kk.Assign("t"+pfx, ir.AddE(ir.V("t"+pfx),
+					ir.MulE(ir.Ld(l, ir.V("i"+pfx), ir.V("k"+pfx)), ir.Ld(r, ir.V("k"+pfx), ir.V("j"+pfx)))))
+			})
+			kj.Store(dst, []ir.Expr{ir.V("i" + pfx), ir.V("j" + pfx)}, ir.V("t"+pfx))
+		})
+	})
+}
+
+func build3mm() *ir.Program {
+	n := threemmN
+	b := ir.NewBuilder("3mm")
+	for _, a := range []string{"A", "B", "C", "D", "E", "F", "G"} {
+		b.GlobalArray(a, n, n)
+	}
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("A", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.V("jj")), R: ir.C(5)}, ir.C(2)))
+			k2.Store("B", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.V("ii"), ir.V("jj")), R: ir.C(7)}, ir.C(3)))
+			k2.Store("C", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(3)), ir.V("jj")), R: ir.C(9)}, ir.C(4)))
+			k2.Store("D", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.V("ii"), ir.MulE(ir.V("jj"), ir.C(2))), R: ir.C(11)}, ir.C(5)))
+		})
+	})
+	f.Call("kernel_3mm")
+	f.Ret(ir.Ld("G", ir.CI(n-1), ir.CI(n-1)))
+
+	kf := b.Function("kernel_3mm")
+	ThreemmLoops.LE = matmulNest(kf, n, "e", "E", "A", "B")
+	ThreemmLoops.LF = matmulNest(kf, n, "f", "F", "C", "D")
+	ThreemmLoops.LG = matmulNest(kf, n, "g", "G", "E", "F")
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func threemmGo(threads int) float64 {
+	n := threemmN
+	mk := func() []float64 { return make([]float64, n*n) }
+	A, B, C, D, E, F, G := mk(), mk(), mk(), mk(), mk(), mk(), mk()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A[i*n+j] = float64(i*j%5 - 2)
+			B[i*n+j] = float64((i+j)%7 - 3)
+			C[i*n+j] = float64((i*3+j)%9 - 4)
+			D[i*n+j] = float64((i+j*2)%11 - 5)
+		}
+	}
+	mm := func(dst, l, r []float64) func() {
+		return func() {
+			parallel.DoAll(n, threads, func(i int) {
+				for j := 0; j < n; j++ {
+					t := 0.0
+					for k := 0; k < n; k++ {
+						t += l[i*n+k] * r[k*n+j]
+					}
+					dst[i*n+j] = t
+				}
+			})
+		}
+	}
+	// Task + do-all: E and F are workers, G is their barrier.
+	parallel.RunTasks(threads, []parallel.Task{
+		{Run: mm(E, A, B)},
+		{Run: mm(F, C, D)},
+		{Run: mm(G, E, F), Deps: []int{0, 1}},
+	})
+	return G[n*n-1]
+}
+
+func threemmSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	e := b.DoAll(threemmN, cm.LoopPerIter(ThreemmLoops.LE), threads)
+	f := b.DoAll(threemmN, cm.LoopPerIter(ThreemmLoops.LF), threads)
+	bar := b.Add(joinCost("3mm", threads), append(append([]int(nil), e...), f...)...)
+	g := b.DoAll(threemmN, cm.LoopPerIter(ThreemmLoops.LG), threads, bar)
+	b.Add(joinCost("3mm", threads), g...)
+	return b.Nodes()
+}

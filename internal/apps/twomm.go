@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"pardetect/internal/ir"
+	"pardetect/internal/parallel"
+	"pardetect/internal/sched"
+)
+
+// 2mm reproduces the Polybench 2mm benchmark: tmp := A·B followed by
+// D := tmp·C. Both outer loops are do-all over the rows, and row i of the
+// second nest consumes exactly row i of the first — a fusion candidate
+// (§IV-A); the paper's fused implementation reached 13.50× on 32 threads.
+const twommN = 26
+
+func init() {
+	register(&App{
+		Name:     "2mm",
+		Suite:    "Polybench",
+		PaperLOC: 153,
+		Expect: Expect{
+			Pattern:    "Fusion",
+			HotspotPct: 99.19,
+			Speedup:    13.50,
+			Threads:    32,
+			PipeA:      1, PipeB: 0, PipeE: 1,
+		},
+		Hotspot:  "kernel_2mm",
+		Build:    build2mm,
+		RunSeq:   func() float64 { return twommGo(1) },
+		RunPar:   twommGo,
+		Schedule: twommSchedule,
+		Spawn:    20,
+		Join:     1000,
+	})
+}
+
+// TwommLoops exposes the hotspot loop IDs after Build has run.
+var TwommLoops = struct{ L1, L2 string }{}
+
+func build2mm() *ir.Program {
+	n := twommN
+	b := ir.NewBuilder("2mm")
+	for _, a := range []string{"A", "B", "C", "tmp", "D"} {
+		b.GlobalArray(a, n, n)
+	}
+	f := b.Function("main")
+	f.For("ii", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("jj", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("A", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("ii"), ir.V("jj")), R: ir.C(7)}, ir.C(3)))
+			k2.Store("B", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.V("ii"), ir.MulE(ir.V("jj"), ir.C(3))), R: ir.C(5)}, ir.C(2)))
+			k2.Store("C", []ir.Expr{ir.V("ii"), ir.V("jj")}, ir.SubE(&ir.Bin{Op: ir.Mod, L: ir.AddE(ir.MulE(ir.V("ii"), ir.C(2)), ir.V("jj")), R: ir.C(9)}, ir.C(4)))
+		})
+	})
+	f.Call("kernel_2mm")
+	f.Ret(ir.Ld("D", ir.CI(n-1), ir.CI(n-1)))
+
+	kf := b.Function("kernel_2mm")
+	// Nest 1: tmp := A·B (outer do-all; innermost is a scalar reduction).
+	TwommLoops.L1 = kf.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Assign("t", ir.C(0))
+			k2.For("kk", ir.C(0), ir.CI(n), func(k3 *ir.Block) {
+				k3.Assign("t", ir.AddE(ir.V("t"), ir.MulE(ir.Ld("A", ir.V("i"), ir.V("kk")), ir.Ld("B", ir.V("kk"), ir.V("j")))))
+			})
+			k2.Store("tmp", []ir.Expr{ir.V("i"), ir.V("j")}, ir.V("t"))
+		})
+	})
+	// Nest 2: D := tmp·C — row i reads only tmp row i.
+	TwommLoops.L2 = kf.For("i2", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j2", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Assign("t2", ir.C(0))
+			k2.For("k2", ir.C(0), ir.CI(n), func(k3 *ir.Block) {
+				k3.Assign("t2", ir.AddE(ir.V("t2"), ir.MulE(ir.Ld("tmp", ir.V("i2"), ir.V("k2")), ir.Ld("C", ir.V("k2"), ir.V("j2")))))
+			})
+			k2.Store("D", []ir.Expr{ir.V("i2"), ir.V("j2")}, ir.V("t2"))
+		})
+	})
+	kf.Ret(ir.C(0))
+	return b.Build()
+}
+
+func twommGo(threads int) float64 {
+	n := twommN
+	A := make([]float64, n*n)
+	B := make([]float64, n*n)
+	C := make([]float64, n*n)
+	D := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			A[i*n+j] = float64(i*j%7 - 3)
+			B[i*n+j] = float64((i+j*3)%5 - 2)
+			C[i*n+j] = float64((i*2+j)%9 - 4)
+		}
+	}
+	// Fused: compute tmp row i and immediately D row i, one do-all.
+	parallel.DoAll(n, threads, func(i int) {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			t := 0.0
+			for k := 0; k < n; k++ {
+				t += A[i*n+k] * B[k*n+j]
+			}
+			row[j] = t
+		}
+		for j := 0; j < n; j++ {
+			t := 0.0
+			for k := 0; k < n; k++ {
+				t += row[k] * C[k*n+j]
+			}
+			D[i*n+j] = t
+		}
+	})
+	return D[n*n-1]
+}
+
+func twommSchedule(cm CostModel, threads int) []sched.Node {
+	b := sched.NewBuilder()
+	per := cm.LoopPerIter(TwommLoops.L1) + cm.LoopPerIter(TwommLoops.L2)
+	ids := b.DoAll(twommN, per, threads)
+	b.Add(joinCost("2mm", threads), ids...)
+	return b.Nodes()
+}

@@ -1,0 +1,453 @@
+// Package core orchestrates the complete DiscoPoP-style analysis pipeline of
+// the paper on a mini-IR program:
+//
+//  1. a phase-1 instrumented run builds the dependence profile (package
+//     trace) and the Program Execution Tree (package pet);
+//  2. loops are classified do-all / reduction / sequential and Algorithm 3
+//     reports reduction candidates;
+//  3. hotspot loop pairs with cross-loop dependences are re-profiled in a
+//     phase-2 run, fitted with linear regression and classified as
+//     multi-loop pipelines or fusions (§III-A);
+//  4. CU graphs of the hotspot regions are built (package cu) and
+//     Algorithm 1 classifies their CUs into forks, workers and barriers
+//     with the estimated-speedup metric (§III-B);
+//  5. Algorithm 2 tests hotspot functions for geometric decomposition
+//     (§III-C);
+//  6. a headline pattern is composed for the main hotspot function, the
+//     mechanised version of how Table III labels its rows.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pardetect/internal/cu"
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+	"pardetect/internal/patterns"
+	"pardetect/internal/pet"
+	"pardetect/internal/trace"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// HotspotShare is the minimum share of executed operations for a
+	// region to count as a hotspot (default 0.02). The paper uses "a high
+	// percentage" without fixing a number; 2% keeps small Polybench
+	// kernels' paired loops in scope while filtering initialisation code.
+	HotspotShare float64
+	// RelativeHotspotShare is the minimum share of a loop within its
+	// hotspot function for secondary-pattern reporting (default 1/3),
+	// mirroring the paper's footnote that non-hotspot reduction loops are
+	// not reported in Table III.
+	RelativeHotspotShare float64
+	// MinEstSpeedup gates task-parallelism reporting (default 1.3).
+	MinEstSpeedup float64
+	// MaxSteps bounds each profiled execution (see interp.Options).
+	MaxSteps int64
+	// InferReductionOperator enables the paper's future-work extension.
+	InferReductionOperator bool
+	// ExtraInputs, when set, profiles the program under these additional
+	// builders (representative inputs) and merges the profiles, as §II
+	// prescribes. Each builder must produce a program with identical
+	// static structure (same lines and loop IDs).
+	ExtraInputs []func() *ir.Program
+}
+
+func (o *Options) fill() {
+	if o.HotspotShare == 0 {
+		o.HotspotShare = 0.02
+	}
+	if o.RelativeHotspotShare == 0 {
+		o.RelativeHotspotShare = 1.0 / 3
+	}
+	if o.MinEstSpeedup == 0 {
+		o.MinEstSpeedup = 1.3
+	}
+}
+
+// Result is the complete analysis output.
+type Result struct {
+	Program *ir.Program
+	Profile *trace.Profile
+	Tree    *pet.Tree
+	// Classes maps every loop ID to its dependence class.
+	Classes map[string]patterns.LoopClass
+	// Reductions are the Algorithm 3 candidates (all loops).
+	Reductions []patterns.ReductionCandidate
+	// Pipelines are the fitted candidate pairs, fusion-refined.
+	Pipelines []patterns.PipelineResult
+	// TaskPar maps region names (function name or loop ID) to Algorithm 1
+	// results for all hotspot regions.
+	TaskPar map[string]*patterns.TaskParallelismResult
+	// GeoDecomp maps hotspot function names to Algorithm 2 results.
+	GeoDecomp map[string]patterns.GeoDecompResult
+	// Hotspots are the PET hotspots at the configured threshold.
+	Hotspots []pet.Hotspot
+	// HotspotFunc is the dominant non-entry function (the analysis focus,
+	// corresponding to the paper's per-benchmark hotspot).
+	HotspotFunc string
+	// HotspotSharePct is HotspotFunc's share of executed operations, the
+	// "Exec Inst % in Hotspot" column of Table III.
+	HotspotSharePct float64
+	// Headline is the composed Table III pattern label.
+	Headline string
+
+	opts Options
+}
+
+// Analyze runs the full pipeline.
+func Analyze(p *ir.Program, opts Options) (*Result, error) {
+	opts.fill()
+	res := &Result{Program: p, opts: opts}
+
+	// Phase 1: dependence profile + PET.
+	col := trace.NewCollector()
+	pb := pet.NewBuilder()
+	if err := runProgram(p, interp.Tee(col, pb), opts.MaxSteps); err != nil {
+		return nil, fmt.Errorf("core: phase-1 run: %w", err)
+	}
+	res.Profile = col.Finish(p.Name)
+	res.Tree = pb.Finish()
+
+	// Merge profiles from additional representative inputs.
+	for i, build := range opts.ExtraInputs {
+		p2 := build()
+		col2 := trace.NewCollector()
+		if err := runProgram(p2, col2, opts.MaxSteps); err != nil {
+			return nil, fmt.Errorf("core: extra input %d: %w", i, err)
+		}
+		res.Profile.Merge(col2.Finish(p2.Name))
+	}
+
+	res.Classes = patterns.ClassifyLoops(p, res.Profile)
+	res.Reductions = patterns.DetectReductions(res.Profile, patterns.ReductionOptions{
+		InferOperator: opts.InferReductionOperator,
+		Program:       p,
+	})
+	res.Hotspots = res.Tree.Hotspots(opts.HotspotShare)
+
+	// Phase 2: pipeline pair profiling.
+	pairs := patterns.CandidatePairs(res.Profile, res.Tree, opts.HotspotShare)
+	if len(pairs) > 0 {
+		pp := trace.NewPairProfiler(pairs, 0)
+		if err := runProgram(p, pp, opts.MaxSteps); err != nil {
+			return nil, fmt.Errorf("core: phase-2 run: %w", err)
+		}
+		res.Pipelines = patterns.AnalyzePipelines(pp.Finish(), res.Profile, res.Classes)
+		loopLine := map[string]int{}
+		for _, l := range ir.ProgramLoops(p) {
+			loopLine[l.ID] = l.Line
+		}
+		patterns.RefineFusion(res.Pipelines, loopLine)
+	}
+
+	// Task parallelism on hotspot regions: functions and loop bodies.
+	res.TaskPar = map[string]*patterns.TaskParallelismResult{}
+	res.GeoDecomp = map[string]patterns.GeoDecompResult{}
+	for _, h := range res.Hotspots {
+		switch h.Node.Kind {
+		case pet.Func:
+			region, err := cu.FuncRegion(p, h.Node.Name)
+			if err != nil {
+				continue
+			}
+			g := cu.Build(p, region, res.Profile)
+			divisor := int64(1)
+			if h.Node.Recursive {
+				divisor = h.Node.Activations
+			}
+			res.TaskPar[region.Name()] = patterns.DetectTaskParallelism(g, g.Weights(res.Profile, divisor))
+
+			gd, err := patterns.DetectGeometricDecomposition(p, h.Node.Name, res.Classes)
+			if err == nil {
+				res.GeoDecomp[h.Node.Name] = gd
+			}
+		case pet.Loop:
+			region, err := cu.LoopRegion(p, h.Node.Name)
+			if err != nil {
+				continue
+			}
+			g := cu.Build(p, region, res.Profile)
+			res.TaskPar[region.Name()] = patterns.DetectTaskParallelism(g, g.Weights(res.Profile, 1))
+		}
+	}
+
+	res.HotspotFunc, res.HotspotSharePct = dominantFunc(res.Tree, p)
+	res.Headline = res.composeHeadline()
+	return res, nil
+}
+
+func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64) error {
+	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: maxSteps})
+	if err != nil {
+		return err
+	}
+	_, err = m.Run()
+	return err
+}
+
+// dominantFunc picks the highest-share function other than the entry point
+// (the entry function's inclusive share is always ≈100%); it falls back to
+// the entry function for programs whose work lives directly in main.
+func dominantFunc(t *pet.Tree, p *ir.Program) (string, float64) {
+	best := ""
+	var bestShare float64
+	t.Walk(func(n *pet.Node) {
+		if n.Kind != pet.Func || n.Name == p.Entry {
+			return
+		}
+		if s := n.Share(t.Total); s > bestShare {
+			best, bestShare = n.Name, s
+		}
+	})
+	if best == "" {
+		best, bestShare = p.Entry, 1.0
+	}
+	return best, 100 * bestShare
+}
+
+// loopsOf returns the loop IDs lexically inside fn (including nested).
+func loopsOf(p *ir.Program, fn string) map[string]bool {
+	out := map[string]bool{}
+	f := p.Func(fn)
+	if f == nil {
+		return out
+	}
+	for _, l := range ir.FuncLoops(f) {
+		out[l.ID] = true
+	}
+	return out
+}
+
+// composeHeadline mechanises the paper's Table III labelling for the
+// dominant hotspot function F, in priority order:
+//
+//  1. Fusion — a (refined) fusion pair among F's loops.
+//  2. Multi-loop pipeline — a pair among F's loops whose reader loop is
+//     sequential (the pipeline enables parallelism nothing else can).
+//  3. Task parallelism — Algorithm 1 found forks/workers with estimated
+//     speedup above the threshold in F or one of F's loop bodies; when the
+//     parallel tasks of the function region are themselves do-all loops,
+//     the label is "Task parallelism + Do-all" (3mm, mvt).
+//  4. Geometric decomposition — Algorithm 2 accepted F; a hotspot-relative
+//     reduction loop inside appends " + Reduction" (kmeans).
+//  5. Reduction — a reduction candidate in a significant loop of F.
+//  6. Do-all — some significant loop of F is do-all.
+func (r *Result) composeHeadline() string {
+	fnLoops := loopsOf(r.Program, r.HotspotFunc)
+
+	// 1 & 2: pipelines whose two loops are F's.
+	bestPipe := -1
+	for i, pr := range r.Pipelines {
+		if !fnLoops[pr.Pair.Writer] || !fnLoops[pr.Pair.Reader] {
+			continue
+		}
+		if pr.Pattern == patterns.Fusion {
+			return patterns.Fusion.String()
+		}
+		if pr.ReaderClass == patterns.LoopSequential && pr.E >= 0.5 {
+			if bestPipe < 0 || pr.E > r.Pipelines[bestPipe].E {
+				bestPipe = i
+			}
+		}
+	}
+	if bestPipe >= 0 {
+		return patterns.MultiLoopPipeline.String()
+	}
+
+	// 3: task parallelism in F or F's loop bodies, gated on independent
+	// substantial tasks (calls or whole loops).
+	if tp, ok := r.TaskPar[r.HotspotFunc+"()"]; ok && tp.IndependentWork() && tp.EstimatedSpeedup >= r.opts.MinEstSpeedup {
+		if r.tasksAreDoAllLoops(tp) {
+			return patterns.TaskParallelism.String() + " + Do-all"
+		}
+		return patterns.TaskParallelism.String()
+	}
+	for _, name := range sortedKeys(r.TaskPar) {
+		tp := r.TaskPar[name]
+		if !fnLoops[tp.Graph.Region.LoopID] {
+			continue
+		}
+		if tp.IndependentWork() && tp.EstimatedSpeedup >= r.opts.MinEstSpeedup {
+			return patterns.TaskParallelism.String()
+		}
+	}
+
+	// 4: geometric decomposition. Algorithm 2 accepts any function whose
+	// loops are all do-all/reduction, but the label only applies to a
+	// function invoked repeatedly over separable data (kmeans's cluster(),
+	// streamcluster's localSearch()): a single-shot kernel is already
+	// covered by its loop-level patterns, and a recursive solver
+	// decomposes by recursion, not by data chunking.
+	if gd, ok := r.GeoDecomp[r.HotspotFunc]; ok && gd.Candidate && r.calledRepeatedlyNonRecursive() {
+		label := patterns.GeometricDecomposition.String()
+		if r.hasSignificantReduction(fnLoops) {
+			label += " + Reduction"
+		}
+		return label
+	}
+
+	// 5: reduction.
+	if r.hasSignificantReduction(fnLoops) {
+		return patterns.Reduction.String()
+	}
+
+	// 6: do-all.
+	for id := range fnLoops {
+		if r.Classes[id] == patterns.LoopDoAll && r.loopRelativeShare(id) >= r.opts.RelativeHotspotShare {
+			return patterns.DoAll.String()
+		}
+	}
+	return "None"
+}
+
+// calledRepeatedlyNonRecursive reports whether the hotspot function was
+// activated more than once without being recursive.
+func (r *Result) calledRepeatedlyNonRecursive() bool {
+	for _, n := range r.Tree.FindFunc(r.HotspotFunc) {
+		if n.Recursive {
+			return false
+		}
+		if n.Activations > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// tasksAreDoAllLoops reports whether the parallel tasks of a function-region
+// classification are loop CUs that are themselves do-all (the combined
+// "Task parallelism + Do-all" label of Table III).
+func (r *Result) tasksAreDoAllLoops(tp *patterns.TaskParallelismResult) bool {
+	found := false
+	for i, c := range tp.Graph.CUs {
+		if tp.Class[i] != patterns.TaskWorker && tp.Class[i] != patterns.TaskFork {
+			continue
+		}
+		if c.HasCall {
+			return false // tasks that call functions are plain task parallelism
+		}
+		if !c.IsLoop {
+			continue
+		}
+		// The CU is an entire nested loop: find its class via its anchor.
+		for _, l := range ir.ProgramLoops(r.Program) {
+			if l.Line == c.Anchor {
+				if r.Classes[l.ID] == patterns.LoopDoAll {
+					found = true
+				} else {
+					return false
+				}
+			}
+		}
+	}
+	return found
+}
+
+func (r *Result) hasSignificantReduction(fnLoops map[string]bool) bool {
+	for _, red := range r.Reductions {
+		if !fnLoops[red.LoopID] {
+			continue
+		}
+		if r.loopRelativeShare(red.LoopID) >= r.opts.RelativeHotspotShare {
+			return true
+		}
+	}
+	return false
+}
+
+// loopRelativeShare is the loop's cost relative to the hotspot function.
+func (r *Result) loopRelativeShare(loopID string) float64 {
+	n := r.Tree.FindLoop(loopID)
+	if n == nil {
+		return 0
+	}
+	var fnTotal int64
+	for _, f := range r.Tree.FindFunc(r.HotspotFunc) {
+		fnTotal += f.Total
+	}
+	if fnTotal == 0 {
+		return 0
+	}
+	return float64(n.Total) / float64(fnTotal)
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic iteration.
+func sortedKeys(m map[string]*patterns.TaskParallelismResult) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Summary renders a human-readable report of the analysis (the cmd/pardetect
+// output format).
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", r.Program.Name)
+	fmt.Fprintf(&sb, "hotspot function: %s (%.2f%% of executed operations)\n", r.HotspotFunc, r.HotspotSharePct)
+	fmt.Fprintf(&sb, "detected pattern: %s\n", r.Headline)
+
+	fmt.Fprintf(&sb, "\nloop classes:\n")
+	ids := make([]string, 0, len(r.Classes))
+	for id := range r.Classes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "  %-28s %s\n", id, r.Classes[id])
+	}
+
+	if len(r.Reductions) > 0 {
+		fmt.Fprintf(&sb, "\nreduction candidates (Algorithm 3):\n")
+		for _, c := range r.Reductions {
+			op := c.Operator
+			if op == "" {
+				op = "?"
+			}
+			kind := "scalar"
+			if c.Array {
+				kind = "array"
+			}
+			fmt.Fprintf(&sb, "  loop %-24s %s %s at line %d (op %s)\n", c.LoopID, kind, c.Name, c.Line, op)
+		}
+	}
+
+	if len(r.Pipelines) > 0 {
+		fmt.Fprintf(&sb, "\nmulti-loop pipeline analysis (§III-A):\n")
+		for _, pr := range r.Pipelines {
+			fmt.Fprintf(&sb, "  %s -> %s: a=%.3f b=%.3f e=%.3f (%d points, %s)\n",
+				pr.Pair.Writer, pr.Pair.Reader, pr.A, pr.B, pr.E, pr.Points, pr.Pattern)
+		}
+	}
+
+	names := make([]string, 0, len(r.TaskPar))
+	for n := range r.TaskPar {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tp := r.TaskPar[n]
+		if tp.HasParallelism() {
+			fmt.Fprintf(&sb, "\n%s", tp)
+		}
+	}
+
+	gds := make([]string, 0, len(r.GeoDecomp))
+	for n := range r.GeoDecomp {
+		gds = append(gds, n)
+	}
+	sort.Strings(gds)
+	for _, n := range gds {
+		gd := r.GeoDecomp[n]
+		if gd.Candidate {
+			fmt.Fprintf(&sb, "\ngeometric decomposition candidate: %s (loops: %s)\n",
+				n, strings.Join(gd.Loops, ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Program with automatically assigned, program-unique
+// source line numbers and loop IDs. It is the only intended way to create
+// programs; the benchmark translations in package apps are written against it.
+//
+// Line numbers increase in lexical order, mimicking a real source file, so
+// the detectors' line-based reasoning (e.g. Algorithm 3's "written only on a
+// single source line") behaves exactly as it would on compiler debug info.
+type Builder struct {
+	prog *Program
+	line int
+	loop int
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}, line: 0}
+}
+
+// GlobalArray declares a global array with the given dimensions.
+func (b *Builder) GlobalArray(name string, dims ...int) *Builder {
+	b.prog.Arrays = append(b.prog.Arrays, &ArrayDecl{Name: name, Dims: dims})
+	return b
+}
+
+// Function starts a new function and returns a Block for its body. The first
+// function defined becomes the entry point unless SetEntry overrides it.
+func (b *Builder) Function(name string, params ...string) *Block {
+	b.line++
+	f := &Function{Name: name, Params: params, Line: b.line}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	if b.prog.Entry == "" {
+		b.prog.Entry = name
+	}
+	return &Block{b: b, fn: f, stmts: &f.Body}
+}
+
+// SetEntry overrides the program entry point.
+func (b *Builder) SetEntry(name string) *Builder {
+	b.prog.Entry = name
+	return b
+}
+
+// Build finalises and returns the program. It panics if the program fails
+// validation: builder misuse is a programming error in this repository, not
+// an input error.
+func (b *Builder) Build() *Program {
+	b.prog.index()
+	if err := b.prog.Validate(); err != nil {
+		panic(fmt.Sprintf("ir.Builder.Build %s: %v", b.prog.Name, err))
+	}
+	return b.prog
+}
+
+// Block appends statements to one statement list (a function body, loop body
+// or branch of an If).
+type Block struct {
+	b     *Builder
+	fn    *Function
+	stmts *[]Stmt
+}
+
+func (k *Block) add(s Stmt) { *k.stmts = append(*k.stmts, s) }
+
+func (k *Block) nextLine() int {
+	k.b.line++
+	return k.b.line
+}
+
+// Assign appends `name = src`.
+func (k *Block) Assign(name string, src Expr) *Block {
+	k.add(&Assign{Line: k.nextLine(), Dst: Var{Name: name}, Src: src})
+	return k
+}
+
+// Store appends `arr[idx...] = src`.
+func (k *Block) Store(arr string, idx []Expr, src Expr) *Block {
+	k.add(&Assign{Line: k.nextLine(), Dst: &Elem{Arr: arr, Idx: idx}, Src: src})
+	return k
+}
+
+// For appends a counted loop `for v = start; v < end; v++` and populates its
+// body via the callback. It returns the loop's ID.
+func (k *Block) For(v string, start, end Expr, body func(*Block)) string {
+	return k.ForStep(v, start, end, C(1), body)
+}
+
+// ForStep is For with an explicit positive step.
+func (k *Block) ForStep(v string, start, end, step Expr, body func(*Block)) string {
+	k.b.loop++
+	loop := &For{
+		Line:   k.nextLine(),
+		LoopID: fmt.Sprintf("%s.L%d", k.fn.Name, k.b.loop),
+		Var:    v,
+		Start:  start,
+		End:    end,
+		Step:   step,
+	}
+	body(&Block{b: k.b, fn: k.fn, stmts: &loop.Body})
+	k.add(loop)
+	return loop.LoopID
+}
+
+// While appends a conditional loop and populates its body via the callback.
+// It returns the loop's ID.
+func (k *Block) While(cond Expr, body func(*Block)) string {
+	k.b.loop++
+	loop := &While{
+		Line:   k.nextLine(),
+		LoopID: fmt.Sprintf("%s.L%d", k.fn.Name, k.b.loop),
+		Cond:   cond,
+	}
+	body(&Block{b: k.b, fn: k.fn, stmts: &loop.Body})
+	k.add(loop)
+	return loop.LoopID
+}
+
+// If appends a one-armed conditional.
+func (k *Block) If(cond Expr, then func(*Block)) *Block {
+	return k.IfElse(cond, then, nil)
+}
+
+// IfElse appends a two-armed conditional; elseFn may be nil.
+func (k *Block) IfElse(cond Expr, then, elseFn func(*Block)) *Block {
+	s := &If{Line: k.nextLine(), Cond: cond}
+	then(&Block{b: k.b, fn: k.fn, stmts: &s.Then})
+	if elseFn != nil {
+		elseFn(&Block{b: k.b, fn: k.fn, stmts: &s.Else})
+	}
+	k.add(s)
+	return k
+}
+
+// Ret appends `return val`; val may be nil.
+func (k *Block) Ret(val Expr) *Block {
+	k.add(&Return{Line: k.nextLine(), Val: val})
+	return k
+}
+
+// Break appends a break out of the innermost loop.
+func (k *Block) Break() *Block {
+	k.add(&Break{Line: k.nextLine()})
+	return k
+}
+
+// Call appends a call evaluated for its side effects.
+func (k *Block) Call(fn string, args ...Expr) *Block {
+	k.add(&ExprStmt{Line: k.nextLine(), X: &Call{Fn: fn, Args: args}})
+	return k
+}
+
+// Expr appends an arbitrary expression statement.
+func (k *Block) Expr(x Expr) *Block {
+	k.add(&ExprStmt{Line: k.nextLine(), X: x})
+	return k
+}

@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetEntryOverride(t *testing.T) {
+	b := NewBuilder("entry")
+	b.Function("helper").Ret(C(0))
+	b.Function("start").Ret(C(1))
+	b.SetEntry("start")
+	p := b.Build()
+	if p.Entry != "start" {
+		t.Fatalf("entry = %q", p.Entry)
+	}
+}
+
+func TestBuilderConditionalsAndExprStmt(t *testing.T) {
+	b := NewBuilder("cond")
+	f := b.Function("main")
+	f.Assign("x", C(3))
+	f.If(LtE(V("x"), C(5)), func(k *Block) { k.Assign("x", C(1)) })
+	f.IfElse(GeE(V("x"), C(5)),
+		func(k *Block) { k.Assign("x", C(2)) },
+		func(k *Block) { k.Assign("x", SubE(V("x"), C(1))) })
+	f.Expr(EqE(V("x"), C(0)))
+	f.Ret(MulE(DivE(V("x"), C(1)), C(1)))
+	p := b.Build()
+	// Render the whole program: exercises every print branch used here.
+	out := p.String()
+	for _, want := range []string{"if ((x < 5))", "} else {", "(x == 0);", "return ((x / 1) * 1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintCoversAllStatementForms(t *testing.T) {
+	b := NewBuilder("forms")
+	b.GlobalArray("a", 4)
+	f := b.Function("main")
+	f.While(C(0), func(k *Block) {
+		k.Break()
+	})
+	f.Call("noop")
+	f.Ret(nil)
+	n := b.Function("noop")
+	n.Ret(nil)
+	out := b.Build().String()
+	for _, want := range []string{"while (0)", "break;", "noop();", "return;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryForms(t *testing.T) {
+	b := NewBuilder("sum")
+	b.GlobalArray("a", 4)
+	f := b.Function("main")
+	f.Store("a", []Expr{C(0)}, C(1))
+	f.For("i", C(0), C(2), func(k *Block) { k.Break() })
+	f.While(C(0), func(k *Block) { k.Assign("x", C(0)) })
+	f.If(C(1), func(k *Block) { k.Assign("x", C(0)) })
+	f.Call("main2")
+	f.Ret(nil)
+	b.Function("main2").Ret(C(0))
+	p := b.Build()
+	var got []string
+	for _, s := range p.Func("main").Body {
+		got = append(got, Summary(s))
+	}
+	wants := []string{"a[0] = 1", "for i in [0, 2)", "while (0)", "if (1)", "main2()", "return"}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("Summary[%d] = %q, want containing %q", i, got[i], w)
+		}
+	}
+	if s := Summary(&Return{Val: V("x")}); s != "return x" {
+		t.Errorf("Summary(return x) = %q", s)
+	}
+	if s := Summary(&Break{}); s != "break" {
+		t.Errorf("Summary(break) = %q", s)
+	}
+}
+
+func TestConstructorHelpers(t *testing.T) {
+	cases := []struct {
+		x    Expr
+		want string
+	}{
+		{SubE(C(3), C(1)), "(3 - 1)"},
+		{MulE(C(3), C(2)), "(3 * 2)"},
+		{DivE(C(4), C(2)), "(4 / 2)"},
+		{LtE(C(1), C(2)), "(1 < 2)"},
+		{GeE(C(1), C(2)), "(1 >= 2)"},
+		{EqE(C(1), C(2)), "(1 == 2)"},
+		{CI(7), "7"},
+	}
+	for _, c := range cases {
+		if got := FormatExpr(c.x); got != c.want {
+			t.Errorf("FormatExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKindStringsOutOfRange(t *testing.T) {
+	if s := BinOp(99).String(); !strings.Contains(s, "BinOp(99)") {
+		t.Errorf("BinOp out of range: %q", s)
+	}
+	if s := UnOp(99).String(); !strings.Contains(s, "UnOp(99)") {
+		t.Errorf("UnOp out of range: %q", s)
+	}
+}
+
+func TestValidateDuplicateParamsAndLoops(t *testing.T) {
+	p := &Program{
+		Name:  "dup",
+		Entry: "main",
+		Funcs: []*Function{{Name: "main"}, {Name: "f", Params: []string{"a", "a"}}},
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate parameter") {
+		t.Fatalf("want duplicate parameter error, got %v", err)
+	}
+	p2 := &Program{
+		Name:  "dupl",
+		Entry: "main",
+		Funcs: []*Function{{Name: "main", Body: []Stmt{
+			&For{Line: 1, LoopID: "L", Var: "i", Start: C(0), End: C(1), Step: C(1)},
+			&For{Line: 2, LoopID: "L", Var: "j", Start: C(0), End: C(1), Step: C(1)},
+		}}},
+	}
+	if err := p2.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate loop ID") {
+		t.Fatalf("want duplicate loop error, got %v", err)
+	}
+	p3 := &Program{
+		Name:  "dupline",
+		Entry: "main",
+		Funcs: []*Function{{Name: "main", Body: []Stmt{
+			&Assign{Line: 5, Dst: Var{Name: "x"}, Src: C(1)},
+			&Assign{Line: 5, Dst: Var{Name: "y"}, Src: C(2)},
+		}}},
+	}
+	if err := p3.Validate(); err == nil || !strings.Contains(err.Error(), "reused") {
+		t.Fatalf("want line reuse error, got %v", err)
+	}
+	p4 := &Program{Name: "noentry", Funcs: []*Function{{Name: "main"}}}
+	if err := p4.Validate(); err == nil || !strings.Contains(err.Error(), "no entry") {
+		t.Fatalf("want no-entry error, got %v", err)
+	}
+	p5 := &Program{Name: "badentry", Entry: "ghost", Funcs: []*Function{{Name: "main"}}}
+	if err := p5.Validate(); err == nil || !strings.Contains(err.Error(), "not defined") {
+		t.Fatalf("want unknown-entry error, got %v", err)
+	}
+	p6 := &Program{
+		Name:   "baddim",
+		Entry:  "main",
+		Arrays: []*ArrayDecl{{Name: "a", Dims: []int{0}}},
+		Funcs:  []*Function{{Name: "main"}},
+	}
+	if err := p6.Validate(); err == nil || !strings.Contains(err.Error(), "non-positive dimension") {
+		t.Fatalf("want dimension error, got %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the program as pseudo-C with line numbers, the same surface
+// form the paper's listings use. The output is deterministic and used in
+// golden tests and the petview tool.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = strconv.Itoa(d)
+		}
+		fmt.Fprintf(&sb, "double %s[%s];\n", a.Name, strings.Join(dims, "]["))
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "%4d  func %s(%s) {\n", f.Line, f.Name, strings.Join(f.Params, ", "))
+		printStmts(&sb, f.Body, 1)
+		sb.WriteString("      }\n")
+	}
+	return sb.String()
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Assign:
+			fmt.Fprintf(sb, "%4d  %s%s = %s;\n", s.Line, ind, FormatLValue(s.Dst), FormatExpr(s.Src))
+		case *For:
+			fmt.Fprintf(sb, "%4d  %sfor (%s = %s; %s < %s; %s += %s) {  // %s\n",
+				s.Line, ind, s.Var, FormatExpr(s.Start), s.Var, FormatExpr(s.End), s.Var, FormatExpr(s.Step), s.LoopID)
+			printStmts(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "      %s}\n", ind)
+		case *While:
+			fmt.Fprintf(sb, "%4d  %swhile (%s) {  // %s\n", s.Line, ind, FormatExpr(s.Cond), s.LoopID)
+			printStmts(sb, s.Body, depth+1)
+			fmt.Fprintf(sb, "      %s}\n", ind)
+		case *If:
+			fmt.Fprintf(sb, "%4d  %sif (%s) {\n", s.Line, ind, FormatExpr(s.Cond))
+			printStmts(sb, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(sb, "      %s} else {\n", ind)
+				printStmts(sb, s.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "      %s}\n", ind)
+		case *Return:
+			if s.Val == nil {
+				fmt.Fprintf(sb, "%4d  %sreturn;\n", s.Line, ind)
+			} else {
+				fmt.Fprintf(sb, "%4d  %sreturn %s;\n", s.Line, ind, FormatExpr(s.Val))
+			}
+		case *Break:
+			fmt.Fprintf(sb, "%4d  %sbreak;\n", s.Line, ind)
+		case *ExprStmt:
+			fmt.Fprintf(sb, "%4d  %s%s;\n", s.Line, ind, FormatExpr(s.X))
+		}
+	}
+}
+
+// FormatLValue renders an LValue in pseudo-C.
+func FormatLValue(lv LValue) string {
+	switch lv := lv.(type) {
+	case Var:
+		return lv.Name
+	case *Elem:
+		return formatElem(lv)
+	default:
+		return fmt.Sprintf("%v", lv)
+	}
+}
+
+func formatElem(e *Elem) string {
+	var sb strings.Builder
+	sb.WriteString(e.Arr)
+	for _, i := range e.Idx {
+		sb.WriteByte('[')
+		sb.WriteString(FormatExpr(i))
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// FormatExpr renders an expression in pseudo-C.
+func FormatExpr(x Expr) string {
+	switch x := x.(type) {
+	case Const:
+		return strconv.FormatFloat(x.V, 'g', -1, 64)
+	case Var:
+		return x.Name
+	case *Elem:
+		return formatElem(x)
+	case *Bin:
+		switch x.Op {
+		case Min, Max:
+			return fmt.Sprintf("%s(%s, %s)", x.Op, FormatExpr(x.L), FormatExpr(x.R))
+		default:
+			return fmt.Sprintf("(%s %s %s)", FormatExpr(x.L), x.Op, FormatExpr(x.R))
+		}
+	case *Un:
+		switch x.Op {
+		case Neg, Not:
+			return fmt.Sprintf("%s%s", x.Op, FormatExpr(x.X))
+		default:
+			return fmt.Sprintf("%s(%s)", x.Op, FormatExpr(x.X))
+		}
+	case *Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Fn, strings.Join(args, ", "))
+	case nil:
+		return "<nil>"
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}

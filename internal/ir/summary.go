@@ -1,0 +1,29 @@
+package ir
+
+import "fmt"
+
+// Summary renders a statement as a single-line label (nested bodies elided),
+// used for CU labels and report output.
+func Summary(s Stmt) string {
+	switch s := s.(type) {
+	case *Assign:
+		return fmt.Sprintf("%s = %s", FormatLValue(s.Dst), FormatExpr(s.Src))
+	case *For:
+		return fmt.Sprintf("for %s in [%s, %s) { … }", s.Var, FormatExpr(s.Start), FormatExpr(s.End))
+	case *While:
+		return fmt.Sprintf("while (%s) { … }", FormatExpr(s.Cond))
+	case *If:
+		return fmt.Sprintf("if (%s) { … }", FormatExpr(s.Cond))
+	case *Return:
+		if s.Val == nil {
+			return "return"
+		}
+		return fmt.Sprintf("return %s", FormatExpr(s.Val))
+	case *Break:
+		return "break"
+	case *ExprStmt:
+		return FormatExpr(s.X)
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

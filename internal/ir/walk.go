@@ -1,0 +1,204 @@
+package ir
+
+// WalkStmts calls fn for every statement in stmts and, recursively, in all
+// nested bodies, in lexical (pre-order) order.
+func WalkStmts(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch s := s.(type) {
+		case *For:
+			WalkStmts(s.Body, fn)
+		case *While:
+			WalkStmts(s.Body, fn)
+		case *If:
+			WalkStmts(s.Then, fn)
+			WalkStmts(s.Else, fn)
+		}
+	}
+}
+
+// WalkProgram calls fn for every statement of every function of p, in
+// declaration order.
+func WalkProgram(p *Program, fn func(*Function, Stmt)) {
+	for _, f := range p.Funcs {
+		WalkStmts(f.Body, func(s Stmt) { fn(f, s) })
+	}
+}
+
+// WalkExpr calls fn for x and every sub-expression of x, pre-order.
+func WalkExpr(x Expr, fn func(Expr)) {
+	if x == nil {
+		return
+	}
+	fn(x)
+	switch x := x.(type) {
+	case *Elem:
+		for _, i := range x.Idx {
+			WalkExpr(i, fn)
+		}
+	case *Bin:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Un:
+		WalkExpr(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// StmtExprs returns the top-level expressions of s (not recursing into nested
+// statement bodies): the assigned source, index expressions of a stored
+// element, loop bounds, conditions, return values and call statements.
+func StmtExprs(s Stmt) []Expr {
+	switch s := s.(type) {
+	case *Assign:
+		out := []Expr{s.Src}
+		if e, ok := s.Dst.(*Elem); ok {
+			out = append(out, e.Idx...)
+		}
+		return out
+	case *For:
+		return []Expr{s.Start, s.End, s.Step}
+	case *While:
+		return []Expr{s.Cond}
+	case *If:
+		return []Expr{s.Cond}
+	case *Return:
+		if s.Val != nil {
+			return []Expr{s.Val}
+		}
+		return nil
+	case *ExprStmt:
+		return []Expr{s.X}
+	default:
+		return nil
+	}
+}
+
+// Access describes one static variable or array access site.
+type Access struct {
+	// Var is the scalar variable name, or "" for array accesses.
+	Var string
+	// Arr is the array name, or "" for scalar accesses.
+	Arr string
+}
+
+// StmtReads returns the scalar variables and arrays statically read by s
+// itself (excluding nested statement bodies).
+func StmtReads(s Stmt) []Access {
+	var out []Access
+	for _, x := range StmtExprs(s) {
+		WalkExpr(x, func(e Expr) {
+			switch e := e.(type) {
+			case Var:
+				out = append(out, Access{Var: e.Name})
+			case *Elem:
+				out = append(out, Access{Arr: e.Arr})
+			}
+		})
+	}
+	return out
+}
+
+// StmtWrites returns the location written by s, if s is an assignment; the
+// second result reports whether s writes at all. For loops, the loop
+// variable is reported as written.
+func StmtWrites(s Stmt) (Access, bool) {
+	switch s := s.(type) {
+	case *Assign:
+		switch d := s.Dst.(type) {
+		case Var:
+			return Access{Var: d.Name}, true
+		case *Elem:
+			return Access{Arr: d.Arr}, true
+		}
+	case *For:
+		return Access{Var: s.Var}, true
+	}
+	return Access{}, false
+}
+
+// LoopInfo describes one static loop of a function.
+type LoopInfo struct {
+	ID    string
+	Line  int
+	Fn    string
+	Depth int // nesting depth within the function, 0 for top level
+	Body  []Stmt
+	// Counted is true for For loops, false for While loops.
+	Counted bool
+}
+
+// FuncLoops returns all loops declared in f, in lexical order.
+func FuncLoops(f *Function) []LoopInfo {
+	var out []LoopInfo
+	var walk func(stmts []Stmt, depth int)
+	walk = func(stmts []Stmt, depth int) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *For:
+				out = append(out, LoopInfo{ID: s.LoopID, Line: s.Line, Fn: f.Name, Depth: depth, Body: s.Body, Counted: true})
+				walk(s.Body, depth+1)
+			case *While:
+				out = append(out, LoopInfo{ID: s.LoopID, Line: s.Line, Fn: f.Name, Depth: depth, Body: s.Body})
+				walk(s.Body, depth+1)
+			case *If:
+				walk(s.Then, depth)
+				walk(s.Else, depth)
+			}
+		}
+	}
+	walk(f.Body, 0)
+	return out
+}
+
+// ProgramLoops returns all loops of all functions of p.
+func ProgramLoops(p *Program) []LoopInfo {
+	var out []LoopInfo
+	for _, f := range p.Funcs {
+		out = append(out, FuncLoops(f)...)
+	}
+	return out
+}
+
+// CalledFuncs returns the names of functions called (statically) anywhere in
+// the statement list, without de-duplication, in lexical order.
+func CalledFuncs(stmts []Stmt) []string {
+	var out []string
+	WalkStmts(stmts, func(s Stmt) {
+		for _, x := range StmtExprs(s) {
+			WalkExpr(x, func(e Expr) {
+				if c, ok := e.(*Call); ok {
+					out = append(out, c.Fn)
+				}
+			})
+		}
+	})
+	return out
+}
+
+// LOC returns the number of fabricated source lines of the program (the
+// highest line number issued by the builder).
+func LOC(p *Program) int {
+	max := 0
+	for _, f := range p.Funcs {
+		if f.Line > max {
+			max = f.Line
+		}
+		WalkStmts(f.Body, func(s Stmt) {
+			if s.Pos() > max {
+				max = s.Pos()
+			}
+		})
+	}
+	return max
+}
+
+// LineIndex maps every statement line of p to its statement.
+func LineIndex(p *Program) map[int]Stmt {
+	idx := make(map[int]Stmt)
+	WalkProgram(p, func(_ *Function, s Stmt) { idx[s.Pos()] = s })
+	return idx
+}

@@ -1,0 +1,294 @@
+// Package parallel provides the supporting structures of Table I as
+// goroutine-based executors: SPMD do-all / reduction / geometric
+// decomposition, a master/worker task pool with fork/join and barriers, and
+// a multi-loop pipeline executor with iteration-watermark synchronisation.
+//
+// The paper implements each detected pattern by hand with the pattern's
+// supporting structure (§IV); this package is the reusable form of those
+// hand implementations. The executors are validated for correctness against
+// sequential runs; speedup *curves* for the evaluation tables come from
+// package sched, because this build machine has a single core.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DoAll runs fn(i) for i in [0, n) on the given number of goroutines using
+// contiguous chunks (the SPMD structure for a do-all loop). threads < 1 is
+// treated as 1. It blocks until all iterations complete.
+func DoAll(n, threads int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Reduce computes identity ⊕ fn(0) ⊕ … ⊕ fn(n-1) with per-thread partial
+// accumulators combined at the end — the SPMD reduction structure. combine
+// must be associative; identity must be its neutral element.
+func Reduce(n, threads int, identity float64, fn func(i int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = combine(acc, fn(i))
+		}
+		return acc
+	}
+	parts := make([]float64, threads)
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			parts[t] = identity
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, fn(i))
+			}
+			parts[t] = acc
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range parts {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// GeoDecomp applies the geometric-decomposition structure: the data index
+// space [0, n) is split into chunks and fn is invoked once per chunk, in
+// parallel, with the chunk bounds — mirroring the parallel streamcluster of
+// Listing 7, where localSearch(points[i*chunk], chunk) runs per thread.
+func GeoDecomp(n, chunks, threads int, fn func(lo, hi int)) {
+	if n <= 0 || chunks < 1 {
+		return
+	}
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	DoAll(chunks, threads, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
+
+// Task is one unit of work for the master/worker pool, optionally gated on
+// other tasks (fork/join with barriers).
+type Task struct {
+	// Run executes the task's work.
+	Run func()
+	// Deps lists indices of tasks that must complete first. A task whose
+	// Deps are the workers it joins is exactly a "barrier CU" of §III-B.
+	Deps []int
+}
+
+// RunTasks executes a task DAG on a master/worker pool with the given number
+// of worker goroutines. Tasks become ready when all their dependences have
+// completed; ready tasks are handed to idle workers. The task indices map
+// one-to-one onto CU IDs when executing a detected task-parallelism pattern.
+func RunTasks(threads int, tasks []Task) {
+	n := len(tasks)
+	if n == 0 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// Build dependents and in-degree counts.
+	indeg := make([]int32, n)
+	dependents := make([][]int, n)
+	for i, t := range tasks {
+		indeg[i] = int32(len(t.Deps))
+		for _, d := range t.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	ready := make(chan int, n)
+	for i := range tasks {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+	var done sync.WaitGroup
+	done.Add(n)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				if tasks[i].Run != nil {
+					tasks[i].Run()
+				}
+				for _, d := range dependents[i] {
+					if atomic.AddInt32(&indeg[d], -1) == 0 {
+						ready <- d
+					}
+				}
+				done.Done()
+				if remaining.Add(-1) == 0 {
+					close(ready)
+				}
+			}
+		}()
+	}
+	done.Wait()
+	wg.Wait()
+}
+
+// Pipeline runs a two-stage multi-loop pipeline: stage X has nx iterations,
+// stage Y has ny iterations, and iteration j of Y may start once X has
+// completed iteration need(j) (derived from the fitted coefficients:
+// x = (y - b) / a). Stage X iterations run in order on one goroutine (or in
+// parallel with xThreads when the writer loop is do-all); Y iterations run
+// on yThreads goroutines, each blocking on the X watermark.
+func Pipeline(nx, ny int, need func(j int) int, xThreads, yThreads int, stageX func(i int), stageY func(j int)) {
+	if nx <= 0 {
+		DoAll(ny, yThreads, stageY)
+		return
+	}
+	w := newWatermark()
+	go func() {
+		if xThreads > 1 {
+			// Do-all writer: process in chunks, advancing the watermark
+			// in order after each chunk completes.
+			const chunk = 64
+			for lo := 0; lo < nx; lo += chunk {
+				hi := lo + chunk
+				if hi > nx {
+					hi = nx
+				}
+				DoAll(hi-lo, xThreads, func(k int) { stageX(lo + k) })
+				w.advance(int64(hi - 1))
+			}
+		} else {
+			for i := 0; i < nx; i++ {
+				stageX(i)
+				w.advance(int64(i))
+			}
+		}
+	}()
+	DoAll(ny, yThreads, func(j int) {
+		n := need(j)
+		if n >= nx {
+			n = nx - 1
+		}
+		if n >= 0 {
+			w.wait(int64(n))
+		}
+		stageY(j)
+	})
+}
+
+// NeedFromCoefficients converts the fitted regression coefficients of
+// Equation 1 into the watermark function used by Pipeline: reader iteration
+// j requires writer progress x = ceil((j - b) / a).
+func NeedFromCoefficients(a, b float64) func(j int) int {
+	return func(j int) int {
+		if a <= 0 {
+			return int(^uint(0) >> 1) // no positive relation: wait for all
+		}
+		x := (float64(j) - b) / a
+		if x < 0 {
+			return -1
+		}
+		// ceil with a small epsilon so exact integer boundaries do not
+		// round up spuriously.
+		n := int(x)
+		if float64(n) < x-1e-9 {
+			n++
+		}
+		return n
+	}
+}
+
+// watermark is a monotonically increasing iteration counter with waiters.
+type watermark struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	val  int64
+}
+
+func newWatermark() *watermark {
+	w := &watermark{val: -1}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *watermark) advance(v int64) {
+	w.mu.Lock()
+	if v > w.val {
+		w.val = v
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+func (w *watermark) wait(v int64) {
+	w.mu.Lock()
+	for w.val < v {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}

@@ -1,0 +1,264 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDoAllCoversAllIterations(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7, 100} {
+		const n = 100
+		var hits [n]int32
+		DoAll(n, threads, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: iteration %d ran %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestDoAllEdgeCases(t *testing.T) {
+	ran := false
+	DoAll(0, 4, func(int) { ran = true })
+	DoAll(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("empty range must not run")
+	}
+	count := 0
+	DoAll(3, 0, func(int) { count++ }) // threads < 1 clamps to 1
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	const n = 1000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%17) - 3.5
+	}
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	for _, threads := range []int{1, 2, 3, 8, 33} {
+		got := Reduce(n, threads, 0, func(i int) float64 { return vals[i] }, func(a, b float64) float64 { return a + b })
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("threads=%d: sum = %g, want %g", threads, got, want)
+		}
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	got := Reduce(100, 4, math.Inf(1),
+		func(i int) float64 { return float64((i*37)%100) - 50 },
+		math.Min)
+	if got != -50 {
+		t.Fatalf("min = %g, want -50", got)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	if got := Reduce(0, 4, 42, nil, nil); got != 42 {
+		t.Fatalf("empty reduce = %g, want identity", got)
+	}
+}
+
+func TestGeoDecompCoversRangeOnce(t *testing.T) {
+	const n = 103
+	for _, chunks := range []int{1, 2, 5, 13, 103, 200} {
+		var hits [n]int32
+		GeoDecomp(n, chunks, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("chunks=%d: index %d covered %d times", chunks, i, h)
+			}
+		}
+	}
+}
+
+func TestRunTasksRespectsDependences(t *testing.T) {
+	// Diamond: 0 -> {1,2,3,4} -> 5(1,2), 6(3,4) -> 7(5,6).
+	var order [8]int64
+	var clock atomic.Int64
+	mk := func(i int) func() {
+		return func() { order[i] = clock.Add(1) }
+	}
+	tasks := []Task{
+		{Run: mk(0)},
+		{Run: mk(1), Deps: []int{0}},
+		{Run: mk(2), Deps: []int{0}},
+		{Run: mk(3), Deps: []int{0}},
+		{Run: mk(4), Deps: []int{0}},
+		{Run: mk(5), Deps: []int{1, 2}},
+		{Run: mk(6), Deps: []int{3, 4}},
+		{Run: mk(7), Deps: []int{5, 6}},
+	}
+	RunTasks(4, tasks)
+	for i := 1; i <= 4; i++ {
+		if order[i] <= order[0] {
+			t.Fatalf("task %d ran before its fork: %v", i, order)
+		}
+	}
+	if order[5] <= order[1] || order[5] <= order[2] {
+		t.Fatalf("barrier 5 ran before its workers: %v", order)
+	}
+	if order[6] <= order[3] || order[6] <= order[4] {
+		t.Fatalf("barrier 6 ran before its workers: %v", order)
+	}
+	if order[7] <= order[5] || order[7] <= order[6] {
+		t.Fatalf("final barrier out of order: %v", order)
+	}
+}
+
+func TestRunTasksEmptyAndNilRun(t *testing.T) {
+	RunTasks(4, nil)
+	RunTasks(2, []Task{{Run: nil}, {Run: nil, Deps: []int{0}}})
+}
+
+func TestPipelinePerfect(t *testing.T) {
+	// Perfect pipeline a=1, b=0: Y[j] must observe X[j] completed.
+	const n = 200
+	x := make([]int64, n)
+	out := make([]int64, n)
+	Pipeline(n, n, NeedFromCoefficients(1, 0), 1, 4,
+		func(i int) { atomic.StoreInt64(&x[i], int64(i)+1) },
+		func(j int) { out[j] = atomic.LoadInt64(&x[j]) })
+	for j := range out {
+		if out[j] != int64(j)+1 {
+			t.Fatalf("Y[%d] read X before it completed (got %d)", j, out[j])
+		}
+	}
+}
+
+func TestPipelineShifted(t *testing.T) {
+	// reg_detect: a=1, b=-1 → Y[j] needs X up to j+1.
+	const n = 100
+	x := make([]int64, n)
+	out := make([]int64, n)
+	Pipeline(n, n-1, NeedFromCoefficients(1, -1), 1, 3,
+		func(i int) { atomic.StoreInt64(&x[i], 1) },
+		func(j int) { out[j] = atomic.LoadInt64(&x[j+1]) })
+	for j := 0; j < n-1; j++ {
+		if out[j] != 1 {
+			t.Fatalf("Y[%d] missed its shifted dependence", j)
+		}
+	}
+}
+
+func TestPipelineManyToOne(t *testing.T) {
+	// fluidanimate-like: a=0.05 → Y[j] needs 20 writer iterations per j.
+	const ny = 20
+	const nx = 20 * ny
+	var xDone atomic.Int64
+	maxSeen := make([]int64, ny)
+	Pipeline(nx, ny, NeedFromCoefficients(0.05, 0), 1, 4,
+		func(i int) { xDone.Store(int64(i + 1)) },
+		func(j int) { maxSeen[j] = xDone.Load() })
+	for j := 0; j < ny; j++ {
+		if maxSeen[j] < int64(j)*20 {
+			t.Fatalf("Y[%d] started after only %d writer iterations, need >= %d", j, maxSeen[j], j*20)
+		}
+	}
+}
+
+func TestPipelineParallelWriter(t *testing.T) {
+	const n = 256
+	x := make([]int64, n)
+	out := make([]int64, n)
+	Pipeline(n, n, NeedFromCoefficients(1, 0), 4, 4,
+		func(i int) { atomic.StoreInt64(&x[i], int64(i)+1) },
+		func(j int) { out[j] = atomic.LoadInt64(&x[j]) })
+	for j := range out {
+		if out[j] != int64(j)+1 {
+			t.Fatalf("parallel writer: Y[%d] raced X (got %d)", j, out[j])
+		}
+	}
+}
+
+func TestPipelineNoWriter(t *testing.T) {
+	ran := 0
+	Pipeline(0, 5, NeedFromCoefficients(1, 0), 1, 1, nil, func(j int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5", ran)
+	}
+}
+
+func TestNeedFromCoefficients(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		j    int
+		want int
+	}{
+		{1, 0, 5, 5},
+		{1, -1, 5, 6},
+		{1, 3, 2, -1},    // first b iterations of y depend on nothing
+		{0.05, 0, 1, 20}, // one y iteration per 20 x iterations
+		{2, 0, 7, 4},     // ceil(3.5) = 4
+	}
+	for _, c := range cases {
+		if got := NeedFromCoefficients(c.a, c.b)(c.j); got != c.want {
+			t.Errorf("need(a=%g,b=%g)(%d) = %d, want %d", c.a, c.b, c.j, got, c.want)
+		}
+	}
+	if got := NeedFromCoefficients(0, 0)(3); got < 1<<30 {
+		t.Errorf("a=0 must demand all writer iterations, got %d", got)
+	}
+}
+
+// Property: DoAll and sequential execution produce identical array results
+// for arbitrary sizes and thread counts.
+func TestQuickDoAllEquivalence(t *testing.T) {
+	f := func(n8, t8 uint8) bool {
+		n := int(n8)%200 + 1
+		threads := int(t8)%8 + 1
+		seq := make([]float64, n)
+		par := make([]float64, n)
+		for i := 0; i < n; i++ {
+			seq[i] = float64(i*i%31) + 0.5
+		}
+		DoAll(n, threads, func(i int) { par[i] = float64(i*i%31) + 0.5 })
+		for i := range seq {
+			if seq[i] != par[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reduce with + equals the sequential sum for any input.
+func TestQuickReduceSum(t *testing.T) {
+	f := func(raw []float64, t8 uint8) bool {
+		threads := int(t8)%8 + 1
+		// Map arbitrary floats into a bounded range: with unbounded
+		// magnitudes, float addition's non-associativity makes parallel
+		// and sequential sums legitimately diverge.
+		vals := make([]float64, len(raw))
+		want := 0.0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e6)
+			want += vals[i]
+		}
+		got := Reduce(len(vals), threads, 0,
+			func(i int) float64 { return vals[i] },
+			func(a, b float64) float64 { return a + b })
+		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/trace"
+)
+
+func TestRefineFusionDemotesLaterProducer(t *testing.T) {
+	// E (line 10) and F (line 20) both feed G; (E, G) fits perfectly but F
+	// runs after E, so fusing E into G is unsound — the 3mm case.
+	results := []PipelineResult{
+		{Pair: trace.PairKey{Writer: "E", Reader: "G"}, A: 1, B: 0, Pattern: Fusion},
+		{Pair: trace.PairKey{Writer: "F", Reader: "G"}, A: 0, B: 0, Pattern: MultiLoopPipeline},
+	}
+	lines := map[string]int{"E": 10, "F": 20, "G": 30}
+	RefineFusion(results, lines)
+	if results[0].Pattern != MultiLoopPipeline {
+		t.Fatalf("fusion not demoted: %+v", results[0])
+	}
+}
+
+func TestRefineFusionKeepsEarlierProducer(t *testing.T) {
+	// The init loop (line 2) feeding the reader finished before the fusion
+	// writer (line 10) starts: fusion stays — the 2mm case.
+	results := []PipelineResult{
+		{Pair: trace.PairKey{Writer: "X", Reader: "Y"}, A: 1, B: 0, Pattern: Fusion},
+		{Pair: trace.PairKey{Writer: "init", Reader: "Y"}, A: 0, B: 3, Pattern: MultiLoopPipeline},
+	}
+	lines := map[string]int{"init": 2, "X": 10, "Y": 20}
+	RefineFusion(results, lines)
+	if results[0].Pattern != Fusion {
+		t.Fatalf("fusion wrongly demoted: %+v", results[0])
+	}
+}
+
+func TestRefineFusionIgnoresOtherReaders(t *testing.T) {
+	results := []PipelineResult{
+		{Pair: trace.PairKey{Writer: "X", Reader: "Y"}, A: 1, B: 0, Pattern: Fusion},
+		{Pair: trace.PairKey{Writer: "X", Reader: "Z"}, A: 0, B: 0, Pattern: MultiLoopPipeline},
+	}
+	RefineFusion(results, map[string]int{"X": 1, "Y": 2, "Z": 3})
+	if results[0].Pattern != Fusion {
+		t.Fatalf("unrelated reader demoted the fusion: %+v", results[0])
+	}
+}
+
+func TestRefineFusionKeepsPerfectCoProducer(t *testing.T) {
+	// Two producers both feeding the reader one-to-one: both fusable.
+	results := []PipelineResult{
+		{Pair: trace.PairKey{Writer: "X", Reader: "Y"}, A: 1, B: 0, Pattern: Fusion},
+		{Pair: trace.PairKey{Writer: "W", Reader: "Y"}, A: 1, B: 0, Pattern: Fusion},
+	}
+	RefineFusion(results, map[string]int{"W": 1, "X": 2, "Y": 3})
+	if results[0].Pattern != Fusion || results[1].Pattern != Fusion {
+		t.Fatalf("perfect co-producers demoted: %+v", results)
+	}
+}
+
+func TestInferOperatorNegativeCases(t *testing.T) {
+	b := ir.NewBuilder("neg")
+	b.GlobalArray("a", 4)
+	f := b.Function("main")
+	f.Assign("x", ir.C(1))                                      // line 2: not a reduction shape (no bin)
+	f.Assign("y", ir.AddE(ir.C(1), ir.C(2)))                    // line 3: operands don't reference y
+	f.Store("a", []ir.Expr{ir.C(0)}, ir.AddE(ir.C(1), ir.C(2))) // line 4: array dst, operands don't reference a
+	f.Ret(ir.C(0))
+	p := b.Build()
+
+	if op := inferOperator(p, 2, "x", false); op != "" {
+		t.Errorf("const assign inferred %q", op)
+	}
+	if op := inferOperator(p, 3, "y", false); op != "" {
+		t.Errorf("non-self bin inferred %q", op)
+	}
+	if op := inferOperator(p, 4, "a", true); op != "" {
+		t.Errorf("array non-self inferred %q", op)
+	}
+	if op := inferOperator(p, 999, "x", false); op != "" {
+		t.Errorf("missing line inferred %q", op)
+	}
+	// Name/dst mismatches.
+	if op := inferOperator(p, 2, "other", false); op != "" {
+		t.Errorf("wrong scalar name inferred %q", op)
+	}
+	if op := inferOperator(p, 4, "a", false); op != "" {
+		t.Errorf("array/scalar mismatch inferred %q", op)
+	}
+}
+
+func TestPatternStringOutOfRange(t *testing.T) {
+	if s := Pattern(42).String(); !strings.Contains(s, "Pattern(42)") {
+		t.Errorf("out-of-range Pattern = %q", s)
+	}
+	if Pattern(42).AlgorithmStructureType() != "Unknown" || Pattern(42).SupportStructure() != "Unknown" {
+		t.Error("out-of-range pattern must map to Unknown")
+	}
+}
+
+func TestTaskClassStrings(t *testing.T) {
+	if TaskUnmarked.String() != "unmarked" || TaskFork.String() != "fork" ||
+		TaskWorker.String() != "worker" || TaskBarrier.String() != "barrier" {
+		t.Fatal("task class names wrong")
+	}
+}
+
+func TestAnalyzePipelinesSkipsDegenerate(t *testing.T) {
+	pts := &trace.PairPoints{
+		Points: map[trace.PairKey][]trace.IterPair{
+			{Writer: "A", Reader: "B"}: {{X: 1, Y: 1}},               // single point
+			{Writer: "C", Reader: "D"}: {{X: 2, Y: 1}, {X: 2, Y: 5}}, // constant X
+			{Writer: "E", Reader: "F"}: {{X: 0, Y: 0}, {X: 1, Y: 1}}, // ok
+		},
+		Truncated: map[trace.PairKey]bool{},
+	}
+	prof := &trace.Profile{LoopTrips: map[string]trace.TripStat{
+		"E": {Iterations: 2, Activations: 1},
+		"F": {Iterations: 2, Activations: 1},
+	}}
+	out := AnalyzePipelines(pts, prof, map[string]LoopClass{})
+	if len(out) != 1 || out[0].Pair.Writer != "E" {
+		t.Fatalf("results = %+v, want only the well-formed pair", out)
+	}
+}
+
+func TestTaskPlanMirrorsGraph(t *testing.T) {
+	g, weights := buildDiamond(t)
+	tp := DetectTaskParallelism(g, weights)
+	plan := tp.TaskPlan()
+	if len(plan) != len(g.CUs) {
+		t.Fatalf("plan size %d != %d CUs", len(plan), len(g.CUs))
+	}
+	for i, deps := range plan {
+		if len(deps) != len(g.Preds[i]) {
+			t.Fatalf("CU%d deps = %v, want %v", i, deps, g.Preds[i])
+		}
+	}
+	// Mutating the plan must not corrupt the graph.
+	if len(plan) > 0 && len(plan[len(plan)-1]) > 0 {
+		plan[len(plan)-1][0] = -99
+		for _, p := range g.Preds[len(plan)-1] {
+			if p == -99 {
+				t.Fatal("TaskPlan aliases the graph's predecessor lists")
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"pardetect/internal/ir"
+)
+
+// GeoDecompResult reports whether a function is a geometric-decomposition
+// candidate (Algorithm 2) and why.
+type GeoDecompResult struct {
+	Fn string
+	// Candidate is true when every analysed loop is do-all or reduction.
+	Candidate bool
+	// Loops lists the analysed loop IDs (the function's own loops and the
+	// loops of the functions it calls), sorted.
+	Loops []string
+	// Blocking names the first loop that is neither do-all nor reduction,
+	// when Candidate is false.
+	Blocking string
+	// BlockingClass is the class of the blocking loop.
+	BlockingClass LoopClass
+}
+
+// DetectGeometricDecomposition runs Algorithm 2 on a hotspot function: the
+// function is suggested as a geometric-decomposition candidate when all the
+// loops in the function, and all the loops in the functions it (transitively)
+// calls, are do-all or reduction loops — the data processed by the function
+// can then be split into chunks handled by separate calls in separate
+// threads (§III-C). A function without any loop anywhere below it is not a
+// candidate: there is nothing to decompose.
+func DetectGeometricDecomposition(p *ir.Program, fn string, classes map[string]LoopClass) (GeoDecompResult, error) {
+	res := GeoDecompResult{Fn: fn}
+	root := p.Func(fn)
+	if root == nil {
+		return res, fmt.Errorf("patterns: unknown function %q", fn)
+	}
+	seen := map[string]bool{fn: true}
+	work := []*ir.Function{root}
+	var loops []string
+	for len(work) > 0 {
+		f := work[0]
+		work = work[1:]
+		for _, l := range ir.FuncLoops(f) {
+			loops = append(loops, l.ID)
+		}
+		for _, callee := range ir.CalledFuncs(f.Body) {
+			if !seen[callee] {
+				seen[callee] = true
+				if cf := p.Func(callee); cf != nil {
+					work = append(work, cf)
+				}
+			}
+		}
+	}
+	sort.Strings(loops)
+	res.Loops = loops
+	if len(loops) == 0 {
+		return res, nil
+	}
+	for _, id := range loops {
+		c := classes[id]
+		if c != LoopDoAll && c != LoopReduction {
+			res.Blocking = id
+			res.BlockingClass = c
+			return res, nil
+		}
+	}
+	res.Candidate = true
+	return res, nil
+}

@@ -1,0 +1,152 @@
+// Package patterns implements the paper's four algorithm-structure pattern
+// detectors (§III): multi-loop pipeline (with loop fusion), task parallelism
+// with fork/worker/barrier classification, geometric decomposition, and
+// reduction — plus the do-all loop classification they build on and the
+// Table I mapping from detected patterns to supporting structures.
+package patterns
+
+import (
+	"fmt"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/trace"
+)
+
+// Pattern enumerates the algorithm-structure design-space patterns the tool
+// detects.
+type Pattern int
+
+// Detected pattern kinds.
+const (
+	DoAll Pattern = iota
+	Reduction
+	MultiLoopPipeline
+	Fusion
+	TaskParallelism
+	GeometricDecomposition
+)
+
+// String returns the pattern name as used in the paper's tables.
+func (p Pattern) String() string {
+	switch p {
+	case DoAll:
+		return "Do-all"
+	case Reduction:
+		return "Reduction"
+	case MultiLoopPipeline:
+		return "Multi-loop pipeline"
+	case Fusion:
+		return "Fusion"
+	case TaskParallelism:
+		return "Task parallelism"
+	case GeometricDecomposition:
+		return "Geometric decomposition"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// AlgorithmStructureType returns the pattern's organisation principle, the
+// "Type" row of Table I.
+func (p Pattern) AlgorithmStructureType() string {
+	switch p {
+	case TaskParallelism:
+		return "Task"
+	case GeometricDecomposition, Reduction, DoAll:
+		return "Data"
+	case MultiLoopPipeline, Fusion:
+		return "Flow of data"
+	default:
+		return "Unknown"
+	}
+}
+
+// SupportStructure returns the best supporting structure for implementing
+// the pattern, the bottom row of Table I.
+func (p Pattern) SupportStructure() string {
+	switch p {
+	case TaskParallelism:
+		return "Master/worker"
+	case GeometricDecomposition, Reduction, MultiLoopPipeline, Fusion, DoAll:
+		return "SPMD"
+	default:
+		return "Unknown"
+	}
+}
+
+// LoopClass is the dependence-based classification of a single loop.
+type LoopClass int
+
+// Loop classes.
+const (
+	// LoopUnknown marks loops that never executed under the profiled
+	// inputs; nothing can be said about them.
+	LoopUnknown LoopClass = iota
+	// LoopDoAll marks loops with no loop-carried RAW dependence: all
+	// iterations are independent.
+	LoopDoAll
+	// LoopReduction marks loops whose only loop-carried RAW dependences
+	// are reduction-shaped (Algorithm 3).
+	LoopReduction
+	// LoopSequential marks loops with at least one non-reduction
+	// loop-carried dependence.
+	LoopSequential
+)
+
+// String returns a short label.
+func (c LoopClass) String() string {
+	switch c {
+	case LoopDoAll:
+		return "do-all"
+	case LoopReduction:
+		return "reduction"
+	case LoopSequential:
+		return "sequential"
+	default:
+		return "unknown"
+	}
+}
+
+// Parallelisable reports whether the loop can run its iterations in
+// parallel (directly, or with a reduction support structure).
+func (c LoopClass) Parallelisable() bool { return c == LoopDoAll || c == LoopReduction }
+
+// reductionShaped implements the core test of Algorithm 3 on one carried
+// group: the symbol is written on exactly one source line of the loop, read
+// on exactly that same line, and the same address is read-modify-written
+// across more than one iteration (MaxPerAddr ≥ 2 distinguishes a true
+// accumulation from a streaming dependence such as p[i] = p[i-1] + 1, which
+// also has a single, identical write/read line but touches each address
+// once).
+func reductionShaped(g trace.CarriedGroup) bool {
+	return len(g.WriteLines) == 1 &&
+		len(g.ReadLines) == 1 &&
+		g.WriteLines[0] == g.ReadLines[0] &&
+		g.MaxPerAddr >= 2
+}
+
+// ClassifyLoop classifies one loop from the profile.
+func ClassifyLoop(prof *trace.Profile, loopID string) LoopClass {
+	if prof.LoopTrips[loopID].Activations == 0 {
+		return LoopUnknown
+	}
+	groups := prof.Carried[loopID]
+	if len(groups) == 0 {
+		return LoopDoAll
+	}
+	for _, g := range groups {
+		if !reductionShaped(g) {
+			return LoopSequential
+		}
+	}
+	return LoopReduction
+}
+
+// ClassifyLoops classifies every loop of the program.
+func ClassifyLoops(p *ir.Program, prof *trace.Profile) map[string]LoopClass {
+	out := make(map[string]LoopClass)
+	for _, l := range ir.ProgramLoops(p) {
+		out[l.ID] = ClassifyLoop(prof, l.ID)
+	}
+	return out
+}

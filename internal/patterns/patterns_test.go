@@ -1,0 +1,576 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/cu"
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+	"pardetect/internal/pet"
+	"pardetect/internal/trace"
+)
+
+// analyse runs the full phase-1 pipeline on a program.
+func analyse(t *testing.T, p *ir.Program) (*trace.Profile, *pet.Tree) {
+	t.Helper()
+	col := trace.NewCollector()
+	pb := pet.NewBuilder()
+	m, err := interp.New(p, interp.Options{Tracer: interp.Tee(col, pb)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col.Finish(p.Name), pb.Finish()
+}
+
+func pairPoints(t *testing.T, p *ir.Program, pairs []trace.PairKey) *trace.PairPoints {
+	t.Helper()
+	pp := trace.NewPairProfiler(pairs, 0)
+	m, err := interp.New(p, interp.Options{Tracer: pp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pp.Finish()
+}
+
+func TestPatternTableI(t *testing.T) {
+	cases := []struct {
+		p       Pattern
+		typ     string
+		support string
+	}{
+		{TaskParallelism, "Task", "Master/worker"},
+		{GeometricDecomposition, "Data", "SPMD"},
+		{Reduction, "Data", "SPMD"},
+		{MultiLoopPipeline, "Flow of data", "SPMD"},
+		{Fusion, "Flow of data", "SPMD"},
+		{DoAll, "Data", "SPMD"},
+	}
+	for _, c := range cases {
+		if got := c.p.AlgorithmStructureType(); got != c.typ {
+			t.Errorf("%v type = %q, want %q", c.p, got, c.typ)
+		}
+		if got := c.p.SupportStructure(); got != c.support {
+			t.Errorf("%v support = %q, want %q", c.p, got, c.support)
+		}
+		if c.p.String() == "" {
+			t.Errorf("%v has empty name", c.p)
+		}
+	}
+}
+
+func TestClassifyLoops(t *testing.T) {
+	b := ir.NewBuilder("classify")
+	b.GlobalArray("a", 32)
+	b.GlobalArray("b", 32)
+	b.GlobalArray("p", 32)
+	f := b.Function("main")
+	doall := f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Store("b", []ir.Expr{ir.V("i")}, ir.MulE(ir.Ld("a", ir.V("i")), ir.C(2)))
+	})
+	f.Assign("s", ir.C(0))
+	red := f.For("j", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("b", ir.V("j"))))
+	})
+	f.Store("p", []ir.Expr{ir.C(0)}, ir.V("s"))
+	seq := f.For("m", ir.C(1), ir.C(32), func(k *ir.Block) {
+		k.Store("p", []ir.Expr{ir.V("m")}, ir.AddE(ir.Ld("p", ir.SubE(ir.V("m"), ir.C(1))), ir.C(1)))
+	})
+	var never string
+	f.If(ir.C(0), func(k *ir.Block) {
+		never = k.For("z", ir.C(0), ir.C(4), func(k2 *ir.Block) { k2.Assign("zz", ir.V("z")) })
+	})
+	f.Ret(ir.V("s"))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	classes := ClassifyLoops(p, prof)
+	if classes[doall] != LoopDoAll {
+		t.Errorf("doall loop = %v", classes[doall])
+	}
+	if classes[red] != LoopReduction {
+		t.Errorf("reduction loop = %v", classes[red])
+	}
+	if classes[seq] != LoopSequential {
+		t.Errorf("sequential loop = %v", classes[seq])
+	}
+	if classes[never] != LoopUnknown {
+		t.Errorf("never-run loop = %v", classes[never])
+	}
+	if !LoopDoAll.Parallelisable() || !LoopReduction.Parallelisable() || LoopSequential.Parallelisable() || LoopUnknown.Parallelisable() {
+		t.Error("Parallelisable flags wrong")
+	}
+	for _, c := range []LoopClass{LoopUnknown, LoopDoAll, LoopReduction, LoopSequential} {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}
+
+func TestDetectReductionsSumLocal(t *testing.T) {
+	// The sum_local synthetic of §IV-D (Listing 8).
+	b := ir.NewBuilder("sum_local")
+	b.GlobalArray("arr", 64)
+	f := b.Function("main")
+	f.Assign("sum", ir.C(0))
+	loop := f.For("i", ir.C(0), ir.C(64), func(k *ir.Block) {
+		k.Assign("sum", ir.AddE(ir.V("sum"), ir.Ld("arr", ir.V("i"))))
+	})
+	f.Ret(ir.V("sum"))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	got := DetectReductions(prof, ReductionOptions{InferOperator: true, Program: p})
+	if len(got) != 1 {
+		t.Fatalf("candidates = %+v, want 1", got)
+	}
+	c := got[0]
+	if c.LoopID != loop || c.Name != "sum" || c.Array {
+		t.Fatalf("candidate = %+v", c)
+	}
+	if c.Operator != "+" {
+		t.Errorf("operator = %q, want + (inference enabled)", c.Operator)
+	}
+	// Without inference the operator stays empty, as in the paper.
+	got2 := DetectReductions(prof, ReductionOptions{})
+	if got2[0].Operator != "" {
+		t.Errorf("operator = %q, want empty without inference", got2[0].Operator)
+	}
+}
+
+func TestDetectReductionsSumModule(t *testing.T) {
+	// The sum_module synthetic of §IV-D (Listing 9): the accumulation is
+	// inside a callee; the by-reference &sum is modelled as a one-element
+	// global array.
+	b := ir.NewBuilder("sum_module")
+	b.GlobalArray("arr", 64)
+	b.GlobalArray("sum", 1)
+	f := b.Function("main")
+	f.Store("sum", []ir.Expr{ir.C(0)}, ir.C(0))
+	loop := f.For("i", ir.C(0), ir.C(64), func(k *ir.Block) {
+		k.Call("addmod", ir.Ld("arr", ir.V("i")))
+	})
+	f.Ret(ir.Ld("sum", ir.C(0)))
+	g := b.Function("addmod", "val")
+	g.Assign("x", ir.MulE(ir.V("val"), ir.C(3))) // "heavy work"
+	g.Store("sum", []ir.Expr{ir.C(0)}, ir.AddE(ir.Ld("sum", ir.C(0)), ir.V("x")))
+	g.Ret(ir.V("x"))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	got := DetectReductions(prof, ReductionOptions{InferOperator: true, Program: p})
+	var found *ReductionCandidate
+	for i := range got {
+		if got[i].Name == "sum" && got[i].LoopID == loop {
+			found = &got[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("sum_module reduction not detected: %+v", got)
+	}
+	if !found.Array {
+		t.Error("sum must be reported as array-backed (by-reference accumulator)")
+	}
+	if found.Operator != "+" {
+		t.Errorf("operator = %q, want +", found.Operator)
+	}
+}
+
+func TestStreamingLoopNotReported(t *testing.T) {
+	b := ir.NewBuilder("stream")
+	b.GlobalArray("p", 32)
+	f := b.Function("main")
+	f.Store("p", []ir.Expr{ir.C(0)}, ir.C(1))
+	f.For("i", ir.C(1), ir.C(32), func(k *ir.Block) {
+		k.Store("p", []ir.Expr{ir.V("i")}, ir.AddE(ir.Ld("p", ir.SubE(ir.V("i"), ir.C(1))), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	if got := DetectReductions(prof, ReductionOptions{}); len(got) != 0 {
+		t.Fatalf("streaming loop misreported as reduction: %+v", got)
+	}
+}
+
+func TestTwoReductionVariablesBothReported(t *testing.T) {
+	// gesummv has two reduction variables in one loop; both must appear.
+	b := ir.NewBuilder("twored")
+	b.GlobalArray("a", 32)
+	f := b.Function("main")
+	f.Assign("s1", ir.C(0))
+	f.Assign("s2", ir.C(1))
+	loop := f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Assign("s1", ir.AddE(ir.V("s1"), ir.Ld("a", ir.V("i"))))
+		k.Assign("s2", ir.MulE(ir.V("s2"), ir.C(1.01)))
+	})
+	f.Ret(ir.AddE(ir.V("s1"), ir.V("s2")))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	got := DetectReductions(prof, ReductionOptions{InferOperator: true, Program: p})
+	if len(got) != 2 {
+		t.Fatalf("candidates = %+v, want 2", got)
+	}
+	if got[0].LoopID != loop || got[1].LoopID != loop {
+		t.Fatalf("wrong loops: %+v", got)
+	}
+	ops := map[string]string{got[0].Name: got[0].Operator, got[1].Name: got[1].Operator}
+	if ops["s1"] != "+" || ops["s2"] != "*" {
+		t.Fatalf("operators = %v", ops)
+	}
+}
+
+func TestOperatorInferenceRejectsNonAssociative(t *testing.T) {
+	b := ir.NewBuilder("sub")
+	b.GlobalArray("a", 32)
+	f := b.Function("main")
+	f.Assign("s", ir.C(100))
+	f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Assign("s", ir.SubE(ir.V("s"), ir.Ld("a", ir.V("i"))))
+	})
+	f.Ret(ir.V("s"))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	got := DetectReductions(prof, ReductionOptions{InferOperator: true, Program: p})
+	// Algorithm 3 still reports the candidate (the paper leaves operator
+	// legality to the programmer), but inference must refuse "-".
+	if len(got) != 1 {
+		t.Fatalf("candidates = %+v", got)
+	}
+	if got[0].Operator != "" {
+		t.Errorf("operator = %q, want empty for non-associative", got[0].Operator)
+	}
+}
+
+// --- multi-loop pipeline ----------------------------------------------------
+
+func buildListing1(n int) (*ir.Program, string, string) {
+	// Listing 1: loop x computes m[i]; loop y consumes m[i].
+	b := ir.NewBuilder("listing1")
+	b.GlobalArray("m", n)
+	b.GlobalArray("out", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.C(2)))
+	})
+	ly := f.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("out", []ir.Expr{ir.V("j")}, ir.AddE(ir.Ld("m", ir.V("j")), ir.C(5)))
+	})
+	f.Ret(ir.C(0))
+	return b.Build(), lx, ly
+}
+
+func TestPerfectPipelineDetection(t *testing.T) {
+	p, lx, ly := buildListing1(64)
+	prof, tree := analyse(t, p)
+	classes := ClassifyLoops(p, prof)
+	pairs := CandidatePairs(prof, tree, 0.05)
+	if len(pairs) != 1 || pairs[0] != (trace.PairKey{Writer: lx, Reader: ly}) {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+	pts := pairPoints(t, p, pairs)
+	results := AnalyzePipelines(pts, prof, classes)
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	r := results[0]
+	if r.A != 1 || r.B != 0 {
+		t.Fatalf("a=%g b=%g, want 1, 0", r.A, r.B)
+	}
+	if r.E != 1 {
+		t.Fatalf("e = %g, want 1", r.E)
+	}
+	// Both loops are do-all with equal trips → this is a fusion.
+	if r.Pattern != Fusion {
+		t.Fatalf("pattern = %v, want Fusion", r.Pattern)
+	}
+	if r.NX != 64 || r.NY != 64 {
+		t.Fatalf("trips = %d/%d", r.NX, r.NY)
+	}
+	if !strings.Contains(r.InterpretA(), "exactly") || !strings.Contains(r.InterpretB(), "all iterations") {
+		t.Errorf("interpretations: %q / %q", r.InterpretA(), r.InterpretB())
+	}
+}
+
+func TestRegDetectShapedPipeline(t *testing.T) {
+	// Listing 2 shape: first loop do-all writing mean[i]; second loop has
+	// an inter-iteration dependence path[i] = path[i-1] + mean[i], and its
+	// reads of mean are shifted: no iteration of loop y depends on
+	// iteration... (b = -1 in the paper's indexing). Loop y runs from 1.
+	const n = 128
+	b := ir.NewBuilder("regdetect-shape")
+	b.GlobalArray("mean", n)
+	b.GlobalArray("path", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n-1), func(k *ir.Block) {
+		k.Store("mean", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.C(3)))
+	})
+	f.Store("path", []ir.Expr{ir.C(0)}, ir.C(0))
+	ly := f.For("j", ir.C(1), ir.CI(n-1), func(k *ir.Block) {
+		k.Store("path", []ir.Expr{ir.V("j")},
+			ir.AddE(ir.Ld("path", ir.SubE(ir.V("j"), ir.C(1))), ir.Ld("mean", ir.V("j"))))
+	})
+	f.Ret(ir.C(0))
+	p := b.Build()
+	prof, tree := analyse(t, p)
+	classes := ClassifyLoops(p, prof)
+	if classes[lx] != LoopDoAll || classes[ly] != LoopSequential {
+		t.Fatalf("classes: x=%v y=%v", classes[lx], classes[ly])
+	}
+	pairs := CandidatePairs(prof, tree, 0.05)
+	pts := pairPoints(t, p, pairs)
+	results := AnalyzePipelines(pts, prof, classes)
+	var r *PipelineResult
+	for i := range results {
+		if results[i].Pair.Writer == lx && results[i].Pair.Reader == ly {
+			r = &results[i]
+		}
+	}
+	if r == nil {
+		t.Fatalf("pipeline (x,y) missing: %+v", results)
+	}
+	// Reader iteration j-1 (0-based) reads mean[j] written at writer
+	// iteration j: Y = X - 1 exactly.
+	if r.A != 1 || r.B != -1 {
+		t.Fatalf("a=%g b=%g, want 1, -1", r.A, r.B)
+	}
+	if r.E < 0.97 || r.E >= 1 {
+		t.Fatalf("e = %g, want just below 1", r.E)
+	}
+	if r.Pattern != MultiLoopPipeline {
+		t.Fatalf("pattern = %v, want MultiLoopPipeline (reader not do-all)", r.Pattern)
+	}
+}
+
+func TestCandidatePairsRespectHotspotThreshold(t *testing.T) {
+	p, _, _ := buildListing1(64)
+	prof, tree := analyse(t, p)
+	if pairs := CandidatePairs(prof, tree, 0.99); len(pairs) != 0 {
+		t.Fatalf("pairs at 99%% threshold = %+v, want none", pairs)
+	}
+}
+
+// --- task parallelism -------------------------------------------------------
+
+// buildDiamond builds a CU graph shaped like Figure 3's core: a preamble CU
+// feeding four workers, two pairwise barriers, and a final barrier.
+func buildDiamond(t *testing.T) (*cu.Graph, []int64) {
+	t.Helper()
+	const n = 32
+	b := ir.NewBuilder("diamond")
+	b.GlobalArray("arr", 4*n)
+	b.GlobalArray("halves", 2)
+	b.GlobalArray("res", 1)
+	f := b.Function("main")
+	f.Call("kernel")
+	f.Ret(ir.C(0))
+	k := b.Function("kernel")
+	k.Assign("q", ir.CI(n))
+	k.Call("work", ir.C(0), ir.V("q"))                      // worker A
+	k.Call("work", ir.V("q"), ir.V("q"))                    // worker B
+	k.Call("work", ir.MulE(ir.C(2), ir.V("q")), ir.V("q"))  // worker C
+	k.Call("work", ir.MulE(ir.C(3), ir.V("q")), ir.V("q"))  // worker D
+	k.Call("combine", ir.C(0), ir.V("q"))                   // barrier(A,B)
+	k.Call("combine", ir.C(1), ir.MulE(ir.C(2), ir.V("q"))) // barrier(C,D)... offset by 2q
+	k.Call("final")                                         // barrier(b1, b2)
+	k.Ret(ir.C(0))
+	w := b.Function("work", "lo", "n")
+	w.For("i", ir.V("lo"), ir.AddE(ir.V("lo"), ir.V("n")), func(kb *ir.Block) {
+		kb.Store("arr", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.V("i")))
+	})
+	w.Ret(ir.C(0))
+	c := b.Function("combine", "h", "lo")
+	c.Assign("s", ir.C(0))
+	c.For("i", ir.V("lo"), ir.AddE(ir.V("lo"), ir.CI(2*n)), func(kb *ir.Block) {
+		kb.Assign("s", ir.AddE(ir.V("s"), ir.Ld("arr", ir.V("i"))))
+	})
+	c.Store("halves", []ir.Expr{ir.V("h")}, ir.V("s"))
+	c.Ret(ir.C(0))
+	fin := b.Function("final")
+	fin.Store("res", []ir.Expr{ir.C(0)}, ir.AddE(ir.Ld("halves", ir.C(0)), ir.Ld("halves", ir.C(1))))
+	fin.Ret(ir.C(0))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	region, err := cu.FuncRegion(p, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cu.Build(p, region, prof)
+	return g, g.Weights(prof, 1)
+}
+
+func TestAlgorithm1Figure3Classification(t *testing.T) {
+	g, weights := buildDiamond(t)
+	tp := DetectTaskParallelism(g, weights)
+
+	// Identify CUs by label.
+	find := func(substr string) int {
+		t.Helper()
+		for i, c := range g.CUs {
+			if strings.Contains(c.Label, substr) {
+				return i
+			}
+		}
+		t.Fatalf("no CU with label containing %q\n%s", substr, g)
+		return -1
+	}
+	q := find("q = ")
+	wa, wb := find("work(0"), find("work(q")
+	b1 := find("combine(0")
+	b2 := find("combine(1")
+	fin := find("final(")
+
+	if tp.Class[q] != TaskFork {
+		t.Errorf("preamble CU%d = %v, want fork", q, tp.Class[q])
+	}
+	for _, w := range []int{wa, wb} {
+		if tp.Class[w] != TaskWorker {
+			t.Errorf("worker CU%d = %v, want worker\n%s", w, tp.Class[w], tp)
+		}
+	}
+	if tp.Class[b1] != TaskBarrier || tp.Class[b2] != TaskBarrier || tp.Class[fin] != TaskBarrier {
+		t.Errorf("barriers: b1=%v b2=%v final=%v\n%s", tp.Class[b1], tp.Class[b2], tp.Class[fin], tp)
+	}
+	// The preamble forks the workers.
+	if ws := tp.Forks[q]; len(ws) < 4 {
+		t.Errorf("fork CU%d workers = %v, want 4\n%s", q, ws, tp)
+	}
+	// b1 and b2 are parallel barriers; final is not parallel with either.
+	foundParallel := false
+	for _, pb := range tp.ParallelBarriers {
+		if (pb[0] == b1 && pb[1] == b2) || (pb[0] == b2 && pb[1] == b1) {
+			foundParallel = true
+		}
+		if pb[0] == fin || pb[1] == fin {
+			t.Errorf("final barrier wrongly parallel: %v", pb)
+		}
+	}
+	if !foundParallel {
+		t.Errorf("b1/b2 not reported parallel\n%s", tp)
+	}
+	// Barrier membership: b1 synchronises the first two workers.
+	preds := tp.BarrierFor[b1]
+	if len(preds) == 0 {
+		t.Errorf("b1 has no recorded workers")
+	}
+	// Estimated speedup must be > 1 and ≤ CU count.
+	if tp.EstimatedSpeedup <= 1 {
+		t.Errorf("estimated speedup = %g, want > 1", tp.EstimatedSpeedup)
+	}
+	if !tp.HasParallelism() {
+		t.Error("HasParallelism must be true")
+	}
+	s := tp.String()
+	for _, want := range []string{"fork", "worker", "barrier", "can run in parallel"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTaskParallelismSequentialChain(t *testing.T) {
+	// A pure chain has no task parallelism: est. speedup 1, no parallel
+	// barriers, no multi-worker forks.
+	b := ir.NewBuilder("chain")
+	b.GlobalArray("a", 4)
+	f := b.Function("main")
+	f.Store("a", []ir.Expr{ir.C(0)}, ir.C(1))
+	f.Store("a", []ir.Expr{ir.C(1)}, ir.AddE(ir.Ld("a", ir.C(0)), ir.C(1)))
+	f.Store("a", []ir.Expr{ir.C(2)}, ir.AddE(ir.Ld("a", ir.C(1)), ir.C(1)))
+	f.Store("a", []ir.Expr{ir.C(3)}, ir.AddE(ir.Ld("a", ir.C(2)), ir.C(1)))
+	f.Ret(ir.C(0))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	region, _ := cu.FuncRegion(p, "main")
+	g := cu.Build(p, region, prof)
+	tp := DetectTaskParallelism(g, g.Weights(prof, 1))
+	if tp.HasParallelism() {
+		t.Fatalf("chain reported parallel:\n%s", tp)
+	}
+	if tp.EstimatedSpeedup > 1.2 {
+		t.Fatalf("chain est. speedup = %g, want ≈ 1", tp.EstimatedSpeedup)
+	}
+}
+
+// --- geometric decomposition -----------------------------------------------
+
+func TestGeometricDecompositionCandidate(t *testing.T) {
+	// streamcluster shape: main while-loop is sequential; localSearch and
+	// its callees contain only do-all/reduction loops.
+	const n = 32
+	b := ir.NewBuilder("sc-shape")
+	b.GlobalArray("pts", n)
+	b.GlobalArray("cost", n)
+	b.GlobalArray("acc", 1)
+	f := b.Function("main")
+	f.Assign("round", ir.C(0))
+	f.While(ir.LtE(ir.V("round"), ir.C(3)), func(k *ir.Block) {
+		k.Call("localSearch")
+		k.Assign("round", ir.AddE(ir.V("round"), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	ls := b.Function("localSearch")
+	ls.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("cost", []ir.Expr{ir.V("i")}, ir.MulE(ir.Ld("pts", ir.V("i")), ir.C(2)))
+	})
+	ls.Call("gain")
+	ls.Ret(ir.C(0))
+	gn := b.Function("gain")
+	gn.Assign("s", ir.C(0))
+	gn.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("cost", ir.V("j"))))
+		// Cluster state update: the next while-round of main reads what
+		// this round wrote (streaming, not reduction-shaped), which is
+		// what makes streamCluster()'s outer loop unparallelisable.
+		k.Store("pts", []ir.Expr{ir.V("j")}, ir.AddE(ir.MulE(ir.Ld("cost", ir.V("j")), ir.C(0.5)), ir.C(1)))
+	})
+	gn.Store("acc", []ir.Expr{ir.C(0)}, ir.V("s"))
+	gn.Ret(ir.C(0))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	classes := ClassifyLoops(p, prof)
+
+	res, err := DetectGeometricDecomposition(p, "localSearch", classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Candidate {
+		t.Fatalf("localSearch not a GD candidate: %+v (classes %v)", res, classes)
+	}
+	if len(res.Loops) != 2 {
+		t.Fatalf("analysed loops = %v, want 2", res.Loops)
+	}
+	// main is NOT a candidate: its while loop is sequential.
+	resMain, err := DetectGeometricDecomposition(p, "main", classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMain.Candidate {
+		t.Fatalf("main wrongly a GD candidate: %+v", resMain)
+	}
+	if resMain.Blocking == "" || resMain.BlockingClass != LoopSequential {
+		t.Fatalf("blocking loop not reported: %+v", resMain)
+	}
+}
+
+func TestGeometricDecompositionNeedsLoops(t *testing.T) {
+	b := ir.NewBuilder("noloop")
+	f := b.Function("main")
+	f.Assign("x", ir.C(1))
+	f.Ret(ir.V("x"))
+	p := b.Build()
+	prof, _ := analyse(t, p)
+	classes := ClassifyLoops(p, prof)
+	res, err := DetectGeometricDecomposition(p, "main", classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidate {
+		t.Fatal("loopless function must not be a GD candidate")
+	}
+	if _, err := DetectGeometricDecomposition(p, "ghost", classes); err == nil {
+		t.Fatal("unknown function must error")
+	}
+}

@@ -1,0 +1,192 @@
+package patterns
+
+import (
+	"math"
+	"sort"
+
+	"pardetect/internal/pet"
+	"pardetect/internal/regression"
+	"pardetect/internal/trace"
+)
+
+// PipelineResult is the analysis of one candidate loop pair (§III-A): the
+// fitted coefficients of Equation 1, the efficiency factor of Equation 2 and
+// the classification into multi-loop pipeline or fusion.
+type PipelineResult struct {
+	Pair trace.PairKey
+	// A and B are the regression coefficients of Y = A·X + B (Table II).
+	A, B float64
+	// E is the pipeline efficiency factor (Equation 2).
+	E float64
+	// R2 is the regression fit quality.
+	R2 float64
+	// NX and NY are the average trip counts of writer and reader loop.
+	NX, NY int64
+	// Points is the number of (i_x, i_y) samples fitted.
+	Points int
+	// Truncated reports whether the sample cap was hit.
+	Truncated bool
+	// WriterClass and ReaderClass are the loops' dependence classes.
+	WriterClass, ReaderClass LoopClass
+	// Pattern is MultiLoopPipeline or Fusion.
+	Pattern Pattern
+}
+
+// fusionEps bounds how far a and b may deviate from (1, 0) for fusion; with
+// exact one-to-one dependences the fit is exact, so the tolerance only
+// absorbs floating-point error.
+const fusionEps = 1e-6
+
+// CandidatePairs returns the hotspot loop pairs with a cross-loop data
+// dependence, the candidate set for phase-2 pair profiling: "All pairs of
+// hotspot loops (in which one loop is data dependent on the other) are
+// gathered from the PET" (§III-A). A loop is a hotspot when its PET share is
+// at least minShare. The result is deterministically ordered.
+func CandidatePairs(prof *trace.Profile, tree *pet.Tree, minShare float64) []trace.PairKey {
+	var out []trace.PairKey
+	for k := range prof.CrossLoopDeps {
+		if k.Writer == k.Reader {
+			continue
+		}
+		w := tree.FindLoop(k.Writer)
+		r := tree.FindLoop(k.Reader)
+		if w == nil || r == nil {
+			continue
+		}
+		if w.Share(tree.Total) < minShare || r.Share(tree.Total) < minShare {
+			continue
+		}
+		// Loops nested inside a common loop are re-executed together on
+		// every iteration of that parent; mapping their iterations onto
+		// pipeline stages is not the multi-loop pipeline transformation
+		// (the parent's carried state sequences them — fdtd-2d's field
+		// nests inside the time loop are the canonical case).
+		if haveCommonLoopAncestor(w, r) {
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Reader < out[j].Reader
+	})
+	return out
+}
+
+func haveCommonLoopAncestor(a, b *pet.Node) bool {
+	anc := map[*pet.Node]bool{}
+	for n := a.Parent(); n != nil; n = n.Parent() {
+		if n.Kind == pet.Loop {
+			anc[n] = true
+		}
+	}
+	for n := b.Parent(); n != nil; n = n.Parent() {
+		if n.Kind == pet.Loop && anc[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzePipelines fits Equation 1 to the phase-2 samples of each candidate
+// pair and classifies the pair:
+//
+//   - Fusion when both loops are do-all, the trip counts match and the fit
+//     is exactly a=1, b=0 (→ e=1): the loops iterate over the same range
+//     with iteration-wise dependences only, so they can be merged into one
+//     loop and parallelised with do-all (§III-A "Loop Fusion").
+//   - MultiLoopPipeline otherwise.
+//
+// Pairs with fewer than two samples (or a degenerate fit) are dropped.
+// Results are ordered like the input pairs.
+func AnalyzePipelines(pts *trace.PairPoints, prof *trace.Profile, classes map[string]LoopClass) []PipelineResult {
+	keys := make([]trace.PairKey, 0, len(pts.Points))
+	for k := range pts.Points {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Writer != keys[j].Writer {
+			return keys[i].Writer < keys[j].Writer
+		}
+		return keys[i].Reader < keys[j].Reader
+	})
+
+	var out []PipelineResult
+	for _, k := range keys {
+		samples := pts.Points[k]
+		if len(samples) < 2 {
+			continue
+		}
+		xs := make([]float64, len(samples))
+		ys := make([]float64, len(samples))
+		for i, s := range samples {
+			xs[i] = float64(s.X)
+			ys[i] = float64(s.Y)
+		}
+		line, err := regression.Fit(xs, ys)
+		if err != nil {
+			continue
+		}
+		nx := int64(math.Round(prof.LoopTrips[k.Writer].AvgTrip()))
+		ny := int64(math.Round(prof.LoopTrips[k.Reader].AvgTrip()))
+		r := PipelineResult{
+			Pair:        k,
+			A:           line.A,
+			B:           line.B,
+			E:           regression.Efficiency(line, nx, ny),
+			R2:          line.R2,
+			NX:          nx,
+			NY:          ny,
+			Points:      len(samples),
+			Truncated:   pts.Truncated[k],
+			WriterClass: classes[k.Writer],
+			ReaderClass: classes[k.Reader],
+			Pattern:     MultiLoopPipeline,
+		}
+		if r.WriterClass == LoopDoAll && r.ReaderClass == LoopDoAll &&
+			math.Abs(r.A-1) <= fusionEps && math.Abs(r.B) <= fusionEps && nx == ny {
+			r.Pattern = Fusion
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RefineFusion demotes Fusion classifications that are unsound in context: a
+// pair (X, Y) may only fuse when every producer feeding Y either feeds it
+// one-to-one as well or has already finished before X starts. If another
+// candidate pair (Z, Y) exists whose own fit is not the perfect one-to-one
+// line AND Z runs at or after X in serial order, fusing X into Y would leave
+// the fused iterations waiting for Z (the 3mm case: E and F both feed G; G
+// fuses with neither). A producer strictly before X (input initialisation)
+// is harmless. loopLine gives each loop's serial position (header line).
+// Demoted results become ordinary multi-loop pipelines.
+func RefineFusion(results []PipelineResult, loopLine map[string]int) {
+	for i := range results {
+		if results[i].Pattern != Fusion {
+			continue
+		}
+		xLine := loopLine[results[i].Pair.Writer]
+		for j := range results {
+			if j == i || results[j].Pair.Reader != results[i].Pair.Reader {
+				continue
+			}
+			if loopLine[results[j].Pair.Writer] < xLine {
+				continue // finished before the fused loop would start
+			}
+			if math.Abs(results[j].A-1) > fusionEps || math.Abs(results[j].B) > fusionEps {
+				results[i].Pattern = MultiLoopPipeline
+				break
+			}
+		}
+	}
+}
+
+// InterpretA and InterpretB re-export the Table II coefficient descriptions
+// so pattern consumers need not import the regression package.
+func (r PipelineResult) InterpretA() string { return regression.InterpretA(r.A) }
+
+// InterpretB renders the Table II description of the fitted intercept.
+func (r PipelineResult) InterpretB() string { return regression.InterpretB(r.B) }

@@ -1,0 +1,127 @@
+package patterns
+
+import (
+	"sort"
+
+	"pardetect/internal/ir"
+	"pardetect/internal/trace"
+)
+
+// ReductionCandidate is one detected reduction (§III-D): a loop plus the
+// source line at which a symbol is read-modify-written on every iteration.
+type ReductionCandidate struct {
+	LoopID string
+	// Name is the scalar variable (sum) or array (for by-reference
+	// accumulators) being reduced.
+	Name string
+	// Array reports whether Name is an array.
+	Array bool
+	// Line is the single source line where the symbol is both read and
+	// written.
+	Line int
+	// Operator is the inferred reduction operator ("+", "*", "min",
+	// "max"), or "" when inference is disabled or fails. The paper leaves
+	// operator identification to the programmer (§III-D: "Our approach
+	// does not automatically identify the operator"); inference is the
+	// paper's stated future work and is therefore opt-in.
+	Operator string
+}
+
+// ReductionOptions configures reduction detection.
+type ReductionOptions struct {
+	// InferOperator enables the future-work extension that inspects the
+	// statement at the reported line and extracts the associative
+	// operator when the statement has the shape v = v ⊕ e or v = e ⊕ v.
+	// Program must be set for inference to work.
+	InferOperator bool
+	// Program is the analysed program, used only for operator inference.
+	Program *ir.Program
+}
+
+// DetectReductions runs Algorithm 3 over every loop of the profile: a loop
+// is reported as a reduction candidate for symbol v when v is written on
+// exactly one source line of the loop, read on exactly the same line, and
+// the dependence is a genuine cross-iteration accumulation. Results are
+// sorted by loop ID and line.
+func DetectReductions(prof *trace.Profile, opts ReductionOptions) []ReductionCandidate {
+	var out []ReductionCandidate
+	for loopID, groups := range prof.Carried {
+		for _, g := range groups {
+			if !reductionShaped(g) {
+				continue
+			}
+			c := ReductionCandidate{
+				LoopID: loopID,
+				Name:   g.Name,
+				Array:  g.Array,
+				Line:   g.WriteLines[0],
+			}
+			if opts.InferOperator && opts.Program != nil {
+				c.Operator = inferOperator(opts.Program, c.Line, g.Name, g.Array)
+			}
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LoopID != out[j].LoopID {
+			return out[i].LoopID < out[j].LoopID
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// inferOperator inspects the statement at the given line and extracts the
+// top-level associative operator when the statement is v = v ⊕ e or
+// v = e ⊕ v (or the array-element equivalent).
+func inferOperator(p *ir.Program, line int, name string, array bool) string {
+	s, ok := ir.LineIndex(p)[line]
+	if !ok {
+		return ""
+	}
+	a, ok := s.(*ir.Assign)
+	if !ok {
+		return ""
+	}
+	// The destination must be the reduced symbol.
+	switch d := a.Dst.(type) {
+	case ir.Var:
+		if array || d.Name != name {
+			return ""
+		}
+	case *ir.Elem:
+		if !array || d.Arr != name {
+			return ""
+		}
+	}
+	bin, ok := a.Src.(*ir.Bin)
+	if !ok {
+		return ""
+	}
+	switch bin.Op {
+	case ir.Add, ir.Mul, ir.Min, ir.Max:
+	default:
+		return "" // not associative (or not safely so)
+	}
+	if refersTo(bin.L, name, array) || refersTo(bin.R, name, array) {
+		return bin.Op.String()
+	}
+	return ""
+}
+
+func refersTo(x ir.Expr, name string, array bool) bool {
+	found := false
+	ir.WalkExpr(x, func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.Var:
+			if !array && e.Name == name {
+				found = true
+			}
+		case *ir.Elem:
+			if array && e.Arr == name {
+				found = true
+			}
+		}
+	})
+	return found
+}

@@ -1,0 +1,249 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pardetect/internal/cu"
+)
+
+// TaskClass is the classification Algorithm 1 assigns to each CU.
+type TaskClass int
+
+// Task classes.
+const (
+	TaskUnmarked TaskClass = iota
+	TaskFork
+	TaskWorker
+	TaskBarrier
+)
+
+// String returns the class name used in the paper.
+func (c TaskClass) String() string {
+	switch c {
+	case TaskFork:
+		return "fork"
+	case TaskWorker:
+		return "worker"
+	case TaskBarrier:
+		return "barrier"
+	default:
+		return "unmarked"
+	}
+}
+
+// TaskParallelismResult is the result of Algorithm 1 on one region's CU graph,
+// plus the estimated-speedup metric of §III-B.
+type TaskParallelismResult struct {
+	Graph *cu.Graph
+	// Class[i] is the classification of CU i.
+	Class []TaskClass
+	// Forks maps each CU to the worker CUs it forks (its direct dependents
+	// that were classified workers). Only CUs with at least one forked
+	// worker appear.
+	Forks map[int][]int
+	// BarrierFor maps each barrier CU to the CUs it synchronises (its
+	// direct predecessors in the CU graph).
+	BarrierFor map[int][]int
+	// ParallelBarriers lists pairs of barrier CUs with no directed path
+	// between them in either direction: they can run in parallel.
+	ParallelBarriers [][2]int
+	// TotalOps is the summed dynamic cost of all CUs; CriticalOps is the
+	// cost of the heaviest dependence-ordered path.
+	TotalOps, CriticalOps int64
+	// CriticalPath lists the CU IDs on the critical path.
+	CriticalPath []int
+	// EstimatedSpeedup = TotalOps / CriticalOps (§III-B).
+	EstimatedSpeedup float64
+	// Weights holds the per-CU dynamic costs used for the metric.
+	Weights []int64
+}
+
+// DetectTaskParallelism runs Algorithm 1 on a CU graph: starting from the
+// first unmarked CU in serial order, a breadth-first search marks the start
+// as a fork, unmarked dependents as workers, and already-marked dependents
+// as barriers; the sweep repeats from the next unmarked CU until all CUs are
+// marked. weights carries per-CU dynamic costs (see cu.Graph.Weights) for
+// the estimated-speedup metric.
+func DetectTaskParallelism(g *cu.Graph, weights []int64) *TaskParallelismResult {
+	n := len(g.CUs)
+	tp := &TaskParallelismResult{
+		Graph:      g,
+		Class:      make([]TaskClass, n),
+		Forks:      map[int][]int{},
+		BarrierFor: map[int][]int{},
+	}
+	for s := 0; s < n; s++ {
+		if tp.Class[s] != TaskUnmarked {
+			continue
+		}
+		tp.Class[s] = TaskFork
+		queue := []int{s}
+		// visited bounds the literal algorithm on diamond-shaped graphs:
+		// re-marking stays faithful, but each node's dependents are
+		// expanded once per sweep.
+		visited := make([]bool, n)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, d := range g.Succs[cur] {
+				if tp.Class[d] == TaskUnmarked {
+					tp.Class[d] = TaskWorker
+				} else {
+					tp.Class[d] = TaskBarrier
+				}
+				if !visited[d] {
+					visited[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		var workers []int
+		for _, d := range g.Succs[i] {
+			if tp.Class[d] == TaskWorker {
+				workers = append(workers, d)
+			}
+		}
+		if len(workers) > 0 {
+			tp.Forks[i] = workers
+		}
+		if tp.Class[i] == TaskBarrier {
+			tp.BarrierFor[i] = append([]int(nil), g.Preds[i]...)
+		}
+	}
+
+	// checkParallelBarriers: two barriers can run in parallel iff there is
+	// no directed path between them in either direction.
+	var barriers []int
+	for i := 0; i < n; i++ {
+		if tp.Class[i] == TaskBarrier {
+			barriers = append(barriers, i)
+		}
+	}
+	sort.Ints(barriers)
+	for i := 0; i < len(barriers); i++ {
+		for j := i + 1; j < len(barriers); j++ {
+			a, b := barriers[i], barriers[j]
+			if !g.HasPath(a, b) && !g.HasPath(b, a) {
+				tp.ParallelBarriers = append(tp.ParallelBarriers, [2]int{a, b})
+			}
+		}
+	}
+
+	tp.Weights = append([]int64(nil), weights...)
+	for _, w := range weights {
+		tp.TotalOps += w
+	}
+	tp.CriticalOps, tp.CriticalPath = g.CriticalPath(weights)
+	if tp.CriticalOps > 0 {
+		tp.EstimatedSpeedup = float64(tp.TotalOps) / float64(tp.CriticalOps)
+	}
+	return tp
+}
+
+// HasParallelism reports whether the region exposes any task parallelism:
+// some fork spawns more than one worker, some barriers can run in parallel,
+// or two substantial work CUs (a call or nested loop carrying at least 5%
+// of the region's cost) are mutually path-independent — the fib and mvt
+// shape, where the concurrent tasks are themselves classified as forks
+// because nothing precedes them.
+func (tp *TaskParallelismResult) HasParallelism() bool {
+	for _, ws := range tp.Forks {
+		if len(ws) > 1 {
+			return true
+		}
+	}
+	if len(tp.ParallelBarriers) > 0 {
+		return true
+	}
+	return tp.IndependentWork()
+}
+
+// IndependentWork reports whether two substantial work CUs — a call or a
+// nested loop carrying at least 5% of the region's cost — are mutually
+// path-independent. This is the gate for reporting the region as genuinely
+// task-parallel: forking single scalar statements (the body of a reduction
+// loop, say) is not a usable task structure.
+func (tp *TaskParallelismResult) IndependentWork() bool {
+	// The significance floor scales with graph size: a region of many CUs
+	// (strassen's fourteen pre-adds, seven products and four combines)
+	// spreads its cost thinner than a three-CU kernel.
+	denom := int64(20)
+	if d := int64(2 * len(tp.Weights)); d > denom {
+		denom = d
+	}
+	min := tp.TotalOps / denom
+	substantial := func(i int) bool {
+		c := tp.Graph.CUs[i]
+		return (c.HasCall || c.IsLoop) && tp.Weights[i] > min
+	}
+	for i := 0; i < len(tp.Weights); i++ {
+		if !substantial(i) {
+			continue
+		}
+		for j := i + 1; j < len(tp.Weights); j++ {
+			if !substantial(j) {
+				continue
+			}
+			if !tp.Graph.HasPath(i, j) && !tp.Graph.HasPath(j, i) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the classification in the style of §III-B's discussion of
+// Figure 3.
+func (tp *TaskParallelismResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "task parallelism in %s (est. speedup %.2f)\n", tp.Graph.Region.Name(), tp.EstimatedSpeedup)
+	for i, c := range tp.Graph.CUs {
+		fmt.Fprintf(&sb, "  CU%d [%s] %s\n", i, tp.Class[i], c.Label)
+	}
+	forks := make([]int, 0, len(tp.Forks))
+	for f := range tp.Forks {
+		forks = append(forks, f)
+	}
+	sort.Ints(forks)
+	for _, f := range forks {
+		fmt.Fprintf(&sb, "  CU%d forks %s\n", f, cuList(tp.Forks[f]))
+	}
+	bars := make([]int, 0, len(tp.BarrierFor))
+	for b := range tp.BarrierFor {
+		bars = append(bars, b)
+	}
+	sort.Ints(bars)
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "  CU%d is a barrier for %s\n", b, cuList(tp.BarrierFor[b]))
+	}
+	for _, p := range tp.ParallelBarriers {
+		fmt.Fprintf(&sb, "  barriers CU%d and CU%d can run in parallel\n", p[0], p[1])
+	}
+	return sb.String()
+}
+
+func cuList(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("CU%d", id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// TaskPlan converts the classification into an executable plan: one task per
+// CU, with each task's dependences being its CU-graph predecessors. The
+// indices map one-to-one onto CU IDs, so the plan can be handed directly to
+// a master/worker executor (parallel.RunTasks) — the support structure
+// Table I prescribes for task parallelism.
+func (tp *TaskParallelismResult) TaskPlan() [][]int {
+	plan := make([][]int, len(tp.Graph.CUs))
+	for i := range plan {
+		plan[i] = append([]int(nil), tp.Graph.Preds[i]...)
+	}
+	return plan
+}

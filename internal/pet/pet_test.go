@@ -1,0 +1,202 @@
+package pet
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+)
+
+func treeOf(t *testing.T, p *ir.Program) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	m, err := interp.New(p, interp.Options{Tracer: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Finish()
+}
+
+func TestTreeShapeForNestedRegions(t *testing.T) {
+	b := ir.NewBuilder("shape")
+	b.GlobalArray("a", 8, 8)
+	f := b.Function("main")
+	var li, lj string
+	li = f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		lj = k.For("j", ir.C(0), ir.C(8), func(k2 *ir.Block) {
+			k2.Store("a", []ir.Expr{ir.V("i"), ir.V("j")}, ir.V("j"))
+		})
+	})
+	f.Call("helper")
+	h := b.Function("helper")
+	h.Assign("x", ir.C(1))
+	h.Ret(ir.V("x"))
+	tree := treeOf(t, b.Build())
+
+	main := tree.Root.Child(Func, "main")
+	if main == nil {
+		t.Fatal("main node missing")
+	}
+	outer := main.Child(Loop, li)
+	if outer == nil {
+		t.Fatalf("outer loop %s missing; children: %+v", li, main.Children)
+	}
+	inner := outer.Child(Loop, lj)
+	if inner == nil {
+		t.Fatal("inner loop missing under outer")
+	}
+	if outer.Iterations != 8 || outer.Activations != 1 {
+		t.Errorf("outer: %d iters %d acts, want 8/1", outer.Iterations, outer.Activations)
+	}
+	if inner.Iterations != 64 || inner.Activations != 8 {
+		t.Errorf("inner: %d iters %d acts, want 64/8", inner.Iterations, inner.Activations)
+	}
+	if main.Child(Func, "helper") == nil {
+		t.Error("helper node missing under main")
+	}
+	if main.Parent() != tree.Root {
+		t.Error("parent link wrong")
+	}
+}
+
+func TestInstructionCountsRollUp(t *testing.T) {
+	b := ir.NewBuilder("counts")
+	b.GlobalArray("a", 64)
+	f := b.Function("main")
+	f.Assign("x", ir.C(1))
+	var loop string
+	loop = f.For("i", ir.C(0), ir.C(64), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.V("i")))
+	})
+	f.Ret(ir.V("x"))
+	tree := treeOf(t, b.Build())
+	main := tree.Root.Child(Func, "main")
+	l := main.Child(Loop, loop)
+	if l.Total <= 0 || main.Total < l.Total {
+		t.Fatalf("totals wrong: loop=%d main=%d", l.Total, main.Total)
+	}
+	if tree.Total != main.Total+tree.Root.Self {
+		t.Fatalf("tree total %d != main total %d + root self %d", tree.Total, main.Total, tree.Root.Self)
+	}
+	if l.Share(tree.Total) <= 0.5 {
+		t.Fatalf("loop share = %g, want dominant (> 0.5)", l.Share(tree.Total))
+	}
+}
+
+func TestRecursionMergedAndFlagged(t *testing.T) {
+	b := ir.NewBuilder("rec")
+	b.Function("main").Ret(ir.CallE("fib", ir.C(10)))
+	g := b.Function("fib", "n")
+	g.If(ir.LtE(ir.V("n"), ir.C(2)), func(k *ir.Block) { k.Ret(ir.V("n")) })
+	g.Assign("x", ir.CallE("fib", ir.SubE(ir.V("n"), ir.C(1))))
+	g.Assign("y", ir.CallE("fib", ir.SubE(ir.V("n"), ir.C(2))))
+	g.Ret(ir.AddE(ir.V("x"), ir.V("y")))
+	tree := treeOf(t, b.Build())
+
+	fibs := tree.FindFunc("fib")
+	if len(fibs) != 1 {
+		t.Fatalf("fib has %d nodes, want 1 (recursive calls merged)", len(fibs))
+	}
+	fib := fibs[0]
+	if !fib.Recursive {
+		t.Error("fib not marked recursive")
+	}
+	if fib.Activations < 100 {
+		t.Errorf("fib activations = %d, want many (all recursive calls)", fib.Activations)
+	}
+	if len(fib.Children) != 0 {
+		t.Errorf("fib has children %+v, want none", fib.Children)
+	}
+	if fib.Share(tree.Total) < 0.9 {
+		t.Errorf("fib share = %g, want ≈ 1", fib.Share(tree.Total))
+	}
+}
+
+func TestHotspotsSortedAndFiltered(t *testing.T) {
+	b := ir.NewBuilder("hot")
+	b.GlobalArray("a", 1024)
+	f := b.Function("main")
+	var big, small string
+	big = f.For("i", ir.C(0), ir.C(1024), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.V("i")))
+	})
+	small = f.For("j", ir.C(0), ir.C(4), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("j")}, ir.C(0))
+	})
+	f.Ret(ir.C(0))
+	tree := treeOf(t, b.Build())
+	hs := tree.Hotspots(0.2)
+	if len(hs) < 2 {
+		t.Fatalf("hotspots = %+v, want main and big loop", hs)
+	}
+	if hs[0].Node.Name != "main" {
+		t.Errorf("top hotspot = %s, want main", hs[0].Node.Name)
+	}
+	if hs[1].Node.Name != big {
+		t.Errorf("second hotspot = %s, want %s", hs[1].Node.Name, big)
+	}
+	for _, h := range hs {
+		if h.Node.Name == small {
+			t.Error("tiny loop reported as hotspot")
+		}
+	}
+	// Degenerate share.
+	if n := (&Node{}); n.Share(0) != 0 {
+		t.Error("Share with zero total must be 0")
+	}
+}
+
+func TestFindLoopPicksHottest(t *testing.T) {
+	b := ir.NewBuilder("fl")
+	b.GlobalArray("a", 32)
+	f := b.Function("main")
+	f.Call("work", ir.C(4))
+	f.Call("work", ir.C(32))
+	w := b.Function("work", "n")
+	w.For("i", ir.C(0), ir.V("n"), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	w.Ret(ir.C(0))
+	tree := treeOf(t, b.Build())
+	// Both calls merge into one work node under main, so exactly one loop
+	// node exists.
+	n := tree.FindLoop("work.L1")
+	if n == nil {
+		t.Fatal("loop not found")
+	}
+	if n.Iterations != 36 {
+		t.Errorf("iterations = %d, want 36 (4 + 32 merged)", n.Iterations)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := ir.NewBuilder("render")
+	f := b.Function("main")
+	f.For("i", ir.C(0), ir.C(3), func(k *ir.Block) { k.Assign("x", ir.V("i")) })
+	f.Ret(ir.C(0))
+	tree := treeOf(t, b.Build())
+	s := tree.String()
+	for _, want := range []string{"program (total", "func main", "loop main.L1", "iters=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	b := ir.NewBuilder("walk")
+	f := b.Function("main")
+	f.For("i", ir.C(0), ir.C(2), func(k *ir.Block) { k.Assign("x", ir.V("i")) })
+	f.Call("g")
+	b.Function("g").Ret(ir.C(0))
+	tree := treeOf(t, b.Build())
+	count := 0
+	tree.Walk(func(*Node) { count++ })
+	if count != 4 { // root, main, loop, g
+		t.Fatalf("walked %d nodes, want 4", count)
+	}
+}

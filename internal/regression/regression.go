@@ -1,0 +1,178 @@
+// Package regression implements the ordinary-least-squares linear regression
+// of §III-A (Equation 1), the pipeline efficiency factor e (Equation 2), and
+// the coefficient interpretation of Table II.
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Line is a fitted regression line Y = A·X + B with fit diagnostics.
+type Line struct {
+	A float64 // slope (coefficient a of Equation 1)
+	B float64 // intercept (coefficient b of Equation 1)
+	// R2 is the coefficient of determination of the fit (1 = perfect).
+	R2 float64
+	// N is the number of samples fitted.
+	N int
+	// XMin and XMax bound the observed independent variable.
+	XMin, XMax float64
+	// YMin and YMax bound the observed dependent variable.
+	YMin, YMax float64
+}
+
+// ErrDegenerate is returned when a fit is impossible: fewer than two samples,
+// or all X values identical.
+var ErrDegenerate = errors.New("regression: degenerate sample set")
+
+// Fit performs ordinary least squares on the samples (xs[i], ys[i]).
+func Fit(xs, ys []float64) (Line, error) {
+	if len(xs) != len(ys) {
+		return Line{}, fmt.Errorf("regression: %d xs vs %d ys", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return Line{}, ErrDegenerate
+	}
+	var sx, sy float64
+	l := Line{N: n, XMin: math.Inf(1), XMax: math.Inf(-1), YMin: math.Inf(1), YMax: math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+		l.XMin = math.Min(l.XMin, xs[i])
+		l.XMax = math.Max(l.XMax, xs[i])
+		l.YMin = math.Min(l.YMin, ys[i])
+		l.YMax = math.Max(l.YMax, ys[i])
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, ErrDegenerate
+	}
+	l.A = sxy / sxx
+	l.B = my - l.A*mx
+	if syy == 0 {
+		// All Y identical: the horizontal line fits exactly.
+		l.R2 = 1
+	} else {
+		ssRes := syy - l.A*sxy
+		l.R2 = 1 - ssRes/syy
+		if l.R2 < 0 {
+			l.R2 = 0
+		}
+	}
+	return l, nil
+}
+
+// FitPairs is Fit over integer iteration pairs.
+func FitPairs(pairs [][2]int64) (Line, error) {
+	xs := make([]float64, len(pairs))
+	ys := make([]float64, len(pairs))
+	for i, p := range pairs {
+		xs[i] = float64(p[0])
+		ys[i] = float64(p[1])
+	}
+	return Fit(xs, ys)
+}
+
+// Efficiency computes the multi-loop pipeline efficiency factor e of
+// Equation 2 for a fitted line over writer-loop iterations 0..nx-1 feeding
+// reader-loop iterations 0..ny-1.
+//
+// e = ∫current / ∫perfect, where ∫current is the area under the fitted
+// regression line over the writer's iteration domain, and ∫perfect is the
+// area under the line of a perfect pipeline over the same domain. The
+// perfect line runs from (0,0) to (nx-1, ny-1): every reader iteration
+// becomes ready as early as proportionally possible. For equal trip counts
+// this is the diagonal a=1, b=0 exactly as the paper describes; for unequal
+// trip counts (fluidanimate, where ~20 writer iterations feed one reader
+// iteration) the proportional diagonal keeps e in [0,1] for every causal
+// schedule, reproducing the paper's e=0.97 alongside a=0.05.
+//
+// e ≈ 1 means a perfectly balanced pipeline; e ≈ 0 means the reader must
+// wait for nearly all writer iterations (serialisation); e > 1 means reader
+// iterations are ready before their proportional writer progress, so the
+// loops can run almost fully in parallel.
+func Efficiency(l Line, nx, ny int64) float64 {
+	if nx <= 1 || ny <= 0 {
+		return 0
+	}
+	x1 := float64(nx - 1)
+	perfectSlope := float64(ny-1) / x1
+	// ∫0..x1 of (a·x + b) dx, clamped below at 0 (a reader iteration
+	// cannot be "less ready than not started").
+	current := integrateClamped(l.A, l.B, x1)
+	perfect := integrateClamped(perfectSlope, 0, x1)
+	if perfect == 0 {
+		// A single-iteration reader: any dependence serialises fully.
+		return 0
+	}
+	return current / perfect
+}
+
+// integrateClamped integrates max(0, a·x+b) over [0, x1].
+func integrateClamped(a, b, x1 float64) float64 {
+	if x1 <= 0 {
+		return 0
+	}
+	full := func(lo, hi float64) float64 {
+		return a*(hi*hi-lo*lo)/2 + b*(hi-lo)
+	}
+	if a == 0 {
+		if b <= 0 {
+			return 0
+		}
+		return b * x1
+	}
+	root := -b / a
+	switch {
+	case a > 0 && root <= 0:
+		return full(0, x1) // positive everywhere on [0,x1]
+	case a > 0 && root >= x1:
+		return 0 // negative everywhere
+	case a > 0:
+		return full(root, x1)
+	case root >= x1:
+		return full(0, x1) // a<0 but still positive on the interval
+	case root <= 0:
+		return 0
+	default:
+		return full(0, root)
+	}
+}
+
+// InterpretA renders the Table II description for coefficient a.
+func InterpretA(a float64) string {
+	const eps = 1e-9
+	switch {
+	case math.Abs(a-1) < eps:
+		return "one iteration of loop y depends exactly on one iteration of loop x"
+	case a < 1 && a > 0:
+		return fmt.Sprintf("1 iteration of loop y depends on %.4g iterations of loop x", 1/a)
+	case a > 1:
+		return fmt.Sprintf("%.4g iterations of loop y depend on 1 iteration of loop x; they can execute after that iteration of x", a)
+	default:
+		return "no positive dependence between iteration numbers"
+	}
+}
+
+// InterpretB renders the Table II description for coefficient b.
+func InterpretB(b float64) string {
+	const eps = 1e-9
+	switch {
+	case math.Abs(b) < eps:
+		return "all iterations of loop y depend on all iterations of loop x"
+	case b < 0:
+		return fmt.Sprintf("no iteration of loop y depends on the first %.4g iterations of loop x", -b)
+	default:
+		return fmt.Sprintf("the first %.4g iterations of loop y do not depend on any iteration of loop x", b)
+	}
+}

@@ -1,0 +1,214 @@
+package regression
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFitExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.A, 2, 1e-12) || !almost(l.B, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want a=2 b=1", l)
+	}
+	if !almost(l.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %g, want 1", l.R2)
+	}
+	if l.XMin != 0 || l.XMax != 4 || l.YMin != 1 || l.YMax != 9 {
+		t.Fatalf("bounds wrong: %+v", l)
+	}
+}
+
+func TestFitNoisyLine(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		noise := 0.25 * math.Sin(float64(i)*1.7) // zero-mean-ish deterministic noise
+		xs = append(xs, x)
+		ys = append(ys, 0.5*x-3+noise)
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.A, 0.5, 0.01) || !almost(l.B, -3, 0.5) {
+		t.Fatalf("fit = %+v, want a≈0.5 b≈-3", l)
+	}
+	if l.R2 < 0.99 {
+		t.Fatalf("R2 = %g, want > 0.99", l.R2)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{2}); err != ErrDegenerate {
+		t.Fatalf("single point: err = %v, want ErrDegenerate", err)
+	}
+	if _, err := Fit([]float64{3, 3, 3}, []float64{1, 2, 3}); err != ErrDegenerate {
+		t.Fatalf("constant X: err = %v, want ErrDegenerate", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}
+
+func TestFitConstantY(t *testing.T) {
+	l, err := Fit([]float64{0, 1, 2}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.A, 0, 1e-12) || !almost(l.B, 5, 1e-12) || l.R2 != 1 {
+		t.Fatalf("constant fit = %+v", l)
+	}
+}
+
+func TestFitPairs(t *testing.T) {
+	l, err := FitPairs([][2]int64{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(l.A, 1, 1e-12) || !almost(l.B, 0, 1e-12) {
+		t.Fatalf("pairs fit = %+v, want identity", l)
+	}
+}
+
+func TestEfficiencyPerfectPipeline(t *testing.T) {
+	// ludcmp case: a=1 b=0, equal trip counts → e = 1.
+	e := Efficiency(Line{A: 1, B: 0}, 100, 100)
+	if !almost(e, 1, 1e-9) {
+		t.Fatalf("e = %g, want 1", e)
+	}
+}
+
+func TestEfficiencyShiftedPipeline(t *testing.T) {
+	// reg_detect case: a=1, b=-1, large trip count → e slightly below 1.
+	e := Efficiency(Line{A: 1, B: -1}, 200, 200)
+	if e >= 1 || e < 0.97 {
+		t.Fatalf("e = %g, want in [0.97, 1)", e)
+	}
+}
+
+func TestEfficiencyUnequalTripCounts(t *testing.T) {
+	// fluidanimate case: ~20 writer iterations per reader iteration,
+	// a ≈ 1/20, small negative b → e close to but below 1.
+	const nx, ny = 4000, 200
+	a := float64(ny-1) / float64(nx-1)
+	e := Efficiency(Line{A: a, B: -3.5}, nx, ny)
+	if e < 0.9 || e >= 1 {
+		t.Fatalf("e = %g, want in [0.9, 1)", e)
+	}
+}
+
+func TestEfficiencySerialised(t *testing.T) {
+	// All reader iterations depend on the last writer iteration:
+	// points concentrate at X = nx-1, fitted line is nearly vertical…
+	// modelled here as a=0, b=0 after clamping: e ≈ 0.
+	e := Efficiency(Line{A: 0, B: 0}, 100, 100)
+	if !almost(e, 0, 1e-9) {
+		t.Fatalf("e = %g, want 0", e)
+	}
+}
+
+func TestEfficiencyParallel(t *testing.T) {
+	// Reader ready long before proportional writer progress (b >> 0):
+	// e > 1 signals near-parallel loops.
+	e := Efficiency(Line{A: 1, B: 50}, 100, 100)
+	if e <= 1 {
+		t.Fatalf("e = %g, want > 1", e)
+	}
+}
+
+func TestEfficiencyDegenerateDomains(t *testing.T) {
+	if e := Efficiency(Line{A: 1}, 1, 10); e != 0 {
+		t.Fatalf("nx=1: e = %g, want 0", e)
+	}
+	if e := Efficiency(Line{A: 1}, 10, 0); e != 0 {
+		t.Fatalf("ny=0: e = %g, want 0", e)
+	}
+	if e := Efficiency(Line{A: 1, B: 0}, 10, 1); e != 0 {
+		t.Fatalf("ny=1: e = %g, want 0 (single reader iteration serialises)", e)
+	}
+}
+
+func TestIntegrateClamped(t *testing.T) {
+	cases := []struct {
+		a, b, x1, want float64
+	}{
+		{1, 0, 10, 50},    // triangle
+		{0, 2, 10, 20},    // rectangle
+		{0, -1, 10, 0},    // everywhere negative
+		{1, -5, 10, 12.5}, // crosses zero at x=5: triangle from 5..10
+		{-1, 5, 10, 12.5}, // positive until x=5
+		{-1, -1, 10, 0},   // negative everywhere
+		{1, 5, 10, 100},   // positive everywhere: 50 + 50
+		{-1, 20, 10, 150}, // positive on all of [0,10]
+	}
+	for _, c := range cases {
+		if got := integrateClamped(c.a, c.b, c.x1); !almost(got, c.want, 1e-9) {
+			t.Errorf("integrateClamped(%g,%g,%g) = %g, want %g", c.a, c.b, c.x1, got, c.want)
+		}
+	}
+}
+
+func TestInterpretTableII(t *testing.T) {
+	if s := InterpretA(1); !strings.Contains(s, "exactly on one iteration") {
+		t.Errorf("a=1: %q", s)
+	}
+	if s := InterpretA(0.05); !strings.Contains(s, "20 iterations of loop x") {
+		t.Errorf("a=0.05: %q", s)
+	}
+	if s := InterpretA(3); !strings.Contains(s, "3 iterations of loop y") {
+		t.Errorf("a=3: %q", s)
+	}
+	if s := InterpretB(0); !strings.Contains(s, "all iterations") {
+		t.Errorf("b=0: %q", s)
+	}
+	if s := InterpretB(-1); !strings.Contains(s, "first 1 iterations of loop x") {
+		t.Errorf("b=-1: %q", s)
+	}
+	if s := InterpretB(2); !strings.Contains(s, "first 2 iterations of loop y") {
+		t.Errorf("b=2: %q", s)
+	}
+}
+
+// Property: fitting points generated exactly from a line recovers the line.
+func TestQuickFitRecoversExactLines(t *testing.T) {
+	f := func(a8, b8 int8, n8 uint8) bool {
+		a, b := float64(a8)/8, float64(b8)
+		n := int(n8%50) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = a*float64(i) + b
+		}
+		l, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almost(l.A, a, 1e-8) && almost(l.B, b, 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: efficiency of the proportional perfect line is always 1.
+func TestQuickEfficiencyOfPerfectLineIsOne(t *testing.T) {
+	f := func(nx8, ny8 uint8) bool {
+		nx, ny := int64(nx8)%200+2, int64(ny8)%200+2
+		a := float64(ny-1) / float64(nx-1)
+		e := Efficiency(Line{A: a, B: 0}, nx, ny)
+		return almost(e, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

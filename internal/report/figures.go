@@ -1,0 +1,129 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"pardetect/internal/core"
+	"pardetect/internal/cu"
+	"pardetect/internal/ir"
+	"pardetect/internal/patterns"
+)
+
+// Figure1Program builds the paper's Figure 1 example: two interleaved
+// read-compute-write chains. Lines 2/4/5/6 form CU_x and lines 3/7/8/9 form
+// CU_y (the function header is line 1).
+func Figure1Program() *ir.Program {
+	b := ir.NewBuilder("figure1")
+	b.GlobalArray("in", 2)
+	b.GlobalArray("out", 2)
+	f := b.Function("main")
+	f.Assign("x", ir.Ld("in", ir.C(0)))           // read state into x
+	f.Assign("y", ir.Ld("in", ir.C(1)))           // read state into y
+	f.Assign("a", ir.AddE(ir.V("x"), ir.C(2)))    // compute (temporary a)
+	f.Assign("b", ir.MulE(ir.V("a"), ir.C(3)))    // compute (temporary b)
+	f.Assign("x", ir.SubE(ir.V("b"), ir.C(4)))    // write x  → CU_x
+	f.Assign("c", ir.AddE(ir.V("y"), ir.C(5)))    // compute (temporary c)
+	f.Assign("d", ir.MulE(ir.V("c"), ir.C(6)))    // compute (temporary d)
+	f.Assign("y", ir.SubE(ir.V("d"), ir.C(7)))    // write y  → CU_y
+	f.Store("out", []ir.Expr{ir.C(0)}, ir.V("x")) // publish results
+	f.Store("out", []ir.Expr{ir.C(1)}, ir.V("y"))
+	f.Ret(ir.C(0))
+	return b.Build()
+}
+
+// Figure1 renders the CU division of the Figure 1 example: the program text
+// and the CUs with their (non-contiguous) line sets.
+func Figure1() (string, error) {
+	p := Figure1Program()
+	res, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	region, err := cu.FuncRegion(p, "main")
+	if err != nil {
+		return "", err
+	}
+	g := cu.Build(p, region, res.Profile)
+	var sb strings.Builder
+	sb.WriteString("Figure 1 — division of code into CUs (read-compute-write)\n\n")
+	sb.WriteString(p.String())
+	sb.WriteString("\n")
+	for _, c := range g.CUs {
+		fmt.Fprintf(&sb, "CU%d: lines %v — %s\n", c.ID, c.Lines, c.Label)
+	}
+	return sb.String(), nil
+}
+
+// Figure2Program builds a small program with the nested control-region
+// structure of the paper's Figure 2: a main function with a loop nest and
+// two callees, one of them called inside the loop.
+func Figure2Program() *ir.Program {
+	b := ir.NewBuilder("figure2")
+	b.GlobalArray("data", 16, 16)
+	b.GlobalArray("acc", 1)
+	f := b.Function("main")
+	f.Call("initialize")
+	f.For("i", ir.C(0), ir.C(16), func(k *ir.Block) {
+		k.For("j", ir.C(0), ir.C(16), func(k2 *ir.Block) {
+			k2.Store("data", []ir.Expr{ir.V("i"), ir.V("j")},
+				ir.AddE(ir.Ld("data", ir.V("i"), ir.V("j")), ir.MulE(ir.V("i"), ir.V("j"))))
+		})
+		k.Call("accumulate", ir.V("i"))
+	})
+	f.Ret(ir.Ld("acc", ir.C(0)))
+	init := b.Function("initialize")
+	init.For("w", ir.C(0), ir.C(16), func(k *ir.Block) {
+		k.Store("data", []ir.Expr{ir.V("w"), ir.C(0)}, ir.V("w"))
+	})
+	init.Ret(ir.C(0))
+	acc := b.Function("accumulate", "row")
+	acc.Assign("s", ir.Ld("acc", ir.C(0)))
+	acc.For("q", ir.C(0), ir.C(16), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("data", ir.V("row"), ir.V("q"))))
+	})
+	acc.Store("acc", []ir.Expr{ir.C(0)}, ir.V("s"))
+	acc.Ret(ir.C(0))
+	return b.Build()
+}
+
+// Figure2 renders the Program Execution Tree of the Figure 2 demo program.
+func Figure2() (string, error) {
+	res, err := core.Analyze(Figure2Program(), core.Options{})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — example execution tree with control regions\n\n")
+	sb.WriteString(res.Tree.String())
+	return sb.String(), nil
+}
+
+// Figure3 renders the CU graph of cilksort() from the sort benchmark with
+// the fork/worker/barrier classification of Algorithm 1, the paper's
+// Figure 3.
+func Figure3() (string, error) {
+	run, err := RunApp("sort")
+	if err != nil {
+		return "", err
+	}
+	tp, ok := run.Result.TaskPar["cilksort()"]
+	if !ok {
+		return "", fmt.Errorf("report: cilksort classification missing")
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 3 — CU graph of function cilksort() from the sort benchmark\n\n")
+	sb.WriteString(tp.Graph.String())
+	sb.WriteString("\n")
+	sb.WriteString(tp.String())
+	return sb.String(), nil
+}
+
+// FigureClasses exposes the classification of Figure 3 for tests.
+func FigureClasses(tp *patterns.TaskParallelismResult) map[string]int {
+	counts := map[string]int{}
+	for _, c := range tp.Class {
+		counts[c.String()]++
+	}
+	return counts
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pardetect/internal/core"
+	"pardetect/internal/cu"
+	"pardetect/internal/patterns"
+)
+
+// TestFigure1CUs pins the CU division of the paper's Figure 1: the x chain
+// and the y chain fold into two non-contiguous CUs.
+func TestFigure1CUs(t *testing.T) {
+	p := Figure1Program()
+	res, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := cu.FuncRegion(p, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cu.Build(p, region, res.Profile)
+
+	cux, ok := g.CUAt(2)
+	if !ok {
+		t.Fatal("line 2 not in a CU")
+	}
+	if got := fmt.Sprint(cux.Lines); got != "[2 4 5 6]" {
+		t.Errorf("CU_x lines = %v, want [2 4 5 6]", cux.Lines)
+	}
+	cuy, ok := g.CUAt(3)
+	if !ok {
+		t.Fatal("line 3 not in a CU")
+	}
+	if got := fmt.Sprint(cuy.Lines); got != "[3 7 8 9]" {
+		t.Errorf("CU_y lines = %v, want [3 7 8 9]", cuy.Lines)
+	}
+	out, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lines [2 4 5 6]", "lines [3 7 8 9]", "read-compute-write"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure2PET checks the execution-tree rendering has the expected
+// control-region structure.
+func TestFigure2PET(t *testing.T) {
+	out, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"func main", "func initialize", "func accumulate", "loop main.L1", "iters=256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFigure3CilksortGraph pins the structure of the paper's Figure 3: four
+// recursive workers, two pairwise merge barriers that can run in parallel,
+// and a final merge barrier that cannot.
+func TestFigure3CilksortGraph(t *testing.T) {
+	run, err := RunApp("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := run.Result.TaskPar["cilksort()"]
+	if tp == nil {
+		t.Fatal("cilksort classification missing")
+	}
+	counts := FigureClasses(tp)
+	if counts["worker"] != 4 {
+		t.Errorf("workers = %d, want 4 (the recursive quarter sorts)", counts["worker"])
+	}
+	if counts["barrier"] != 3 {
+		t.Errorf("barriers = %d, want 3 (two pair merges + final merge)", counts["barrier"])
+	}
+	if len(tp.ParallelBarriers) != 1 {
+		t.Errorf("parallel barrier pairs = %v, want exactly the two pair-merges", tp.ParallelBarriers)
+	}
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cilksort", "forks", "can run in parallel", "barrier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 3 output missing %q", want)
+		}
+	}
+	_ = patterns.TaskWorker // keep the import honest about what the figure shows
+}

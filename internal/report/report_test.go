@@ -1,0 +1,168 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pardetect/internal/apps"
+)
+
+// runsOnce caches the full evaluation (it takes ~1s) across tests.
+var runsOnce []*AppRun
+
+func allRuns(t *testing.T) []*AppRun {
+	t.Helper()
+	if runsOnce == nil {
+		rs, err := RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runsOnce = rs
+	}
+	return runsOnce
+}
+
+// TestTableIIISpeedupShape asserts the reproduction criterion for the
+// speedup column: every simulated best speedup lies within a factor band of
+// the paper's, and the peak thread count is within one sweep step.
+func TestTableIIISpeedupShape(t *testing.T) {
+	for _, r := range allRuns(t) {
+		e := r.App.Expect
+		if e.Speedup == 0 {
+			continue
+		}
+		ratio := r.Best.Speedup / e.Speedup
+		if ratio < 0.6 || ratio > 1.5 {
+			t.Errorf("%s: simulated %.2fx vs paper %.2fx (ratio %.2f outside [0.6, 1.5])",
+				r.App.Name, r.Best.Speedup, e.Speedup, ratio)
+		}
+		tRatio := float64(r.Best.Threads) / float64(e.Threads)
+		if tRatio < 0.45 || tRatio > 2.2 {
+			t.Errorf("%s: peak at %d threads vs paper %d", r.App.Name, r.Best.Threads, e.Threads)
+		}
+	}
+}
+
+// TestTableIIIWhoWins asserts the coarse ordering the paper demonstrates:
+// the perfect pipeline and the fusions scale into double digits, while the
+// tightly-coupled pipeline apps stay low and the reduction kernels saturate
+// in the middle.
+func TestTableIIIWhoWins(t *testing.T) {
+	best := map[string]float64{}
+	for _, r := range allRuns(t) {
+		best[r.App.Name] = r.Best.Speedup
+	}
+	for _, fast := range []string{"ludcmp", "rot-cc", "2mm", "correlation", "fib", "3mm", "mvt"} {
+		if best[fast] < 10 {
+			t.Errorf("%s: best %.2fx, want >= 10x", fast, best[fast])
+		}
+	}
+	for _, slow := range []string{"reg_detect", "fluidanimate"} {
+		if best[slow] > 3 {
+			t.Errorf("%s: best %.2fx, want <= 3x (tightly coupled)", slow, best[slow])
+		}
+	}
+	for _, mid := range []string{"bicg", "gesummv", "kmeans", "sort"} {
+		if best[mid] < 2 || best[mid] > 8 {
+			t.Errorf("%s: best %.2fx, want mid-range [2, 8]", mid, best[mid])
+		}
+	}
+	if best["fluidanimate"] >= best["ludcmp"] {
+		t.Error("fluidanimate must scale far worse than ludcmp")
+	}
+}
+
+// TestTableVIMatchesPaperExactly asserts the full ✓/✗/NA matrix.
+func TestTableVIMatchesPaperExactly(t *testing.T) {
+	rows, err := TableVIData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		for _, name := range apps.TableVIOrder {
+			got := row.Verdicts[name]
+			want := PaperTableVI[row.Tool][name]
+			if got != want {
+				t.Errorf("%s on %s: %q, paper reports %q", row.Tool, name, got, want)
+			}
+		}
+	}
+}
+
+// TestTableIVWithinBands asserts the pipeline coefficients land in the
+// paper's neighbourhood for all three rows.
+func TestTableIVWithinBands(t *testing.T) {
+	for _, r := range allRuns(t) {
+		e := r.App.Expect
+		if e.PipeE == 0 {
+			continue
+		}
+		pr := BestHotspotPipeline(r)
+		if pr == nil {
+			t.Errorf("%s: no hotspot pipeline", r.App.Name)
+			continue
+		}
+		if math.Abs(pr.A-e.PipeA) > 0.02*math.Max(1, math.Abs(e.PipeA)) {
+			t.Errorf("%s: a=%.3f vs paper %.2f", r.App.Name, pr.A, e.PipeA)
+		}
+		if math.Abs(pr.B-e.PipeB) > 1.5 {
+			t.Errorf("%s: b=%.3f vs paper %.2f", r.App.Name, pr.B, e.PipeB)
+		}
+		if math.Abs(pr.E-e.PipeE) > 0.05 {
+			t.Errorf("%s: e=%.3f vs paper %.2f", r.App.Name, pr.E, e.PipeE)
+		}
+	}
+}
+
+func TestTableRenderings(t *testing.T) {
+	runs := allRuns(t)
+	t1 := TableI()
+	for _, want := range []string{"Master/worker", "SPMD", "Flow of data"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := TableII()
+	if !strings.Contains(t2, "20 iterations of loop x") {
+		t.Errorf("Table II missing the a=0.05 interpretation:\n%s", t2)
+	}
+	t3 := TableIII(runs)
+	for _, name := range apps.TableIIIOrder {
+		if !strings.Contains(t3, name) {
+			t.Errorf("Table III missing %s", name)
+		}
+	}
+	t4 := TableIV(runs)
+	if !strings.Contains(t4, "ludcmp") || !strings.Contains(t4, "fluidanimate") {
+		t.Errorf("Table IV incomplete:\n%s", t4)
+	}
+	t5 := TableV(runs)
+	for _, name := range []string{"fib", "sort", "strassen", "3mm", "mvt"} {
+		if !strings.Contains(t5, name) {
+			t.Errorf("Table V missing %s", name)
+		}
+	}
+	t6, err := TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The header legend contains a literal *; only data lines may not.
+	if body := strings.SplitN(t6, "\n\n", 2); len(body) == 2 && strings.Contains(body[1], "*") {
+		t.Errorf("Table VI deviates from paper:\n%s", t6)
+	}
+	for _, r := range runs {
+		if r.Sweep != nil && !strings.Contains(SpeedupCurve(r), "threads:") {
+			t.Errorf("SpeedupCurve broken for %s", r.App.Name)
+		}
+	}
+	if cp := CrossLoopPairs(runs[0].Result.Profile); !strings.Contains(cp, "->") {
+		t.Errorf("CrossLoopPairs empty for ludcmp:\n%s", cp)
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	if _, err := RunApp("nosuch"); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/core"
+	"pardetect/internal/sched"
+)
+
+// TestTuneKnobs grid-searches each app's (Spawn, Join) against the paper's
+// best speedup and thread count. Run manually with TUNE=1.
+func TestTuneKnobs(t *testing.T) {
+	if os.Getenv("TUNE") != "1" {
+		t.Skip("set TUNE=1 to run the tuning sweep")
+	}
+	spawns := []float64{0, 2, 5, 10, 20, 40, 80, 160, 320, 640}
+	joins := []float64{0, 0.3, 1, 3, 10, 30, 100, 300, 1000}
+	for _, name := range apps.TableIIIOrder {
+		app := apps.Get(name)
+		if app.Schedule == nil || app.Expect.Speedup == 0 {
+			continue
+		}
+		res, err := core.Analyze(app.Build(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm := apps.CostModel{Prof: res.Profile, Tree: res.Tree}
+		bestScore := math.Inf(1)
+		var bestS, bestJ float64
+		var bestPt sched.Point
+		for _, sp := range spawns {
+			for _, jo := range joins {
+				app.Spawn, app.Join = sp, jo
+				pts := sched.Sweep(func(threads int) []sched.Node {
+					return app.Schedule(cm, threads)
+				}, nil, sp)
+				best := sched.Best(pts)
+				score := math.Abs(math.Log(best.Speedup/app.Expect.Speedup)) +
+					0.5*math.Abs(math.Log2(float64(best.Threads)/float64(app.Expect.Threads)))
+				if score < bestScore {
+					bestScore, bestS, bestJ, bestPt = score, sp, jo, best
+				}
+			}
+		}
+		fmt.Printf("%-14s Spawn=%-5g Join=%-5g -> %.2fx @%d (paper %.2fx @%d, score %.3f)\n",
+			name, bestS, bestJ, bestPt.Speedup, bestPt.Threads, app.Expect.Speedup, app.Expect.Threads, bestScore)
+	}
+}

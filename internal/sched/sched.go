@@ -1,0 +1,321 @@
+// Package sched is a deterministic discrete-event simulator of parallel
+// schedules. It replays a task graph — whose node costs come from dynamic
+// operation counts measured by the interpreter — on P abstract workers with
+// a simple overhead model, and reports the makespan.
+//
+// The evaluation machine of this reproduction has a single physical core, so
+// wall-clock speedups cannot reproduce the paper's 2×8-core Xeon numbers.
+// The simulator preserves what the paper's Table III actually demonstrates:
+// which detected pattern scales, where it saturates (synchronisation and
+// span limits), and where it collapses (fluidanimate's tightly-coupled
+// pipeline capping near 1.5×).
+//
+// The model is intentionally simple and fully documented:
+//
+//   - P identical workers; a task occupies one worker for Cost units.
+//   - A task becomes ready when all dependences have finished.
+//   - Greedy list scheduling: among ready tasks the earliest-ready (ties by
+//     node index) is placed on the earliest-free worker.
+//   - Starting a task costs Spawn units on the worker (thread fork / task
+//     dispatch overhead); Spawn is the single tuning knob.
+//
+// The sequential baseline is the plain sum of costs with no overhead, so
+// speedup = ΣCost / makespan(P) and super-linear results are impossible.
+package sched
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Node is one schedulable task.
+type Node struct {
+	// Cost is the task's execution time in abstract units (typically
+	// dynamic IR operations).
+	Cost float64
+	// Deps are indices of nodes that must finish first.
+	Deps []int
+}
+
+// SeqTime returns the sequential execution time: the sum of all costs.
+func SeqTime(nodes []Node) float64 {
+	var s float64
+	for _, n := range nodes {
+		s += n.Cost
+	}
+	return s
+}
+
+// Makespan simulates the schedule on the given number of workers and
+// returns the completion time of the last task. spawn is the per-task
+// dispatch overhead. It panics on dependence cycles (schedules are built
+// from DAG builders in this repository).
+func Makespan(nodes []Node, threads int, spawn float64) float64 {
+	n := len(nodes)
+	if n == 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, nd := range nodes {
+		indeg[i] = len(nd.Deps)
+		for _, d := range nd.Deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	readyAt := make([]float64, n)
+	finish := make([]float64, n)
+
+	// Ready tasks ordered by (readyAt, index).
+	ready := &taskHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(ready, taskItem{idx: i, at: 0})
+		}
+	}
+	// Workers ordered by next-free time.
+	workers := &workerHeap{}
+	for w := 0; w < threads; w++ {
+		heap.Push(workers, 0.0)
+	}
+	scheduled := 0
+	var makespan float64
+	for ready.Len() > 0 {
+		t := heap.Pop(ready).(taskItem)
+		free := heap.Pop(workers).(float64)
+		start := max2(free, t.at) + spawn
+		end := start + nodes[t.idx].Cost
+		finish[t.idx] = end
+		heap.Push(workers, end)
+		if end > makespan {
+			makespan = end
+		}
+		scheduled++
+		for _, d := range dependents[t.idx] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				at := 0.0
+				for _, dep := range nodes[d].Deps {
+					if finish[dep] > at {
+						at = finish[dep]
+					}
+				}
+				readyAt[d] = at
+				heap.Push(ready, taskItem{idx: d, at: at})
+			}
+		}
+	}
+	if scheduled != n {
+		panic("sched: dependence cycle in task graph")
+	}
+	return makespan
+}
+
+// Speedup returns SeqTime / Makespan for the given worker count.
+func Speedup(nodes []Node, threads int, spawn float64) float64 {
+	ms := Makespan(nodes, threads, spawn)
+	if ms == 0 {
+		return 1
+	}
+	return SeqTime(nodes) / ms
+}
+
+// Point is one entry of a speedup-vs-threads sweep.
+type Point struct {
+	Threads int
+	Speedup float64
+}
+
+// DefaultThreadCounts is the sweep used throughout the evaluation,
+// mirroring the paper's "maximum of 32 threads".
+var DefaultThreadCounts = []int{1, 2, 4, 8, 16, 32}
+
+// Sweep evaluates the speedup at each thread count. build constructs the
+// schedule for a given thread count (chunked schedules depend on it); counts
+// defaults to DefaultThreadCounts when nil.
+func Sweep(build func(threads int) []Node, counts []int, spawn float64) []Point {
+	if counts == nil {
+		counts = DefaultThreadCounts
+	}
+	out := make([]Point, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, Point{Threads: c, Speedup: Speedup(build(c), c, spawn)})
+	}
+	return out
+}
+
+// Best returns the sweep point with the highest speedup; among equal
+// speedups the smallest thread count wins (the number the paper reports).
+func Best(points []Point) Point {
+	best := Point{Threads: 1, Speedup: 0}
+	for _, p := range points {
+		if p.Speedup > best.Speedup+1e-9 {
+			best = p
+		}
+	}
+	return best
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type taskItem struct {
+	idx int
+	at  float64
+}
+
+type taskHeap []taskItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].idx < h[j].idx
+}
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(taskItem)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type workerHeap []float64
+
+func (h workerHeap) Len() int            { return len(h) }
+func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *workerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Builder assembles task graphs from the supporting-structure idioms.
+type Builder struct {
+	nodes []Node
+}
+
+// NewBuilder returns an empty schedule builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Nodes returns the built graph.
+func (b *Builder) Nodes() []Node { return b.nodes }
+
+// Add appends one task and returns its index.
+func (b *Builder) Add(cost float64, deps ...int) int {
+	b.nodes = append(b.nodes, Node{Cost: cost, Deps: append([]int(nil), deps...)})
+	return len(b.nodes) - 1
+}
+
+// DoAll appends a do-all loop of n iterations with the given per-iteration
+// cost, split into `chunks` chunk-tasks that all depend on deps. It returns
+// the chunk task indices. Use chunks == threads for static SPMD scheduling.
+func (b *Builder) DoAll(n int, perIter float64, chunks int, deps ...int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var ids []int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ids = append(ids, b.Add(float64(hi-lo)*perIter, deps...))
+	}
+	return ids
+}
+
+// Barrier appends a zero-cost join node depending on all of deps and returns
+// its index.
+func (b *Builder) Barrier(deps ...int) int { return b.Add(0, deps...) }
+
+// Reduction appends a reduction over n iterations: chunked partial sums plus
+// a combine node whose cost is proportional to the number of chunks. The
+// combine node index is returned.
+func (b *Builder) Reduction(n int, perIter, combinePerChunk float64, chunks int, deps ...int) int {
+	ids := b.DoAll(n, perIter, chunks, deps...)
+	return b.Add(float64(len(ids))*combinePerChunk, ids...)
+}
+
+// Pipeline appends a two-stage multi-loop pipeline: writer blocks of the
+// first loop and reader blocks of the second, where reader block k depends
+// on the writer block containing iteration need(j) for its last iteration j.
+// Blocks have `grain` iterations. readerSerial chains the reader blocks,
+// modelling a consumer loop with inter-iteration dependences (reg_detect's
+// second loop); when false the reader iterations are mutually independent.
+// It returns the reader block indices.
+func (b *Builder) Pipeline(nx, ny int, xPerIter, yPerIter float64, need func(j int) int, grain int, readerSerial bool, deps ...int) []int {
+	if grain < 1 {
+		grain = 1
+	}
+	var xBlocks []int
+	prev := -1
+	for lo := 0; lo < nx; lo += grain {
+		hi := lo + grain
+		if hi > nx {
+			hi = nx
+		}
+		d := append([]int(nil), deps...)
+		if prev >= 0 {
+			// Writer blocks run in order (one logical producer).
+			d = append(d, prev)
+		}
+		prev = b.Add(float64(hi-lo)*xPerIter, d...)
+		xBlocks = append(xBlocks, prev)
+	}
+	blockOf := func(i int) int {
+		if i < 0 {
+			return -1
+		}
+		bi := i / grain
+		if bi >= len(xBlocks) {
+			bi = len(xBlocks) - 1
+		}
+		return bi
+	}
+	var readers []int
+	for lo := 0; lo < ny; lo += grain {
+		hi := lo + grain
+		if hi > ny {
+			hi = ny
+		}
+		d := append([]int(nil), deps...)
+		// The block's last iteration has the strongest requirement.
+		if bi := blockOf(need(hi - 1)); bi >= 0 {
+			d = append(d, xBlocks[bi])
+		}
+		if readerSerial && len(readers) > 0 {
+			d = append(d, readers[len(readers)-1])
+		}
+		readers = append(readers, b.Add(float64(hi-lo)*yPerIter, d...))
+	}
+	return readers
+}
+
+// SortedCopy returns the points sorted by thread count (for stable output).
+func SortedCopy(points []Point) []Point {
+	out := append([]Point(nil), points...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Threads < out[j].Threads })
+	return out
+}

@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMakespanSingleTask(t *testing.T) {
+	nodes := []Node{{Cost: 10}}
+	if ms := Makespan(nodes, 4, 0); ms != 10 {
+		t.Fatalf("makespan = %g, want 10", ms)
+	}
+	if ms := Makespan(nodes, 4, 2); ms != 12 {
+		t.Fatalf("makespan with spawn = %g, want 12", ms)
+	}
+}
+
+func TestMakespanIndependentTasksScaleLinearly(t *testing.T) {
+	var nodes []Node
+	for i := 0; i < 32; i++ {
+		nodes = append(nodes, Node{Cost: 5})
+	}
+	if ms := Makespan(nodes, 1, 0); ms != 160 {
+		t.Fatalf("1 worker: %g, want 160", ms)
+	}
+	if ms := Makespan(nodes, 8, 0); ms != 20 {
+		t.Fatalf("8 workers: %g, want 20", ms)
+	}
+	if ms := Makespan(nodes, 32, 0); ms != 5 {
+		t.Fatalf("32 workers: %g, want 5", ms)
+	}
+	if ms := Makespan(nodes, 64, 0); ms != 5 {
+		t.Fatalf("64 workers: %g, want 5 (no more parallelism than tasks)", ms)
+	}
+}
+
+func TestMakespanRespectsChain(t *testing.T) {
+	nodes := []Node{{Cost: 3}, {Cost: 4, Deps: []int{0}}, {Cost: 5, Deps: []int{1}}}
+	if ms := Makespan(nodes, 8, 0); ms != 12 {
+		t.Fatalf("chain makespan = %g, want 12 (no parallelism)", ms)
+	}
+}
+
+func TestMakespanDiamond(t *testing.T) {
+	// 0 (1) -> {1,2} (10 each) -> 3 (1): with 2 workers = 1+10+1.
+	nodes := []Node{
+		{Cost: 1},
+		{Cost: 10, Deps: []int{0}},
+		{Cost: 10, Deps: []int{0}},
+		{Cost: 1, Deps: []int{1, 2}},
+	}
+	if ms := Makespan(nodes, 2, 0); ms != 12 {
+		t.Fatalf("diamond on 2 workers = %g, want 12", ms)
+	}
+	if ms := Makespan(nodes, 1, 0); ms != 22 {
+		t.Fatalf("diamond on 1 worker = %g, want 22", ms)
+	}
+}
+
+func TestSpeedupNeverSuperLinear(t *testing.T) {
+	b := NewBuilder()
+	ids := b.DoAll(1000, 1, 16)
+	b.Barrier(ids...)
+	for _, p := range Sweep(func(int) []Node { return b.Nodes() }, nil, 0.5) {
+		if p.Speedup > float64(p.Threads)+1e-9 {
+			t.Fatalf("super-linear speedup %g at %d threads", p.Speedup, p.Threads)
+		}
+		if p.Speedup <= 0 {
+			t.Fatalf("non-positive speedup at %d threads", p.Threads)
+		}
+	}
+}
+
+func TestSpawnOverheadCausesSaturation(t *testing.T) {
+	// Fine-grained chunks with large spawn overhead must saturate: the
+	// best thread count is below the maximum.
+	build := func(threads int) []Node {
+		b := NewBuilder()
+		ids := b.DoAll(64, 1, 64) // 64 tiny tasks of cost 1
+		b.Barrier(ids...)
+		return b.Nodes()
+	}
+	pts := Sweep(build, []int{1, 2, 4, 8, 16, 32}, 4.0)
+	best := Best(pts)
+	if best.Speedup >= 8 {
+		t.Fatalf("overhead-dominated schedule scaled to %g", best.Speedup)
+	}
+	// And with zero overhead the same schedule scales much further.
+	pts0 := Sweep(build, []int{1, 2, 4, 8, 16, 32}, 0)
+	if Best(pts0).Speedup <= best.Speedup {
+		t.Fatal("removing overhead must improve the best speedup")
+	}
+}
+
+func TestAmdahlSerialFraction(t *testing.T) {
+	// 20% serial + 80% perfectly parallel: speedup limit 1/(0.2+0.8/p).
+	build := func(threads int) []Node {
+		b := NewBuilder()
+		s := b.Add(200)
+		ids := b.DoAll(800, 1, threads, s)
+		b.Barrier(ids...)
+		return b.Nodes()
+	}
+	for _, p := range Sweep(build, []int{2, 8, 32}, 0) {
+		bound := 1.0 / (0.2 + 0.8/float64(p.Threads))
+		if p.Speedup > bound+1e-6 {
+			t.Fatalf("speedup %g beats Amdahl bound %g at %d threads", p.Speedup, bound, p.Threads)
+		}
+		if p.Speedup < bound*0.95 {
+			t.Fatalf("speedup %g far below Amdahl bound %g at %d threads", p.Speedup, bound, p.Threads)
+		}
+	}
+}
+
+func TestPipelinePerfectScalesToTwoStages(t *testing.T) {
+	// A perfect 1:1 pipeline of two equal loops: with 2+ workers the two
+	// stages overlap almost fully → speedup close to 2 (bounded by fill).
+	build := func(threads int) []Node {
+		b := NewBuilder()
+		b.Pipeline(1000, 1000, 1, 1, func(j int) int { return j }, 50, true)
+		return b.Nodes()
+	}
+	pts := Sweep(build, []int{1, 2, 4}, 0)
+	if !almost(pts[0].Speedup, 1, 0.01) {
+		t.Fatalf("1 worker speedup = %g, want 1", pts[0].Speedup)
+	}
+	if pts[1].Speedup < 1.7 || pts[1].Speedup > 2.0 {
+		t.Fatalf("2 worker pipeline speedup = %g, want ≈ 2", pts[1].Speedup)
+	}
+}
+
+func TestPipelineSerialisedWhenReaderNeedsAll(t *testing.T) {
+	// need(j) = nx-1 for all j and a dependence-carrying reader: the
+	// reader cannot start until the writer finishes and cannot overlap
+	// itself → speedup ≈ 1 regardless of workers.
+	build := func(threads int) []Node {
+		b := NewBuilder()
+		b.Pipeline(1000, 1000, 1, 1, func(j int) int { return 999 }, 50, true)
+		return b.Nodes()
+	}
+	pts := Sweep(build, []int{8}, 0)
+	if pts[0].Speedup > 1.1 {
+		t.Fatalf("serialised pipeline sped up: %g", pts[0].Speedup)
+	}
+	// With an independent reader the same dependence still allows the
+	// reader loop to parallelise internally.
+	buildPar := func(threads int) []Node {
+		b := NewBuilder()
+		b.Pipeline(1000, 1000, 1, 1, func(j int) int { return 999 }, 50, false)
+		return b.Nodes()
+	}
+	ptsPar := Sweep(buildPar, []int{8}, 0)
+	if ptsPar[0].Speedup <= pts[0].Speedup {
+		t.Fatal("independent reader must beat serial reader")
+	}
+}
+
+func TestReductionBuilder(t *testing.T) {
+	b := NewBuilder()
+	combine := b.Reduction(1024, 1, 0.5, 8)
+	nodes := b.Nodes()
+	if len(nodes) != 9 {
+		t.Fatalf("nodes = %d, want 8 chunks + combine", len(nodes))
+	}
+	if len(nodes[combine].Deps) != 8 {
+		t.Fatalf("combine deps = %d, want 8", len(nodes[combine].Deps))
+	}
+	sp := Speedup(nodes, 8, 0)
+	if sp < 6 || sp > 8 {
+		t.Fatalf("reduction speedup on 8 = %g, want near 8", sp)
+	}
+}
+
+func TestBuilderDoAllEdgeCases(t *testing.T) {
+	b := NewBuilder()
+	if ids := b.DoAll(0, 1, 4); ids != nil {
+		t.Fatal("empty do-all must add nothing")
+	}
+	ids := b.DoAll(3, 1, 10) // chunks clamp to n
+	if len(ids) != 3 {
+		t.Fatalf("chunks = %d, want 3", len(ids))
+	}
+	ids2 := b.DoAll(10, 1, 0) // chunks clamp to 1
+	if len(ids2) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(ids2))
+	}
+}
+
+func TestBestPicksSmallestThreadsOnTies(t *testing.T) {
+	pts := []Point{{Threads: 8, Speedup: 3}, {Threads: 16, Speedup: 3}, {Threads: 4, Speedup: 2}}
+	if best := Best(pts); best.Threads != 8 {
+		t.Fatalf("best = %+v, want 8 threads", best)
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	pts := []Point{{Threads: 8}, {Threads: 1}, {Threads: 4}}
+	sorted := SortedCopy(pts)
+	if sorted[0].Threads != 1 || sorted[2].Threads != 8 {
+		t.Fatalf("sorted = %+v", sorted)
+	}
+	if pts[0].Threads != 8 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMakespanPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cycle must panic")
+		}
+	}()
+	Makespan([]Node{{Cost: 1, Deps: []int{1}}, {Cost: 1, Deps: []int{0}}}, 2, 0)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	if ms := Makespan(nil, 4, 1); ms != 0 {
+		t.Fatalf("empty makespan = %g", ms)
+	}
+	if sp := Speedup(nil, 4, 1); sp != 1 {
+		t.Fatalf("empty speedup = %g", sp)
+	}
+}
+
+// Property: makespan is monotonically non-increasing in worker count and
+// never below the critical path or the area bound.
+func TestQuickMakespanBounds(t *testing.T) {
+	f := func(costs []uint8, t8 uint8) bool {
+		if len(costs) == 0 {
+			return true
+		}
+		if len(costs) > 64 {
+			costs = costs[:64]
+		}
+		threads := int(t8)%16 + 1
+		// Random-ish DAG: node i depends on i/2 (a binary tree).
+		nodes := make([]Node, len(costs))
+		var total float64
+		for i, c := range costs {
+			nodes[i].Cost = float64(c%50) + 1
+			total += nodes[i].Cost
+			if i > 0 {
+				nodes[i].Deps = []int{(i - 1) / 2}
+			}
+		}
+		ms := Makespan(nodes, threads, 0)
+		msMore := Makespan(nodes, threads+1, 0)
+		// Greedy list scheduling is subject to Graham anomalies: extra
+		// workers may hurt, but never beyond the 2x work-stealing bound.
+		if msMore > 2*ms+1e-9 {
+			return false
+		}
+		if ms+1e-9 < total/float64(threads) {
+			return false // area bound
+		}
+		if ms > total+1e-9 {
+			return false // never worse than sequential (spawn=0)
+		}
+		// Critical-path lower bound along the binary-tree chain.
+		var span float64
+		for i := len(nodes) - 1; i > 0; i = (i - 1) / 2 {
+			span += nodes[i].Cost
+		}
+		span += nodes[0].Cost
+		if len(nodes) > 1 && ms+1e-9 < span {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

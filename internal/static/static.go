@@ -1,0 +1,207 @@
+// Package static implements the two static-analysis baseline reduction
+// detectors the paper compares against in Table VI: Intel icc's loop
+// auto-recognition and Sambamba's static reduction analysis. Neither tool is
+// available here, so each baseline is modelled with its *published failure
+// modes* (§IV-D and the tools' own documentation), which is what Table VI
+// measures:
+//
+//   - icc recognises only the simplest scalar reduction in the lexical
+//     extent of a loop. Possible aliasing through array-element accumulators
+//     or through calls inside the loop body makes it give up ("pointer
+//     aliasing and array referencing may make them miss some reduction
+//     opportunities", §III-D).
+//   - Sambamba also handles array-element accumulators with syntactically
+//     identical subscripts, but being purely static it cannot follow the
+//     accumulation into a callee (sum_module) — and it could not process the
+//     irregular benchmarks at all (reported "NA" for nqueens and kmeans in
+//     Table VI), modelled here as refusing programs with recursion or
+//     unstructured (while) loops.
+//
+// Both detectors see exactly the information a compiler front end would see:
+// the static IR, never a dynamic profile.
+package static
+
+import (
+	"sort"
+
+	"pardetect/internal/ir"
+)
+
+// Detection is one statically detected reduction.
+type Detection struct {
+	LoopID string
+	// Name is the accumulator symbol.
+	Name string
+	// Array reports whether the accumulator is an array element.
+	Array bool
+	// Line is the accumulation statement's line.
+	Line int
+}
+
+// DetectReductionsIcc models icc: scalar accumulators only, lexical extent
+// only, defeated by any call in the loop body (potential aliasing).
+func DetectReductionsIcc(p *ir.Program) []Detection {
+	var out []Detection
+	for _, l := range ir.ProgramLoops(p) {
+		if !l.Counted {
+			continue // while loops are not auto-recognised
+		}
+		if bodyHasCall(l.Body) {
+			continue // conservative: a call may alias the accumulator
+		}
+		for _, d := range scanAccumulations(l, false) {
+			out = append(out, d)
+		}
+	}
+	sortDetections(out)
+	return out
+}
+
+// DetectReductionsSambamba models Sambamba: scalar and array-element
+// accumulators in the lexical extent, but applicable = false (the tool
+// reports "NA") for programs with recursion or unstructured while loops.
+func DetectReductionsSambamba(p *ir.Program) (dets []Detection, applicable bool) {
+	if hasRecursion(p) || hasWhileLoop(p) {
+		return nil, false
+	}
+	for _, l := range ir.ProgramLoops(p) {
+		for _, d := range scanAccumulations(l, true) {
+			dets = append(dets, d)
+		}
+	}
+	sortDetections(dets)
+	return dets, true
+}
+
+// scanAccumulations finds v = v ⊕ e statements in the *direct* body of the
+// loop (descending into conditionals but not into nested loops, which are
+// scanned as loops of their own; and never into callees — that is the whole
+// limitation of static analysis that Table VI demonstrates).
+func scanAccumulations(l ir.LoopInfo, allowArray bool) []Detection {
+	var out []Detection
+	var scan func(stmts []ir.Stmt)
+	scan = func(stmts []ir.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ir.Assign:
+				if d, ok := accumulation(s, l, allowArray); ok {
+					out = append(out, d)
+				}
+			case *ir.If:
+				scan(s.Then)
+				scan(s.Else)
+			}
+		}
+	}
+	scan(l.Body)
+	return out
+}
+
+// accumulation matches v = v ⊕ e (or v = e ⊕ v) with ⊕ associative, where v
+// is a scalar other than the loop variable, or — when allowArray — an array
+// element whose subscript expression is syntactically identical on both
+// sides.
+func accumulation(s *ir.Assign, l ir.LoopInfo, allowArray bool) (Detection, bool) {
+	bin, ok := s.Src.(*ir.Bin)
+	if !ok {
+		return Detection{}, false
+	}
+	switch bin.Op {
+	case ir.Add, ir.Mul, ir.Min, ir.Max:
+	default:
+		return Detection{}, false
+	}
+	switch dst := s.Dst.(type) {
+	case ir.Var:
+		if sideIsVar(bin.L, dst.Name) || sideIsVar(bin.R, dst.Name) {
+			return Detection{LoopID: l.ID, Name: dst.Name, Line: s.Pos()}, true
+		}
+	case *ir.Elem:
+		if !allowArray {
+			return Detection{}, false
+		}
+		want := ir.FormatLValue(dst)
+		if sideIsElem(bin.L, want) || sideIsElem(bin.R, want) {
+			return Detection{LoopID: l.ID, Name: dst.Arr, Array: true, Line: s.Pos()}, true
+		}
+	}
+	return Detection{}, false
+}
+
+func sideIsVar(x ir.Expr, name string) bool {
+	v, ok := x.(ir.Var)
+	return ok && v.Name == name
+}
+
+func sideIsElem(x ir.Expr, formatted string) bool {
+	e, ok := x.(*ir.Elem)
+	return ok && ir.FormatExpr(e) == formatted
+}
+
+func bodyHasCall(stmts []ir.Stmt) bool {
+	found := false
+	ir.WalkStmts(stmts, func(s ir.Stmt) {
+		for _, x := range ir.StmtExprs(s) {
+			ir.WalkExpr(x, func(e ir.Expr) {
+				if _, ok := e.(*ir.Call); ok {
+					found = true
+				}
+			})
+		}
+	})
+	return found
+}
+
+func hasWhileLoop(p *ir.Program) bool {
+	for _, l := range ir.ProgramLoops(p) {
+		if !l.Counted {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRecursion reports whether the static call graph has a cycle.
+func hasRecursion(p *ir.Program) bool {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var visit func(fn string) bool
+	visit = func(fn string) bool {
+		switch state[fn] {
+		case inStack:
+			return true
+		case done:
+			return false
+		}
+		state[fn] = inStack
+		f := p.Func(fn)
+		if f != nil {
+			for _, callee := range ir.CalledFuncs(f.Body) {
+				if visit(callee) {
+					return true
+				}
+			}
+		}
+		state[fn] = done
+		return false
+	}
+	for _, f := range p.Funcs {
+		if visit(f.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDetections(ds []Detection) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].LoopID != ds[j].LoopID {
+			return ds[i].LoopID < ds[j].LoopID
+		}
+		return ds[i].Line < ds[j].Line
+	})
+}

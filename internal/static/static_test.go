@@ -1,0 +1,207 @@
+package static
+
+import (
+	"testing"
+
+	"pardetect/internal/ir"
+)
+
+// sumLocal builds Listing 8: reduction in the lexical extent of the loop.
+func sumLocal() *ir.Program {
+	b := ir.NewBuilder("sum_local")
+	b.GlobalArray("arr", 32)
+	f := b.Function("main")
+	f.Assign("sum", ir.C(0))
+	f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Assign("sum", ir.AddE(ir.V("sum"), ir.Ld("arr", ir.V("i"))))
+	})
+	f.Ret(ir.V("sum"))
+	return b.Build()
+}
+
+// sumModule builds Listing 9: the accumulation happens inside a callee.
+func sumModule() *ir.Program {
+	b := ir.NewBuilder("sum_module")
+	b.GlobalArray("arr", 32)
+	b.GlobalArray("sum", 1)
+	f := b.Function("main")
+	f.Store("sum", []ir.Expr{ir.C(0)}, ir.C(0))
+	f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Call("addmod", ir.Ld("arr", ir.V("i")))
+	})
+	f.Ret(ir.Ld("sum", ir.C(0)))
+	g := b.Function("addmod", "val")
+	g.Assign("x", ir.MulE(ir.V("val"), ir.C(3)))
+	g.Store("sum", []ir.Expr{ir.C(0)}, ir.AddE(ir.Ld("sum", ir.C(0)), ir.V("x")))
+	g.Ret(ir.V("x"))
+	return b.Build()
+}
+
+// arrayAccumulator builds a bicg-like kernel: s[j] = s[j] + r[i]*A[i][j].
+func arrayAccumulator() *ir.Program {
+	const n = 8
+	b := ir.NewBuilder("bicg-like")
+	b.GlobalArray("A", n, n)
+	b.GlobalArray("r", n)
+	b.GlobalArray("s", n)
+	f := b.Function("main")
+	f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.For("j", ir.C(0), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("s", []ir.Expr{ir.V("j")},
+				ir.AddE(ir.Ld("s", ir.V("j")), ir.MulE(ir.Ld("r", ir.V("i")), ir.Ld("A", ir.V("i"), ir.V("j")))))
+		})
+	})
+	f.Ret(ir.C(0))
+	return b.Build()
+}
+
+// recursive builds an nqueens-like shape: reduction loop containing a
+// recursive call.
+func recursive() *ir.Program {
+	b := ir.NewBuilder("nq-like")
+	b.Function("main").Ret(ir.CallE("solve", ir.C(4)))
+	s := b.Function("solve", "depth")
+	s.If(ir.LtE(ir.V("depth"), ir.C(0)), func(k *ir.Block) { k.Ret(ir.C(1)) })
+	s.Assign("count", ir.C(0))
+	s.For("i", ir.C(0), ir.C(3), func(k *ir.Block) {
+		k.Assign("count", ir.AddE(ir.V("count"), ir.CallE("solve", ir.SubE(ir.V("depth"), ir.C(1)))))
+	})
+	s.Ret(ir.V("count"))
+	return b.Build()
+}
+
+func TestIccDetectsSumLocal(t *testing.T) {
+	got := DetectReductionsIcc(sumLocal())
+	if len(got) != 1 || got[0].Name != "sum" || got[0].Array {
+		t.Fatalf("icc on sum_local = %+v, want the scalar sum", got)
+	}
+}
+
+func TestIccMissesSumModule(t *testing.T) {
+	if got := DetectReductionsIcc(sumModule()); len(got) != 0 {
+		t.Fatalf("icc on sum_module = %+v, want none (accumulation is interprocedural)", got)
+	}
+}
+
+func TestIccMissesArrayAccumulator(t *testing.T) {
+	if got := DetectReductionsIcc(arrayAccumulator()); len(got) != 0 {
+		t.Fatalf("icc on array accumulator = %+v, want none (array referencing)", got)
+	}
+}
+
+func TestIccMissesLoopWithCall(t *testing.T) {
+	if got := DetectReductionsIcc(recursive()); len(got) != 0 {
+		t.Fatalf("icc on recursive = %+v, want none (call may alias)", got)
+	}
+}
+
+func TestSambambaDetectsSumLocal(t *testing.T) {
+	got, ok := DetectReductionsSambamba(sumLocal())
+	if !ok {
+		t.Fatal("sambamba must be applicable to sum_local")
+	}
+	if len(got) != 1 || got[0].Name != "sum" {
+		t.Fatalf("sambamba on sum_local = %+v", got)
+	}
+}
+
+func TestSambambaDetectsArrayAccumulator(t *testing.T) {
+	got, ok := DetectReductionsSambamba(arrayAccumulator())
+	if !ok {
+		t.Fatal("must be applicable")
+	}
+	if len(got) != 1 || !got[0].Array || got[0].Name != "s" {
+		t.Fatalf("sambamba on array accumulator = %+v, want s[]", got)
+	}
+}
+
+func TestSambambaMissesSumModule(t *testing.T) {
+	got, ok := DetectReductionsSambamba(sumModule())
+	if !ok {
+		t.Fatal("sum_module has no recursion/while: must be applicable")
+	}
+	if len(got) != 0 {
+		t.Fatalf("sambamba on sum_module = %+v, want none", got)
+	}
+}
+
+func TestSambambaNotApplicableToRecursion(t *testing.T) {
+	if _, ok := DetectReductionsSambamba(recursive()); ok {
+		t.Fatal("recursive program must be NA for sambamba")
+	}
+}
+
+func TestSambambaNotApplicableToWhile(t *testing.T) {
+	b := ir.NewBuilder("wh")
+	f := b.Function("main")
+	f.Assign("x", ir.C(0))
+	f.While(ir.LtE(ir.V("x"), ir.C(3)), func(k *ir.Block) {
+		k.Assign("x", ir.AddE(ir.V("x"), ir.C(1)))
+	})
+	f.Ret(ir.V("x"))
+	if _, ok := DetectReductionsSambamba(b.Build()); ok {
+		t.Fatal("while-loop program must be NA for sambamba")
+	}
+}
+
+func TestIccIgnoresWhileLoops(t *testing.T) {
+	b := ir.NewBuilder("wh2")
+	b.GlobalArray("a", 8)
+	f := b.Function("main")
+	f.Assign("s", ir.C(0))
+	f.Assign("i", ir.C(0))
+	f.While(ir.LtE(ir.V("i"), ir.C(7)), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("a", ir.V("i"))))
+		k.Assign("i", ir.AddE(ir.V("i"), ir.C(1)))
+	})
+	f.Ret(ir.V("s"))
+	if got := DetectReductionsIcc(b.Build()); len(got) != 0 {
+		t.Fatalf("icc on while = %+v, want none", got)
+	}
+}
+
+func TestAccumulatorInConditionalStillFound(t *testing.T) {
+	b := ir.NewBuilder("cond")
+	b.GlobalArray("a", 16)
+	f := b.Function("main")
+	f.Assign("s", ir.C(0))
+	f.For("i", ir.C(0), ir.C(16), func(k *ir.Block) {
+		k.If(ir.GeE(ir.Ld("a", ir.V("i")), ir.C(0)), func(k2 *ir.Block) {
+			k2.Assign("s", ir.AddE(ir.V("s"), ir.Ld("a", ir.V("i"))))
+		})
+	})
+	f.Ret(ir.V("s"))
+	got := DetectReductionsIcc(b.Build())
+	if len(got) != 1 {
+		t.Fatalf("conditional accumulation = %+v, want 1", got)
+	}
+}
+
+func TestNonAssociativeRejected(t *testing.T) {
+	b := ir.NewBuilder("div")
+	b.GlobalArray("a", 8)
+	f := b.Function("main")
+	f.Assign("s", ir.C(1))
+	f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Assign("s", ir.DivE(ir.V("s"), ir.C(2))) // not associative
+	})
+	f.Ret(ir.V("s"))
+	if got := DetectReductionsIcc(b.Build()); len(got) != 0 {
+		t.Fatalf("division wrongly detected: %+v", got)
+	}
+}
+
+func TestMismatchedSubscriptsRejected(t *testing.T) {
+	// s[j] = s[j+1] + e is not a reduction.
+	b := ir.NewBuilder("mis")
+	b.GlobalArray("s", 9)
+	f := b.Function("main")
+	f.For("j", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Store("s", []ir.Expr{ir.V("j")}, ir.AddE(ir.Ld("s", ir.AddE(ir.V("j"), ir.C(1))), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	got, ok := DetectReductionsSambamba(b.Build())
+	if !ok || len(got) != 0 {
+		t.Fatalf("mismatched subscripts wrongly detected: %+v ok=%v", got, ok)
+	}
+}

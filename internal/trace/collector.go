@@ -1,0 +1,395 @@
+package trace
+
+import (
+	"sort"
+
+	"pardetect/internal/interp"
+)
+
+// Collector is the phase-1 profiler. Attach it as the tracer of an
+// interp.Machine, run the program, then call Finish to obtain the Profile.
+//
+// It maintains shadow memory: for every touched address, the last write
+// (line, symbol, loop-context snapshot) and the last read. Each subsequent
+// access emits dependences:
+//
+//   - line-level RAW/WAR/WAW, de-duplicated with occurrence counts;
+//   - loop-carried RAW summaries per (loop, symbol), including the
+//     per-address multiplicity needed by reduction detection;
+//   - cross-loop RAW existence per ordered loop pair, the candidate source
+//     for multi-loop pipeline analysis.
+type Collector struct {
+	loops   []liveLoop
+	nextAct uint32
+	in      *interner
+
+	lastWrite map[interp.Addr]writeInfo
+	lastRead  map[interp.Addr]readInfo
+
+	deps    map[depKey]int64
+	carried map[carrKey]*carrAgg
+	cross   map[crossKey]int64
+	trips   map[uint32]*TripStat
+
+	lineOps   map[int]int64
+	funcCalls map[string]int64
+	// callFrames tracks live calls for cost absorption: when a callee
+	// returns, its accumulated cost is charged to the call-site line —
+	// unless the callee is recursive (still live further down the stack),
+	// in which case the cost only propagates upward, so recursion does not
+	// inflate the recursive call site (DiscoPoP does not record the number
+	// of recursive invocations, §IV-B).
+	callFrames []callFrame
+	// curCall is the live frame of the persistent call-path tree.
+	curCall *callNode
+}
+
+type callFrame struct {
+	fn       string
+	callLine int
+	total    int64
+}
+
+// callNode is one frame of the persistent call-path tree. Pointer identity
+// doubles as frame-activation identity: two activations of the same function
+// get distinct nodes. Shadow-memory entries keep a pointer to the node live
+// at access time, allowing dependence attribution at the frame where write
+// and read paths diverge — e.g. a store inside insertsort() called (via
+// recursion) from cilksort's first recursive call, later read inside
+// cilkmerge() called from the same cilksort activation, yields a dependence
+// between the two call-site lines in cilksort's body. This is what lets the
+// CU graph of a function connect call-anchored CUs (Figure 3).
+type callNode struct {
+	parent *callNode
+	line   int32
+	depth  int32
+}
+
+// divergeLines attributes a dependence between two call paths: it returns
+// the statement lines, within the deepest common frame, under which the
+// write and the read happened. When both accesses are in the same frame the
+// direct lines already attribute the dependence and ok is false.
+func divergeLines(w, r *callNode, wLine, rLine int32) (int32, int32, bool) {
+	if w == r {
+		return 0, 0, false
+	}
+	var wChild, rChild *callNode
+	for w != nil && r != nil && w.depth > r.depth {
+		wChild, w = w, w.parent
+	}
+	for w != nil && r != nil && r.depth > w.depth {
+		rChild, r = r, r.parent
+	}
+	for w != r {
+		if w == nil || r == nil {
+			return 0, 0, false
+		}
+		wChild, rChild = w, r
+		w, r = w.parent, r.parent
+	}
+	if w == nil {
+		// No common frame at all (disjoint path trees): not attributable.
+		return 0, 0, false
+	}
+	wl, rl := wLine, rLine
+	if wChild != nil {
+		wl = wChild.line
+	}
+	if rChild != nil {
+		rl = rChild.line
+	}
+	return wl, rl, true
+}
+
+type writeInfo struct {
+	line  int32
+	array bool
+	name  string
+	stack stackVec
+	call  *callNode
+}
+
+type readInfo struct {
+	line  int32
+	array bool
+	name  string
+}
+
+type depKey struct {
+	kind     DepKind
+	src, dst int32
+	name     string
+	array    bool
+	carried  bool
+}
+
+type carrKey struct {
+	loop  uint32
+	name  string
+	array bool
+}
+
+type crossKey struct {
+	writer, reader uint32
+}
+
+type carrAgg struct {
+	writeLines map[int32]struct{}
+	readLines  map[int32]struct{}
+	perAddr    map[interp.Addr]*addrCount
+	maxPerAddr int64
+	minDist    int64
+	maxDist    int64
+	count      int64
+}
+
+type addrCount struct {
+	act   uint32
+	count int64
+}
+
+// NewCollector returns an empty phase-1 profiler.
+func NewCollector() *Collector {
+	return &Collector{
+		in:        newInterner(),
+		lastWrite: make(map[interp.Addr]writeInfo),
+		lastRead:  make(map[interp.Addr]readInfo),
+		deps:      make(map[depKey]int64),
+		carried:   make(map[carrKey]*carrAgg),
+		cross:     make(map[crossKey]int64),
+		trips:     make(map[uint32]*TripStat),
+		lineOps:   make(map[int]int64),
+		funcCalls: make(map[string]int64),
+	}
+}
+
+// LoopEnter implements interp.Tracer.
+func (c *Collector) LoopEnter(loopID string, line int) {
+	c.nextAct++
+	id := c.in.idx(loopID)
+	c.loops = append(c.loops, liveLoop{id: id, act: c.nextAct, iter: -1})
+	c.trip(id).Activations++
+}
+
+// LoopIter implements interp.Tracer.
+func (c *Collector) LoopIter(loopID string, iter int64) {
+	n := len(c.loops)
+	if n == 0 {
+		return
+	}
+	c.loops[n-1].iter = iter
+	c.trip(c.loops[n-1].id).Iterations++
+}
+
+// LoopExit implements interp.Tracer.
+func (c *Collector) LoopExit(loopID string) {
+	if n := len(c.loops); n > 0 {
+		c.loops = c.loops[:n-1]
+	}
+}
+
+// CallEnter implements interp.Tracer.
+func (c *Collector) CallEnter(fn string, line int) {
+	c.funcCalls[fn]++
+	c.callFrames = append(c.callFrames, callFrame{fn: fn, callLine: line})
+	depth := int32(0)
+	if c.curCall != nil {
+		depth = c.curCall.depth + 1
+	}
+	c.curCall = &callNode{parent: c.curCall, line: int32(line), depth: depth}
+}
+
+// CallExit implements interp.Tracer.
+func (c *Collector) CallExit(fn string) {
+	n := len(c.callFrames)
+	if n == 0 {
+		return
+	}
+	top := c.callFrames[n-1]
+	c.callFrames = c.callFrames[:n-1]
+	n--
+	recursive := false
+	for i := n - 1; i >= 0; i-- {
+		if c.callFrames[i].fn == top.fn {
+			recursive = true
+			break
+		}
+	}
+	if !recursive && top.callLine > 0 {
+		c.lineOps[top.callLine] += top.total
+	}
+	if n > 0 {
+		c.callFrames[n-1].total += top.total
+	}
+	if c.curCall != nil {
+		c.curCall = c.curCall.parent
+	}
+}
+
+// Count implements interp.Tracer.
+func (c *Collector) Count(n int64, line int) {
+	c.lineOps[line] += n
+	if k := len(c.callFrames); k > 0 {
+		c.callFrames[k-1].total += n
+	}
+}
+
+func (c *Collector) trip(id uint32) *TripStat {
+	t := c.trips[id]
+	if t == nil {
+		t = &TripStat{}
+		c.trips[id] = t
+	}
+	return t
+}
+
+// Load implements interp.Tracer: it records a RAW dependence against the
+// last write of addr, classifies it as loop-carried and/or cross-loop, and
+// updates the read shadow.
+func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
+	if w, ok := c.lastWrite[addr]; ok {
+		cur := snapshot(c.loops)
+		cp := commonPrefix(w.stack, cur)
+		// Loop-carried: every commonly live loop activation whose
+		// iteration advanced between write and read carries this RAW.
+		carried := false
+		for i := 0; i < cp; i++ {
+			if dist := cur.e[i].iter - w.stack.e[i].iter; dist > 0 {
+				carried = true
+				c.recordCarried(cur.e[i].id, cur.e[i].act, addr, w, line, dist)
+			}
+		}
+		// Attribute the dependence at the frame level: accesses in the
+		// same activation keep their direct lines; accesses in different
+		// activations are attributed to the statements, within the deepest
+		// common frame, under which each side happened (for a write inside
+		// a callee this is the call site). Mixing raw cross-frame lines
+		// into one region's dependence set would fabricate edges between
+		// unrelated statements of recursive functions.
+		if w.call == c.curCall {
+			c.deps[depKey{RAW, w.line, int32(line), ref.Name, ref.Array, carried}]++
+		} else if wl, rl, ok := divergeLines(w.call, c.curCall, w.line, int32(line)); ok {
+			c.deps[depKey{RAW, wl, rl, ref.Name, ref.Array, carried}]++
+		}
+		// Cross-loop: after the common live prefix, a write-side loop that
+		// has since exited feeding a distinct read-side loop is a
+		// candidate multi-loop pipeline edge.
+		if cp < int(w.stack.n) && cp < int(cur.n) && w.stack.e[cp].id != cur.e[cp].id {
+			c.cross[crossKey{writer: w.stack.e[cp].id, reader: cur.e[cp].id}]++
+		}
+	}
+	c.lastRead[addr] = readInfo{line: int32(line), array: ref.Array, name: ref.Name}
+}
+
+// Store implements interp.Tracer: it records WAR/WAW dependences and updates
+// the write shadow.
+func (c *Collector) Store(addr interp.Addr, ref interp.Ref, line int) {
+	if r, ok := c.lastRead[addr]; ok {
+		c.deps[depKey{WAR, r.line, int32(line), ref.Name, ref.Array, false}]++
+	}
+	if w, ok := c.lastWrite[addr]; ok {
+		c.deps[depKey{WAW, w.line, int32(line), ref.Name, ref.Array, false}]++
+	}
+	c.lastWrite[addr] = writeInfo{
+		line:  int32(line),
+		array: ref.Array,
+		name:  ref.Name,
+		stack: snapshot(c.loops),
+		call:  c.curCall,
+	}
+}
+
+func (c *Collector) recordCarried(loop, act uint32, addr interp.Addr, w writeInfo, readLine int, dist int64) {
+	k := carrKey{loop: loop, name: w.name, array: w.array}
+	a := c.carried[k]
+	if a == nil {
+		a = &carrAgg{
+			writeLines: make(map[int32]struct{}),
+			readLines:  make(map[int32]struct{}),
+			perAddr:    make(map[interp.Addr]*addrCount),
+			minDist:    dist,
+			maxDist:    dist,
+		}
+		c.carried[k] = a
+	}
+	a.writeLines[w.line] = struct{}{}
+	a.readLines[int32(readLine)] = struct{}{}
+	if dist < a.minDist {
+		a.minDist = dist
+	}
+	if dist > a.maxDist {
+		a.maxDist = dist
+	}
+	a.count++
+	ac := a.perAddr[addr]
+	if ac == nil || ac.act != act {
+		ac = &addrCount{act: act}
+		a.perAddr[addr] = ac
+	}
+	ac.count++
+	if ac.count > a.maxPerAddr {
+		a.maxPerAddr = ac.count
+	}
+}
+
+// Finish assembles the Profile of the completed run. The Collector must not
+// be reused afterwards.
+func (c *Collector) Finish(programName string) *Profile {
+	p := &Profile{
+		ProgramName:   programName,
+		Runs:          1,
+		Carried:       make(map[string][]CarriedGroup),
+		CrossLoopDeps: make(map[PairKey]int64),
+		LoopTrips:     make(map[string]TripStat),
+	}
+	for k, n := range c.deps {
+		p.Deps = append(p.Deps, Dep{
+			Kind:    k.kind,
+			SrcLine: int(k.src),
+			DstLine: int(k.dst),
+			Name:    k.name,
+			Array:   k.array,
+			Carried: k.carried,
+			Count:   n,
+		})
+	}
+	sortDeps(p.Deps)
+
+	for k, a := range c.carried {
+		loopID := c.in.name(k.loop)
+		g := CarriedGroup{
+			LoopID:     loopID,
+			Name:       k.name,
+			Array:      k.array,
+			WriteLines: int32SetToSorted(a.writeLines),
+			ReadLines:  int32SetToSorted(a.readLines),
+			MaxPerAddr: a.maxPerAddr,
+			MinDist:    a.minDist,
+			MaxDist:    a.maxDist,
+			Count:      a.count,
+		}
+		p.Carried[loopID] = append(p.Carried[loopID], g)
+	}
+	for _, gs := range p.Carried {
+		sortCarried(gs)
+	}
+
+	for k, n := range c.cross {
+		p.CrossLoopDeps[PairKey{Writer: c.in.name(k.writer), Reader: c.in.name(k.reader)}] += n
+	}
+	for id, t := range c.trips {
+		p.LoopTrips[c.in.name(id)] = *t
+	}
+	p.LineOps = c.lineOps
+	p.FuncCalls = c.funcCalls
+	return p
+}
+
+func int32SetToSorted(s map[int32]struct{}) []int {
+	out := make([]int, 0, len(s))
+	for x := range s {
+		out = append(out, int(x))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,184 @@
+package trace
+
+import "pardetect/internal/interp"
+
+// PairProfiler is the phase-2 profiler of §III-A: given candidate hotspot
+// loop pairs (found via phase 1 and the PET), a second instrumented run
+// records, for every memory address flowing from the writer loop to the
+// reader loop, the pair (i_x, i_y) of the last write iteration in loop x and
+// the first read iteration in loop y.
+//
+// The last-write part is implicit — shadow memory always holds the most
+// recent write. The first-read part is implemented with a per-address write
+// version: a read is recorded for a pair only when that pair has not yet
+// recorded the current version of the address.
+type PairProfiler struct {
+	interp.NopTracer
+
+	loops   []liveLoop
+	nextAct uint32
+	in      *interner
+
+	writers map[uint32][]int // writer loop idx -> indices into aggs
+	readers map[uint32][]int // reader loop idx -> indices into aggs
+	aggs    []*pairAgg
+
+	lastWrite map[interp.Addr]pairWrite
+	version   uint64
+
+	// MaxPoints caps the number of samples per pair (0 = default 2^20).
+	maxPoints int
+	allReads  bool
+}
+
+type pairWrite struct {
+	stack   stackVec
+	version uint64
+}
+
+type pairAgg struct {
+	key       PairKey
+	writerIdx uint32
+	readerIdx uint32
+	recorded  map[interp.Addr]uint64 // address -> last recorded write version
+	points    []IterPair
+	truncated bool
+}
+
+// RecordAllReads disables the first-read filter (every read of a written
+// address records a sample). This exists only for the ablation study of the
+// last-write/first-read filtering (DESIGN.md §4.1); the paper's analysis
+// always filters.
+func (p *PairProfiler) RecordAllReads() { p.allReads = true }
+
+// NewPairProfiler prepares a phase-2 profiler for the given candidate pairs.
+// maxPoints caps the number of recorded samples per pair; 0 selects a
+// default of 1,048,576.
+func NewPairProfiler(pairs []PairKey, maxPoints int) *PairProfiler {
+	if maxPoints <= 0 {
+		maxPoints = 1 << 20
+	}
+	p := &PairProfiler{
+		in:        newInterner(),
+		writers:   make(map[uint32][]int),
+		readers:   make(map[uint32][]int),
+		lastWrite: make(map[interp.Addr]pairWrite),
+		maxPoints: maxPoints,
+	}
+	for _, k := range pairs {
+		a := &pairAgg{
+			key:       k,
+			writerIdx: p.in.idx(k.Writer),
+			readerIdx: p.in.idx(k.Reader),
+			recorded:  make(map[interp.Addr]uint64),
+		}
+		i := len(p.aggs)
+		p.aggs = append(p.aggs, a)
+		p.writers[a.writerIdx] = append(p.writers[a.writerIdx], i)
+		p.readers[a.readerIdx] = append(p.readers[a.readerIdx], i)
+	}
+	return p
+}
+
+// LoopEnter implements interp.Tracer.
+func (p *PairProfiler) LoopEnter(loopID string, line int) {
+	p.nextAct++
+	p.loops = append(p.loops, liveLoop{id: p.in.idx(loopID), act: p.nextAct, iter: -1})
+}
+
+// LoopIter implements interp.Tracer.
+func (p *PairProfiler) LoopIter(loopID string, iter int64) {
+	if n := len(p.loops); n > 0 {
+		p.loops[n-1].iter = iter
+	}
+}
+
+// LoopExit implements interp.Tracer.
+func (p *PairProfiler) LoopExit(loopID string) {
+	if n := len(p.loops); n > 0 {
+		p.loops = p.loops[:n-1]
+	}
+}
+
+// Store implements interp.Tracer. Only stores made while some candidate
+// writer loop is live need shadow entries; others are recorded too because a
+// later write by a non-candidate site must invalidate the address ("last
+// write" semantics).
+func (p *PairProfiler) Store(addr interp.Addr, ref interp.Ref, line int) {
+	p.version++
+	p.lastWrite[addr] = pairWrite{stack: snapshot(p.loops), version: p.version}
+}
+
+// Load implements interp.Tracer: record (i_x, i_y) samples for all candidate
+// pairs matching this read.
+func (p *PairProfiler) Load(addr interp.Addr, ref interp.Ref, line int) {
+	w, ok := p.lastWrite[addr]
+	if !ok {
+		return
+	}
+	cur := snapshot(p.loops)
+	// A pair matches when the writer loop appears in the write-time stack,
+	// the reader loop appears in the current stack, and the writer's
+	// activation is no longer live (the write's loop has finished — the
+	// dependence really crosses loops).
+	for ri := 0; ri < int(cur.n); ri++ {
+		aggIdxs, ok := p.readers[cur.e[ri].id]
+		if !ok {
+			continue
+		}
+		for _, ai := range aggIdxs {
+			a := p.aggs[ai]
+			wi := findLoop(w.stack, a.writerIdx)
+			if wi < 0 {
+				continue
+			}
+			if liveAct(cur, a.writerIdx, w.stack.e[wi].act) {
+				continue // same activation still live: intra-loop, not cross-loop
+			}
+			if !p.allReads {
+				if a.recorded[addr] == w.version {
+					continue // not the first read of this write
+				}
+				a.recorded[addr] = w.version
+			}
+			if len(a.points) >= p.maxPoints {
+				a.truncated = true
+				continue
+			}
+			a.points = append(a.points, IterPair{X: w.stack.e[wi].iter, Y: cur.e[ri].iter})
+		}
+	}
+}
+
+func findLoop(v stackVec, id uint32) int {
+	for i := 0; i < int(v.n); i++ {
+		if v.e[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func liveAct(v stackVec, id uint32, act uint32) bool {
+	for i := 0; i < int(v.n); i++ {
+		if v.e[i].id == id && v.e[i].act == act {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish returns the recorded samples. The profiler must not be reused.
+func (p *PairProfiler) Finish() *PairPoints {
+	out := &PairPoints{
+		Points:    make(map[PairKey][]IterPair, len(p.aggs)),
+		Truncated: make(map[PairKey]bool),
+	}
+	for _, a := range p.aggs {
+		out.Points[a.key] = a.points
+		if a.truncated {
+			out.Truncated[a.key] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"testing"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+)
+
+// pairRun executes p under a PairProfiler watching the given pairs.
+func pairRun(t *testing.T, p *ir.Program, pairs []PairKey, maxPoints int) *PairPoints {
+	t.Helper()
+	pp := NewPairProfiler(pairs, maxPoints)
+	m, err := interp.New(p, interp.Options{Tracer: pp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return pp.Finish()
+}
+
+// buildPerfectPipeline: loop x writes m[i], loop y reads m[i] — the Listing 1
+// shape: iteration i of y depends exactly on iteration i of x.
+func buildPerfectPipeline(n int) (*ir.Program, PairKey) {
+	b := ir.NewBuilder("pipe")
+	b.GlobalArray("m", n)
+	b.GlobalArray("out", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.C(3)))
+	})
+	ly := f.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("out", []ir.Expr{ir.V("j")}, ir.AddE(ir.Ld("m", ir.V("j")), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	return b.Build(), PairKey{Writer: lx, Reader: ly}
+}
+
+func TestPerfectPipelinePairs(t *testing.T) {
+	const n = 24
+	p, key := buildPerfectPipeline(n)
+	pts := pairRun(t, p, []PairKey{key}, 0)
+	got := pts.Points[key]
+	if len(got) != n {
+		t.Fatalf("got %d points, want %d", len(got), n)
+	}
+	for _, pt := range got {
+		if pt.X != pt.Y {
+			t.Fatalf("point %+v, want X == Y (perfect pipeline)", pt)
+		}
+	}
+	if pts.Truncated[key] {
+		t.Fatal("unexpected truncation")
+	}
+}
+
+func TestShiftedPipelinePairs(t *testing.T) {
+	// reg_detect shape: loop y (j from 1) reads what x wrote at j-1:
+	// y iteration index j-1 (zero-based: iter j-1 reads x iter j-1... with
+	// the read of m[j-1]), giving Y = X + b with a fixed shift.
+	const n = 16
+	b := ir.NewBuilder("shift")
+	b.GlobalArray("m", n)
+	b.GlobalArray("out", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	ly := f.For("j", ir.C(1), ir.CI(n), func(k *ir.Block) {
+		k.Store("out", []ir.Expr{ir.V("j")}, ir.Ld("m", ir.SubE(ir.V("j"), ir.C(1))))
+	})
+	f.Ret(ir.C(0))
+	key := PairKey{Writer: lx, Reader: ly}
+	pts := pairRun(t, b.Build(), []PairKey{key}, 0)
+	got := pts.Points[key]
+	if len(got) != n-1 {
+		t.Fatalf("got %d points, want %d", len(got), n-1)
+	}
+	for _, pt := range got {
+		// y's loop runs j=1..n-1, iteration number iter = j-1; it reads
+		// m[j-1] written at x iteration j-1. So Y == X exactly here.
+		if pt.Y != pt.X {
+			t.Fatalf("point %+v, want Y == X", pt)
+		}
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	// Loop x writes every m[i] twice (two inner statements); the recorded
+	// X must be the iteration of the LAST write before the read.
+	const n = 8
+	b := ir.NewBuilder("lastw")
+	b.GlobalArray("m", n)
+	f := b.Function("main")
+	// First loop writes all of m; second loop overwrites the first half;
+	// the reader must see writer-iteration pairs from the overwriting loop
+	// for the first half.
+	lx1 := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	lx2 := f.For("i2", ir.C(0), ir.CI(n/2), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i2")}, ir.C(0))
+	})
+	f.Assign("s", ir.C(0))
+	ly := f.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("m", ir.V("j"))))
+	})
+	f.Ret(ir.V("s"))
+	k1 := PairKey{Writer: lx1, Reader: ly}
+	k2 := PairKey{Writer: lx2, Reader: ly}
+	pts := pairRun(t, b.Build(), []PairKey{k1, k2}, 0)
+	if len(pts.Points[k1]) != n/2 {
+		t.Fatalf("pair1 points = %d, want %d (only non-overwritten half)", len(pts.Points[k1]), n/2)
+	}
+	if len(pts.Points[k2]) != n/2 {
+		t.Fatalf("pair2 points = %d, want %d", len(pts.Points[k2]), n/2)
+	}
+}
+
+func TestFirstReadWins(t *testing.T) {
+	// Reader loop reads each m[i] twice; only the first read records.
+	const n = 8
+	b := ir.NewBuilder("firstr")
+	b.GlobalArray("m", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	f.Assign("s", ir.C(0))
+	ly := f.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("m", ir.V("j"))))
+		k.Assign("s", ir.AddE(ir.V("s"), ir.Ld("m", ir.V("j"))))
+	})
+	f.Ret(ir.V("s"))
+	key := PairKey{Writer: lx, Reader: ly}
+	pts := pairRun(t, b.Build(), []PairKey{key}, 0)
+	if len(pts.Points[key]) != n {
+		t.Fatalf("points = %d, want %d (second read filtered)", len(pts.Points[key]), n)
+	}
+}
+
+func TestIntraLoopReadIgnored(t *testing.T) {
+	// A read of m inside the SAME activation of the writer loop is not a
+	// cross-loop dependence and must not be recorded.
+	const n = 8
+	b := ir.NewBuilder("intra")
+	b.GlobalArray("m", n)
+	f := b.Function("main")
+	var lx string
+	lx = f.For("i", ir.C(1), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.AddE(ir.Ld("m", ir.SubE(ir.V("i"), ir.C(1))), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	key := PairKey{Writer: lx, Reader: lx}
+	pts := pairRun(t, b.Build(), []PairKey{key}, 0)
+	if len(pts.Points[key]) != 0 {
+		t.Fatalf("intra-loop points = %d, want 0", len(pts.Points[key]))
+	}
+}
+
+func TestPointCapTruncates(t *testing.T) {
+	const n = 64
+	p, key := buildPerfectPipeline(n)
+	pts := pairRun(t, p, []PairKey{key}, 10)
+	if len(pts.Points[key]) != 10 {
+		t.Fatalf("points = %d, want capped at 10", len(pts.Points[key]))
+	}
+	if !pts.Truncated[key] {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestUnrelatedPairRecordsNothing(t *testing.T) {
+	p, key := buildPerfectPipeline(16)
+	bogus := PairKey{Writer: key.Reader, Reader: key.Writer} // reversed: no flow
+	pts := pairRun(t, p, []PairKey{key, bogus}, 0)
+	if len(pts.Points[bogus]) != 0 {
+		t.Fatalf("reversed pair has %d points, want 0", len(pts.Points[bogus]))
+	}
+}

@@ -1,0 +1,220 @@
+package xform
+
+import "pardetect/internal/ir"
+
+// cloneProgram deep-copies a program so transformations never alias the
+// input's statement nodes.
+func cloneProgram(p *ir.Program) *ir.Program {
+	out := &ir.Program{Name: p.Name, Entry: p.Entry}
+	for _, a := range p.Arrays {
+		out.Arrays = append(out.Arrays, &ir.ArrayDecl{Name: a.Name, Dims: append([]int(nil), a.Dims...)})
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, &ir.Function{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Body:   cloneStmts(f.Body),
+			Line:   f.Line,
+		})
+	}
+	return out
+}
+
+func cloneStmts(stmts []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s ir.Stmt) ir.Stmt {
+	switch s := s.(type) {
+	case *ir.Assign:
+		return &ir.Assign{Line: s.Line, Dst: cloneLValue(s.Dst), Src: cloneExpr(s.Src)}
+	case *ir.For:
+		return &ir.For{
+			Line: s.Line, LoopID: s.LoopID, Var: s.Var,
+			Start: cloneExpr(s.Start), End: cloneExpr(s.End), Step: cloneExpr(s.Step),
+			Body: cloneStmts(s.Body),
+		}
+	case *ir.While:
+		return &ir.While{Line: s.Line, LoopID: s.LoopID, Cond: cloneExpr(s.Cond), Body: cloneStmts(s.Body)}
+	case *ir.If:
+		return &ir.If{Line: s.Line, Cond: cloneExpr(s.Cond), Then: cloneStmts(s.Then), Else: cloneStmts(s.Else)}
+	case *ir.Return:
+		var v ir.Expr
+		if s.Val != nil {
+			v = cloneExpr(s.Val)
+		}
+		return &ir.Return{Line: s.Line, Val: v}
+	case *ir.Break:
+		return &ir.Break{Line: s.Line}
+	case *ir.ExprStmt:
+		return &ir.ExprStmt{Line: s.Line, X: cloneExpr(s.X)}
+	default:
+		panic("xform: unknown statement type")
+	}
+}
+
+func cloneLValue(lv ir.LValue) ir.LValue {
+	switch lv := lv.(type) {
+	case ir.Var:
+		return lv
+	case *ir.Elem:
+		return &ir.Elem{Arr: lv.Arr, Idx: cloneExprs(lv.Idx)}
+	default:
+		panic("xform: unknown lvalue type")
+	}
+}
+
+func cloneExprs(xs []ir.Expr) []ir.Expr {
+	out := make([]ir.Expr, len(xs))
+	for i, x := range xs {
+		out[i] = cloneExpr(x)
+	}
+	return out
+}
+
+func cloneExpr(x ir.Expr) ir.Expr {
+	switch x := x.(type) {
+	case ir.Const:
+		return x
+	case ir.Var:
+		return x
+	case *ir.Elem:
+		return &ir.Elem{Arr: x.Arr, Idx: cloneExprs(x.Idx)}
+	case *ir.Bin:
+		return &ir.Bin{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
+	case *ir.Un:
+		return &ir.Un{Op: x.Op, X: cloneExpr(x.X)}
+	case *ir.Call:
+		return &ir.Call{Fn: x.Fn, Args: cloneExprs(x.Args)}
+	default:
+		panic("xform: unknown expression type")
+	}
+}
+
+// renameVarStmts clones stmts replacing reads and writes of variable from
+// with variable to.
+func renameVarStmts(stmts []ir.Stmt, from, to string) []ir.Stmt {
+	return substStmts(cloneStmts(stmts), from, ir.V(to), true)
+}
+
+// substVarStmts replaces reads of the variable with an expression (writes of
+// the variable are left alone — used for peeling, where the induction
+// variable is never assigned in the body).
+func substVarStmts(stmts []ir.Stmt, name string, repl ir.Expr) []ir.Stmt {
+	return substStmts(stmts, name, repl, false)
+}
+
+// substStmts rewrites stmts in place: reads of name become repl; when
+// renameWrites is set and repl is a variable, writes of name are renamed too.
+func substStmts(stmts []ir.Stmt, name string, repl ir.Expr, renameWrites bool) []ir.Stmt {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Assign:
+			s.Src = substExpr(s.Src, name, repl)
+			if e, ok := s.Dst.(*ir.Elem); ok {
+				e.Idx = substExprList(e.Idx, name, repl)
+			} else if v, ok := s.Dst.(ir.Var); ok && renameWrites && v.Name == name {
+				if rv, ok := repl.(ir.Var); ok {
+					s.Dst = rv
+				}
+			}
+		case *ir.For:
+			s.Start = substExpr(s.Start, name, repl)
+			s.End = substExpr(s.End, name, repl)
+			s.Step = substExpr(s.Step, name, repl)
+			if renameWrites && s.Var == name {
+				if rv, ok := repl.(ir.Var); ok {
+					s.Var = rv.Name
+				}
+			}
+			substStmts(s.Body, name, repl, renameWrites)
+		case *ir.While:
+			s.Cond = substExpr(s.Cond, name, repl)
+			substStmts(s.Body, name, repl, renameWrites)
+		case *ir.If:
+			s.Cond = substExpr(s.Cond, name, repl)
+			substStmts(s.Then, name, repl, renameWrites)
+			substStmts(s.Else, name, repl, renameWrites)
+		case *ir.Return:
+			if s.Val != nil {
+				s.Val = substExpr(s.Val, name, repl)
+			}
+		case *ir.ExprStmt:
+			s.X = substExpr(s.X, name, repl)
+		}
+		stmts[i] = s
+	}
+	return stmts
+}
+
+func substExprList(xs []ir.Expr, name string, repl ir.Expr) []ir.Expr {
+	for i, x := range xs {
+		xs[i] = substExpr(x, name, repl)
+	}
+	return xs
+}
+
+func substExpr(x ir.Expr, name string, repl ir.Expr) ir.Expr {
+	switch x := x.(type) {
+	case ir.Var:
+		if x.Name == name {
+			return cloneExpr(repl)
+		}
+		return x
+	case *ir.Elem:
+		x.Idx = substExprList(x.Idx, name, repl)
+		return x
+	case *ir.Bin:
+		x.L = substExpr(x.L, name, repl)
+		x.R = substExpr(x.R, name, repl)
+		return x
+	case *ir.Un:
+		x.X = substExpr(x.X, name, repl)
+		return x
+	case *ir.Call:
+		x.Args = substExprList(x.Args, name, repl)
+		return x
+	default:
+		return x
+	}
+}
+
+// relineStmts assigns fresh source lines to every statement, for duplicated
+// (peeled) code.
+func relineStmts(stmts []ir.Stmt, alloc func() int) []ir.Stmt {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Assign:
+			s.Line = alloc()
+		case *ir.For:
+			s.Line = alloc()
+			// A duplicated loop also needs a fresh loop ID.
+			s.LoopID = s.LoopID + ".peeled"
+			relineStmts(s.Body, alloc)
+		case *ir.While:
+			s.Line = alloc()
+			s.LoopID = s.LoopID + ".peeled"
+			relineStmts(s.Body, alloc)
+		case *ir.If:
+			s.Line = alloc()
+			relineStmts(s.Then, alloc)
+			relineStmts(s.Else, alloc)
+		case *ir.Return:
+			s.Line = alloc()
+		case *ir.Break:
+			s.Line = alloc()
+		case *ir.ExprStmt:
+			s.Line = alloc()
+		}
+	}
+	return stmts
+}
+
+// sameExpr reports syntactic equality of two expressions.
+func sameExpr(a, b ir.Expr) bool {
+	return ir.FormatExpr(a) == ir.FormatExpr(b)
+}

@@ -1,0 +1,344 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/core"
+	"pardetect/internal/cu"
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+	"pardetect/internal/patterns"
+)
+
+// buildFusable constructs the Listing 1 shape: two do-all loops over the same
+// range with a one-to-one dependence.
+func buildFusable(n int) (*ir.Program, string, string) {
+	b := ir.NewBuilder("fusable")
+	b.GlobalArray("src", n)
+	b.GlobalArray("mid", n)
+	b.GlobalArray("out", n)
+	f := b.Function("main")
+	f.For("w", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("src", []ir.Expr{ir.V("w")}, &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("w"), ir.C(11)), R: ir.C(31)})
+	})
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("mid", []ir.Expr{ir.V("i")}, ir.MulE(ir.Ld("src", ir.V("i")), ir.C(3)))
+	})
+	ly := f.For("j", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("out", []ir.Expr{ir.V("j")}, ir.AddE(ir.Ld("mid", ir.V("j")), ir.C(7)))
+	})
+	f.Ret(ir.Ld("out", ir.CI(n-1)))
+	return b.Build(), lx, ly
+}
+
+func runArrays(t *testing.T, p *ir.Program, names ...string) map[string][]float64 {
+	t.Helper()
+	m, err := interp.New(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]float64{}
+	for _, n := range names {
+		out[n] = m.Array(n)
+	}
+	return out
+}
+
+func TestFuseLoopsPreservesSemantics(t *testing.T) {
+	const n = 64
+	p, lx, ly := buildFusable(n)
+	before := runArrays(t, p, "mid", "out")
+
+	fused, err := FuseLoops(p, lx, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runArrays(t, fused, "mid", "out")
+	for _, name := range []string{"mid", "out"} {
+		for i := range before[name] {
+			if before[name][i] != after[name][i] {
+				t.Fatalf("%s[%d]: %v != %v after fusion", name, i, after[name][i], before[name][i])
+			}
+		}
+	}
+	// The fused program has one loop fewer, and loop Y is gone.
+	var ids []string
+	for _, l := range ir.ProgramLoops(fused) {
+		ids = append(ids, l.ID)
+	}
+	if len(ids) != len(ir.ProgramLoops(p))-1 {
+		t.Fatalf("fused loops = %v", ids)
+	}
+	for _, id := range ids {
+		if id == ly {
+			t.Fatal("reader loop still present after fusion")
+		}
+	}
+}
+
+func TestFusedLoopIsDoAll(t *testing.T) {
+	const n = 64
+	p, lx, ly := buildFusable(n)
+	fused, err := FuseLoops(p, lx, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analyze(fused, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classes[lx] != patterns.LoopDoAll {
+		t.Fatalf("fused loop class = %v, want do-all\n%s", res.Classes[lx], res.Summary())
+	}
+	// No cross-loop pipeline candidate should remain between the pair.
+	for _, pr := range res.Pipelines {
+		if pr.Pair.Reader == ly || pr.Pair.Writer == ly {
+			t.Fatalf("stale pipeline pair %v", pr.Pair)
+		}
+	}
+}
+
+func TestFuseLoopsRejectsMismatchedRanges(t *testing.T) {
+	b := ir.NewBuilder("mismatch")
+	b.GlobalArray("a", 16)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.C(16), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	ly := f.For("j", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("j")}, ir.V("j"))
+	})
+	f.Ret(ir.C(0))
+	if _, err := FuseLoops(b.Build(), lx, ly); err == nil || !strings.Contains(err.Error(), "same range") {
+		t.Fatalf("want range error, got %v", err)
+	}
+}
+
+func TestFuseLoopsRejectsWrongOrder(t *testing.T) {
+	p, lx, ly := buildFusable(16)
+	if _, err := FuseLoops(p, ly, lx); err == nil || !strings.Contains(err.Error(), "precede") {
+		t.Fatalf("want order error, got %v", err)
+	}
+}
+
+func TestFuseLoopsRejectsDifferentFunctions(t *testing.T) {
+	b := ir.NewBuilder("twofn")
+	b.GlobalArray("a", 8)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	f.Call("other")
+	f.Ret(ir.C(0))
+	g := b.Function("other")
+	ly := g.For("j", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("j")}, ir.V("j"))
+	})
+	g.Ret(ir.C(0))
+	if _, err := FuseLoops(b.Build(), lx, ly); err == nil {
+		t.Fatal("cross-function fusion must error")
+	}
+}
+
+// buildShifted constructs the reg_detect shape: the reader's iterations pair
+// with the writer's shifted by one (a=1, b=-1).
+func buildShifted(n int) (*ir.Program, string, string) {
+	b := ir.NewBuilder("shifted")
+	b.GlobalArray("m", n)
+	b.GlobalArray("path", n)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.CI(n), func(k *ir.Block) {
+		k.Store("m", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.C(2)))
+	})
+	f.Store("path", []ir.Expr{ir.C(0)}, ir.C(0))
+	ly := f.For("j", ir.C(1), ir.CI(n), func(k *ir.Block) {
+		k.Store("path", []ir.Expr{ir.V("j")},
+			ir.AddE(ir.Ld("path", ir.SubE(ir.V("j"), ir.C(1))), ir.Ld("m", ir.V("j"))))
+	})
+	f.Ret(ir.Ld("path", ir.CI(n-1)))
+	return b.Build(), lx, ly
+}
+
+func TestPeelFirstIterationPreservesSemantics(t *testing.T) {
+	const n = 48
+	p, lx, _ := buildShifted(n)
+	before := runArrays(t, p, "m", "path")
+	peeled, err := PeelFirstIteration(p, lx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runArrays(t, peeled, "m", "path")
+	for _, name := range []string{"m", "path"} {
+		for i := range before[name] {
+			if before[name][i] != after[name][i] {
+				t.Fatalf("%s[%d] changed after peeling", name, i)
+			}
+		}
+	}
+}
+
+func TestPeelingAlignsThePipeline(t *testing.T) {
+	// Before peeling: reader iteration k (handling j=k+1) reads m[k+1]
+	// written at writer iteration k+1 → b = -1. After peeling the writer's
+	// first iteration, writer iteration k handles i=k+1 → b = 0: the
+	// perfect one-to-one pipeline the paper obtained for reg_detect.
+	const n = 48
+	p, lx, ly := buildShifted(n)
+	res, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prBefore := findPair(res, lx, ly)
+	if prBefore == nil || prBefore.B != -1 {
+		t.Fatalf("before peeling: %+v, want b=-1", prBefore)
+	}
+
+	peeled, err := PeelFirstIteration(p, lx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := core.Analyze(peeled, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prAfter := findPair(res2, lx, ly)
+	if prAfter == nil {
+		t.Fatalf("after peeling: pair missing: %+v", res2.Pipelines)
+	}
+	if prAfter.A != 1 || prAfter.B != 0 {
+		t.Fatalf("after peeling: a=%g b=%g, want the perfect (1, 0)", prAfter.A, prAfter.B)
+	}
+}
+
+func findPair(res *core.Result, w, r string) *patterns.PipelineResult {
+	for i := range res.Pipelines {
+		if res.Pipelines[i].Pair.Writer == w && res.Pipelines[i].Pair.Reader == r {
+			return &res.Pipelines[i]
+		}
+	}
+	return nil
+}
+
+func TestPeelRejectsNonConstantStart(t *testing.T) {
+	b := ir.NewBuilder("varstart")
+	b.GlobalArray("a", 16)
+	f := b.Function("main")
+	f.Assign("s", ir.C(2))
+	lx := f.For("i", ir.V("s"), ir.C(16), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.V("i"))
+	})
+	f.Ret(ir.C(0))
+	if _, err := PeelFirstIteration(b.Build(), lx); err == nil || !strings.Contains(err.Error(), "constant") {
+		t.Fatalf("want constant-start error, got %v", err)
+	}
+}
+
+func TestPeelUnknownLoop(t *testing.T) {
+	p, _, _ := buildFusable(8)
+	if _, err := PeelFirstIteration(p, "ghost"); err == nil {
+		t.Fatal("unknown loop must error")
+	}
+}
+
+func TestPeelNestedLoopGetsFreshID(t *testing.T) {
+	b := ir.NewBuilder("nestpeel")
+	b.GlobalArray("a", 8, 8)
+	f := b.Function("main")
+	lx := f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.For("j", ir.C(0), ir.C(8), func(k2 *ir.Block) {
+			k2.Store("a", []ir.Expr{ir.V("i"), ir.V("j")}, ir.AddE(ir.V("i"), ir.V("j")))
+		})
+	})
+	f.Ret(ir.C(0))
+	p := b.Build()
+	peeled, err := PeelFirstIteration(p, lx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range ir.ProgramLoops(peeled) {
+		if strings.HasSuffix(l.ID, ".peeled") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duplicated nested loop did not get a fresh ID")
+	}
+}
+
+func TestSuggestFission(t *testing.T) {
+	// A loop body with two independent computations.
+	b := ir.NewBuilder("fission")
+	for _, a := range []string{"a", "bb", "c", "d"} {
+		b.GlobalArray(a, 32)
+	}
+	f := b.Function("main")
+	var loop string
+	loop = f.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Store("bb", []ir.Expr{ir.V("i")}, ir.MulE(ir.Ld("a", ir.V("i")), ir.C(2)))
+		k.Store("d", []ir.Expr{ir.V("i")}, ir.AddE(ir.Ld("c", ir.V("i")), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	p := b.Build()
+	res, err := core.Analyze(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := cu.LoopRegion(p, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cu.Build(p, region, res.Profile)
+	groups := SuggestFission(g)
+	if len(groups) != 2 {
+		t.Fatalf("fission groups = %+v, want 2\n%s", groups, g)
+	}
+
+	// A dependent body must not be split.
+	b2 := ir.NewBuilder("nofission")
+	b2.GlobalArray("a", 32)
+	b2.GlobalArray("bb", 32)
+	f2 := b2.Function("main")
+	var loop2 string
+	loop2 = f2.For("i", ir.C(0), ir.C(32), func(k *ir.Block) {
+		k.Assign("t", ir.MulE(ir.Ld("a", ir.V("i")), ir.C(2)))
+		k.Store("bb", []ir.Expr{ir.V("i")}, ir.V("t"))
+	})
+	f2.Ret(ir.C(0))
+	p2 := b2.Build()
+	res2, err := core.Analyze(p2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region2, _ := cu.LoopRegion(p2, loop2)
+	g2 := cu.Build(p2, region2, res2.Profile)
+	if groups := SuggestFission(g2); groups != nil {
+		t.Fatalf("dependent body split: %+v\n%s", groups, g2)
+	}
+	if SuggestFission(&cu.Graph{}) != nil {
+		t.Fatal("empty graph must return nil")
+	}
+}
+
+// TestClonedProgramIsIndependent guards against aliasing: mutating the clone
+// must not affect the original.
+func TestClonedProgramIsIndependent(t *testing.T) {
+	p, lx, ly := buildFusable(8)
+	before := p.String()
+	if _, err := FuseLoops(p, lx, ly); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != before {
+		t.Fatal("FuseLoops mutated its input")
+	}
+	if _, err := PeelFirstIteration(p, lx); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != before {
+		t.Fatal("PeelFirstIteration mutated its input")
+	}
+}
