@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench ci stats
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench reproduces the Table III timing run; pass OBS_OUT=FILE to also write
+# a machine-readable telemetry baseline (see README "Observability").
+bench:
+	$(GO) test -bench BenchmarkTable3 -benchmem -run '^$$'
+
+# ci runs the full gate: gofmt, vet, build, tests, and a race-detector pass
+# over the scheduler and telemetry packages.
+ci:
+	sh scripts/ci.sh
+
+# stats regenerates BENCH_obs.json, the committed per-phase telemetry
+# baseline for the Table III benchmark apps.
+stats:
+	OBS_OUT=BENCH_obs.json $(GO) test -bench BenchmarkTable3 -benchmem -run '^$$'

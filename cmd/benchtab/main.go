@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	benchtab              # all tables
-//	benchtab -table 3     # one table
-//	benchtab -curves      # speedup-vs-threads series per benchmark
+//	benchtab                      # all tables
+//	benchtab -table 3             # one table
+//	benchtab -curves              # speedup-vs-threads series per benchmark
+//	benchtab -stats-out obs.json  # also write per-app telemetry (JSON)
+//
+// -stats-out runs every Table III app with pipeline telemetry enabled and
+// writes one pardetect.obs/v1 report per app, wrapped in a
+// pardetect.obs.runset/v1 envelope — the machine-readable record of phase
+// timings, event/dependence counters and candidate decisions. -debug-addr
+// serves /debug/pprof and /debug/vars while the tables are being computed.
 package main
 
 import (
@@ -14,22 +21,57 @@ import (
 	"fmt"
 	"os"
 
+	"pardetect/internal/apps"
+	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1..6); 0 prints all")
 	curves := flag.Bool("curves", false, "print the simulated speedup curves")
+	statsOut := flag.String("stats-out", "", "write per-app telemetry reports as JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while running")
 	flag.Parse()
 
-	needRuns := *curves || *table == 0 || (*table >= 3 && *table <= 5)
+	if *debugAddr != "" {
+		addr, stop, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "benchtab: debug endpoint at http://%s/debug/\n", addr)
+	}
+
+	needRuns := *curves || *statsOut != "" || *table == 0 || (*table >= 3 && *table <= 5)
 	var runs []*report.AppRun
 	if needRuns {
-		var err error
-		runs, err = report.RunAll()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
+		set := obs.RunSet{Schema: obs.RunSetSchema}
+		for _, name := range apps.TableIIIOrder {
+			var o *obs.Observer
+			if *statsOut != "" {
+				o = obs.New(name)
+			}
+			r, err := report.RunAppObserved(name, o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			runs = append(runs, r)
+			if o != nil {
+				set.Runs = append(set.Runs, o.Snapshot())
+			}
+		}
+		if *statsOut != "" {
+			data, err := set.JSON()
+			if err == nil {
+				err = os.WriteFile(*statsOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: stats-out: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: wrote %d telemetry reports to %s\n", len(set.Runs), *statsOut)
 		}
 	}
 

@@ -6,8 +6,17 @@
 //
 // Usage:
 //
-//	pardetect [-hotspot 0.02] [-ops] [-deps] <benchmark>
+//	pardetect [-hotspot 0.02] [-ops] [-deps] [-stats] <benchmark>
+//	pardetect -stats-json stats.json <benchmark>
+//	pardetect -debug-addr localhost:6060 <benchmark>
 //	pardetect -list
+//
+// -stats appends the telemetry report: the per-phase span tree (wall time
+// and allocated bytes), the counter table, the hottest sampled lines and
+// the candidate decision log. -stats-json writes the same data as JSON
+// (schema pardetect.obs/v1). -debug-addr serves /debug/pprof, /debug/vars
+// and /debug/obs on the given address and keeps the process alive after
+// printing, for interactive inspection.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
+	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
 
@@ -26,6 +36,9 @@ func main() {
 	showOps := flag.Bool("ops", false, "print the Program Execution Tree with operation counts")
 	showDeps := flag.Bool("deps", false, "print the profiled cross-loop dependences")
 	showSrc := flag.Bool("src", false, "print the benchmark's mini-IR source")
+	stats := flag.Bool("stats", false, "print the telemetry report (phase spans, counters, decision log)")
+	statsJSON := flag.String("stats-json", "", "write the telemetry report as JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address and wait")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +57,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pardetect: unknown benchmark %q (try -list)\n", name)
 		os.Exit(2)
 	}
+
+	var o *obs.Observer
+	if *stats || *statsJSON != "" || *debugAddr != "" {
+		o = obs.New(name)
+	}
+	if *debugAddr != "" {
+		addr, _, err := obs.ServeDebug(*debugAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardetect: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pardetect: debug endpoint at http://%s/debug/\n", addr)
+	}
+
 	prog := app.Build()
 	if *showSrc {
 		fmt.Println(prog)
@@ -51,6 +78,7 @@ func main() {
 	res, err := core.Analyze(prog, core.Options{
 		HotspotShare:           *hotspot,
 		InferReductionOperator: true,
+		Observer:               o,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pardetect: %v\n", err)
@@ -64,5 +92,23 @@ func main() {
 	if *showDeps {
 		fmt.Println("\ncross-loop dependences:")
 		fmt.Print(report.CrossLoopPairs(res.Profile))
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(o.Snapshot().Text())
+	}
+	if *statsJSON != "" {
+		data, err := o.Snapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(*statsJSON, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardetect: stats-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "pardetect: analysis done; debug endpoint stays up (Ctrl-C to exit)")
+		select {}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"pardetect/internal/cu"
 	"pardetect/internal/interp"
 	"pardetect/internal/ir"
+	"pardetect/internal/obs"
 	"pardetect/internal/patterns"
 	"pardetect/internal/pet"
 	"pardetect/internal/trace"
@@ -53,17 +54,31 @@ type Options struct {
 	// prescribes. Each builder must produce a program with identical
 	// static structure (same lines and loop IDs).
 	ExtraInputs []func() *ir.Program
+	// Observer, when non-nil, receives per-phase spans (wall time and
+	// allocation deltas), event/dependence counters and the candidate
+	// decision log of this analysis. nil disables telemetry entirely: the
+	// instrumented call sites are nil-safe no-ops and phase-1 runs without
+	// the extra event tracer, so the seed pipeline is unchanged.
+	Observer *obs.Observer
 }
 
+// fill applies defaults and clamps out-of-range values: shares are
+// fractions in (0, 1], MinEstSpeedup must exceed zero and MaxSteps must be
+// non-negative. Out-of-range values silently passed through to the
+// detectors would disable every hotspot (share > 1) or accept every region
+// (share < 0), so they fall back to the documented defaults instead.
 func (o *Options) fill() {
-	if o.HotspotShare == 0 {
+	if o.HotspotShare <= 0 || o.HotspotShare > 1 {
 		o.HotspotShare = 0.02
 	}
-	if o.RelativeHotspotShare == 0 {
+	if o.RelativeHotspotShare <= 0 || o.RelativeHotspotShare > 1 {
 		o.RelativeHotspotShare = 1.0 / 3
 	}
-	if o.MinEstSpeedup == 0 {
+	if o.MinEstSpeedup <= 0 {
 		o.MinEstSpeedup = 1.3
+	}
+	if o.MaxSteps < 0 {
+		o.MaxSteps = 0 // interp applies its own default bound
 	}
 }
 
@@ -97,53 +112,103 @@ type Result struct {
 	opts Options
 }
 
-// Analyze runs the full pipeline.
+// Analyze runs the full pipeline. When opts.Observer is set, every stage is
+// wrapped in a phase span, counters record the volume flowing between the
+// stages, and the decision log explains each candidate's fate.
 func Analyze(p *ir.Program, opts Options) (*Result, error) {
 	opts.fill()
+	o := opts.Observer
 	res := &Result{Program: p, opts: opts}
 
+	total := o.Start("analyze")
+	defer total.End()
+
 	// Phase 1: dependence profile + PET.
+	sp := o.Start("phase1.profile")
 	col := trace.NewCollector()
 	pb := pet.NewBuilder()
-	if err := runProgram(p, interp.Tee(col, pb), opts.MaxSteps); err != nil {
+	tr := interp.Tee(col, pb)
+	var ev *obs.EventTracer
+	if o != nil {
+		ev = obs.NewEventTracer(0)
+		tr = interp.Tee(col, pb, ev)
+	}
+	if err := runProgram(p, tr, opts.MaxSteps); err != nil {
 		return nil, fmt.Errorf("core: phase-1 run: %w", err)
 	}
 	res.Profile = col.Finish(p.Name)
 	res.Tree = pb.Finish()
+	ev.FlushTo(o)
+	sp.End()
 
 	// Merge profiles from additional representative inputs.
-	for i, build := range opts.ExtraInputs {
-		p2 := build()
-		col2 := trace.NewCollector()
-		if err := runProgram(p2, col2, opts.MaxSteps); err != nil {
-			return nil, fmt.Errorf("core: extra input %d: %w", i, err)
+	if len(opts.ExtraInputs) > 0 {
+		sp = o.Start("phase1.extra-inputs")
+		for i, build := range opts.ExtraInputs {
+			p2 := build()
+			col2 := trace.NewCollector()
+			if err := runProgram(p2, col2, opts.MaxSteps); err != nil {
+				return nil, fmt.Errorf("core: extra input %d: %w", i, err)
+			}
+			res.Profile.Merge(col2.Finish(p2.Name))
 		}
-		res.Profile.Merge(col2.Finish(p2.Name))
+		o.Add("profile.extra_inputs", int64(len(opts.ExtraInputs)))
+		sp.End()
 	}
+	recordProfileCounters(o, res.Profile)
 
+	sp = o.Start("classify.loops")
 	res.Classes = patterns.ClassifyLoops(p, res.Profile)
+	sp.End()
+
+	sp = o.Start("detect.reductions")
 	res.Reductions = patterns.DetectReductions(res.Profile, patterns.ReductionOptions{
 		InferOperator: opts.InferReductionOperator,
 		Program:       p,
 	})
+	sp.End()
+	o.Add("patterns.reduction_candidates", int64(len(res.Reductions)))
+
+	sp = o.Start("pet.hotspots")
 	res.Hotspots = res.Tree.Hotspots(opts.HotspotShare)
+	sp.End()
+	o.Add("pet.hotspots", int64(len(res.Hotspots)))
 
 	// Phase 2: pipeline pair profiling.
+	sp = o.Start("phase2.pairs")
 	pairs := patterns.CandidatePairs(res.Profile, res.Tree, opts.HotspotShare)
+	sp.End()
+	o.Add("phase2.candidate_pairs", int64(len(pairs)))
 	if len(pairs) > 0 {
+		sp = o.Start("phase2.profile")
 		pp := trace.NewPairProfiler(pairs, 0)
 		if err := runProgram(p, pp, opts.MaxSteps); err != nil {
 			return nil, fmt.Errorf("core: phase-2 run: %w", err)
 		}
-		res.Pipelines = patterns.AnalyzePipelines(pp.Finish(), res.Profile, res.Classes)
+		pts := pp.Finish()
+		sp.End()
+		if o != nil {
+			var samples int64
+			for _, s := range pts.Points {
+				samples += int64(len(s))
+			}
+			o.Add("phase2.samples", samples)
+		}
+
+		sp = o.Start("regression.fit")
+		res.Pipelines = patterns.AnalyzePipelines(pts, res.Profile, res.Classes)
 		loopLine := map[string]int{}
 		for _, l := range ir.ProgramLoops(p) {
 			loopLine[l.ID] = l.Line
 		}
 		patterns.RefineFusion(res.Pipelines, loopLine)
+		sp.End()
+		o.Add("phase2.pairs_fitted", int64(len(res.Pipelines)))
+		o.Add("phase2.pairs_dropped", int64(len(pairs)-len(res.Pipelines)))
 	}
 
 	// Task parallelism on hotspot regions: functions and loop bodies.
+	sp = o.Start("cu.taskpar+geodecomp")
 	res.TaskPar = map[string]*patterns.TaskParallelismResult{}
 	res.GeoDecomp = map[string]patterns.GeoDecompResult{}
 	for _, h := range res.Hotspots {
@@ -154,6 +219,7 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 				continue
 			}
 			g := cu.Build(p, region, res.Profile)
+			recordGraphCounters(o, g)
 			divisor := int64(1)
 			if h.Node.Recursive {
 				divisor = h.Node.Activations
@@ -170,13 +236,52 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 				continue
 			}
 			g := cu.Build(p, region, res.Profile)
+			recordGraphCounters(o, g)
 			res.TaskPar[region.Name()] = patterns.DetectTaskParallelism(g, g.Weights(res.Profile, 1))
 		}
 	}
+	sp.End()
+	o.Add("patterns.taskpar_regions", int64(len(res.TaskPar)))
+	o.Add("patterns.geodecomp_functions", int64(len(res.GeoDecomp)))
 
+	sp = o.Start("headline")
 	res.HotspotFunc, res.HotspotSharePct = dominantFunc(res.Tree, p)
 	res.Headline = res.composeHeadline()
+	sp.End()
+
+	res.recordDecisions(o)
 	return res, nil
+}
+
+// recordProfileCounters exports the phase-1 profile's volumes: dependences
+// recorded, loop-carried summaries, cross-loop pairs, loops observed.
+func recordProfileCounters(o *obs.Observer, prof *trace.Profile) {
+	if o == nil {
+		return
+	}
+	o.Add("profile.deps", int64(len(prof.Deps)))
+	var groups int64
+	for _, gs := range prof.Carried {
+		groups += int64(len(gs))
+	}
+	o.Add("profile.carried_groups", groups)
+	o.Add("profile.cross_loop_pairs", int64(len(prof.CrossLoopDeps)))
+	o.Add("profile.loops", int64(len(prof.LoopTrips)))
+	o.Add("profile.runs", int64(prof.Runs))
+}
+
+// recordGraphCounters exports one CU graph's size.
+func recordGraphCounters(o *obs.Observer, g *cu.Graph) {
+	if o == nil {
+		return
+	}
+	o.Add("cu.graphs", 1)
+	o.Add("cu.units", int64(len(g.CUs)))
+	var edges int64
+	for _, succ := range g.Succs {
+		edges += int64(len(succ))
+	}
+	o.Add("cu.edges", edges)
 }
 
 func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64) error {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pardetect/internal/obs"
+	"pardetect/internal/patterns"
+	"pardetect/internal/pet"
+)
+
+// recordDecisions replays the headline-composition gates over every
+// candidate the pipeline produced and logs, per candidate, either the
+// acceptance or the first gate that failed — turning detector behaviour
+// from folklore into data. The log order is deterministic: hotspot regions,
+// then pipelines, task-parallel regions, geometric decomposition and
+// reductions, each in their result order.
+func (r *Result) recordDecisions(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	fnLoops := loopsOf(r.Program, r.HotspotFunc)
+
+	r.recordHotspotDecisions(o)
+
+	for _, pr := range r.Pipelines {
+		cand := pr.Pair.Writer + "->" + pr.Pair.Reader
+		switch {
+		case pr.Pattern == patterns.Fusion:
+			o.Accept("pipeline", cand, obs.CodeFusion,
+				fmt.Sprintf("a=%.3f b=%.3f e=%.3f", pr.A, pr.B, pr.E))
+		case !fnLoops[pr.Pair.Writer] || !fnLoops[pr.Pair.Reader]:
+			o.Reject("pipeline", cand, obs.CodeOutsideHotspotFunc,
+				"pair not inside hotspot function "+r.HotspotFunc)
+		case pr.ReaderClass != patterns.LoopSequential:
+			o.Reject("pipeline", cand, obs.CodeReaderNotSequential,
+				"reader loop is "+pr.ReaderClass.String()+", already parallelisable alone")
+		case pr.E < 0.5:
+			o.Reject("pipeline", cand, obs.CodeEBelowCutoff,
+				fmt.Sprintf("e=%.3f < 0.50", pr.E))
+		default:
+			o.Accept("pipeline", cand, obs.CodePipeline,
+				fmt.Sprintf("a=%.3f b=%.3f e=%.3f", pr.A, pr.B, pr.E))
+		}
+	}
+
+	for _, name := range sortedKeys(r.TaskPar) {
+		tp := r.TaskPar[name]
+		inFn := name == r.HotspotFunc+"()" || fnLoops[tp.Graph.Region.LoopID]
+		switch {
+		case !tp.IndependentWork():
+			o.Reject("taskpar", name, obs.CodeNoIndependentWork,
+				"no two path-independent substantial CUs")
+		case tp.EstimatedSpeedup < r.opts.MinEstSpeedup:
+			o.Reject("taskpar", name, obs.CodeSpeedupBelowGate,
+				fmt.Sprintf("est. speedup %.2f < %.2f", tp.EstimatedSpeedup, r.opts.MinEstSpeedup))
+		case !inFn:
+			o.Reject("taskpar", name, obs.CodeOutsideHotspotFunc,
+				"region not inside hotspot function "+r.HotspotFunc)
+		default:
+			o.Accept("taskpar", name, obs.CodeTaskPar,
+				fmt.Sprintf("est. speedup %.2f", tp.EstimatedSpeedup))
+		}
+	}
+
+	fns := make([]string, 0, len(r.GeoDecomp))
+	for fn := range r.GeoDecomp {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		gd := r.GeoDecomp[fn]
+		switch {
+		case !gd.Candidate && gd.Blocking != "":
+			o.Reject("geodecomp", fn, obs.CodeBlockingLoop,
+				fmt.Sprintf("loop %s is %s", gd.Blocking, gd.BlockingClass))
+		case !gd.Candidate:
+			o.Reject("geodecomp", fn, obs.CodeNoLoops, "no loops to decompose")
+		case fn != r.HotspotFunc:
+			o.Reject("geodecomp", fn, obs.CodeOutsideHotspotFunc,
+				"not the hotspot function "+r.HotspotFunc)
+		case r.funcRecursive(fn):
+			o.Reject("geodecomp", fn, obs.CodeRecursive,
+				"decomposes by recursion, not by data chunking")
+		case !r.funcRepeated(fn):
+			o.Reject("geodecomp", fn, obs.CodeNotRepeated,
+				"single-shot kernel, covered by its loop-level patterns")
+		default:
+			o.Accept("geodecomp", fn, obs.CodeGeoDecomp,
+				fmt.Sprintf("all %d loops do-all/reduction", len(gd.Loops)))
+		}
+	}
+
+	for _, red := range r.Reductions {
+		cand := red.LoopID + ":" + red.Name
+		switch {
+		case !fnLoops[red.LoopID]:
+			o.Reject("reduction", cand, obs.CodeOutsideHotspotFunc,
+				"loop not inside hotspot function "+r.HotspotFunc)
+		case r.loopRelativeShare(red.LoopID) < r.opts.RelativeHotspotShare:
+			o.Reject("reduction", cand, obs.CodeRelShareBelowThreshold,
+				fmt.Sprintf("loop share %.1f%% of %s below %.1f%%",
+					100*r.loopRelativeShare(red.LoopID), r.HotspotFunc, 100*r.opts.RelativeHotspotShare))
+		default:
+			o.Accept("reduction", cand, obs.CodeReduction,
+				fmt.Sprintf("line %d", red.Line))
+		}
+	}
+}
+
+// recordHotspotDecisions logs, per distinct PET region (function or loop),
+// whether it cleared the hotspot-share threshold. Regions appearing at
+// several PET positions are judged by their best-sharing node, matching the
+// selection in Tree.Hotspots.
+func (r *Result) recordHotspotDecisions(o *obs.Observer) {
+	type regionKey struct {
+		kind pet.Kind
+		name string
+	}
+	best := map[regionKey]float64{}
+	var order []regionKey
+	r.Tree.Walk(func(n *pet.Node) {
+		if n.Kind != pet.Func && n.Kind != pet.Loop {
+			return
+		}
+		k := regionKey{n.Kind, n.Name}
+		if _, ok := best[k]; !ok {
+			order = append(order, k)
+		}
+		if s := n.Share(r.Tree.Total); s > best[k] {
+			best[k] = s
+		}
+	})
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].kind < order[j].kind
+	})
+	for _, k := range order {
+		cand := fmt.Sprintf("%s %s", k.kind, k.name)
+		detail := fmt.Sprintf("share %.2f%% vs threshold %.2f%%",
+			100*best[k], 100*r.opts.HotspotShare)
+		if best[k] >= r.opts.HotspotShare {
+			o.Accept("hotspot", cand, obs.CodeHotspot, detail)
+		} else {
+			o.Reject("hotspot", cand, obs.CodeShareBelowThreshold, detail)
+		}
+	}
+}
+
+// funcRecursive reports whether any PET activation of fn was recursive.
+func (r *Result) funcRecursive(fn string) bool {
+	for _, n := range r.Tree.FindFunc(fn) {
+		if n.Recursive {
+			return true
+		}
+	}
+	return false
+}
+
+// funcRepeated reports whether fn was activated more than once.
+func (r *Result) funcRepeated(fn string) bool {
+	for _, n := range r.Tree.FindFunc(fn) {
+		if n.Activations > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// seqTracer records every event as a formatted string into a shared journal,
+// tagged with the sink's index, so tests can assert both that all 8 Tracer
+// methods reach every sink and that sinks are invoked in Tee order.
+type seqTracer struct {
+	idx     int
+	journal *[]string
+}
+
+func (s *seqTracer) log(ev string, args ...any) {
+	*s.journal = append(*s.journal, fmt.Sprintf("sink%d:%s", s.idx, fmt.Sprintf(ev, args...)))
+}
+
+func (s *seqTracer) Load(a Addr, r Ref, line int) {
+	s.log("Load(%d,%s,%v,%d)", a, r.Name, r.Array, line)
+}
+func (s *seqTracer) Store(a Addr, r Ref, line int) {
+	s.log("Store(%d,%s,%v,%d)", a, r.Name, r.Array, line)
+}
+func (s *seqTracer) LoopEnter(id string, line int) { s.log("LoopEnter(%s,%d)", id, line) }
+func (s *seqTracer) LoopIter(id string, i int64)   { s.log("LoopIter(%s,%d)", id, i) }
+func (s *seqTracer) LoopExit(id string)            { s.log("LoopExit(%s)", id) }
+func (s *seqTracer) CallEnter(fn string, line int) { s.log("CallEnter(%s,%d)", fn, line) }
+func (s *seqTracer) CallExit(fn string)            { s.log("CallExit(%s)", fn) }
+func (s *seqTracer) Count(n int64, line int)       { s.log("Count(%d,%d)", n, line) }
+
+// TestTeeAllMethodsReachEverySinkInOrder drives each of the 8 Tracer methods
+// through a three-way Tee and asserts the exact journal: for every event,
+// sink 0 fires before sink 1 before sink 2, with identical arguments.
+func TestTeeAllMethodsReachEverySinkInOrder(t *testing.T) {
+	var journal []string
+	sinks := make([]Tracer, 3)
+	for i := range sinks {
+		sinks[i] = &seqTracer{idx: i, journal: &journal}
+	}
+	tee := Tee(sinks...)
+
+	events := []struct {
+		name string
+		fire func()
+	}{
+		{"Load(7,arr,true,11)", func() { tee.Load(7, Ref{Array: true, Name: "arr"}, 11) }},
+		{"Store(8,x,false,12)", func() { tee.Store(8, Ref{Name: "x"}, 12) }},
+		{"LoopEnter(f.L1,3)", func() { tee.LoopEnter("f.L1", 3) }},
+		{"LoopIter(f.L1,4)", func() { tee.LoopIter("f.L1", 4) }},
+		{"LoopExit(f.L1)", func() { tee.LoopExit("f.L1") }},
+		{"CallEnter(g,9)", func() { tee.CallEnter("g", 9) }},
+		{"CallExit(g)", func() { tee.CallExit("g") }},
+		{"Count(42,13)", func() { tee.Count(42, 13) }},
+	}
+	var want []string
+	for _, ev := range events {
+		ev.fire()
+		for i := range sinks {
+			want = append(want, fmt.Sprintf("sink%d:%s", i, ev.name))
+		}
+	}
+	if len(journal) != len(want) {
+		t.Fatalf("journal has %d entries, want %d:\n%v", len(journal), len(want), journal)
+	}
+	for i := range want {
+		if journal[i] != want[i] {
+			t.Errorf("journal[%d] = %q, want %q", i, journal[i], want[i])
+		}
+	}
+}
+
+// TestTeeEmptyAndSingle checks the degenerate fan-outs used by core: a Tee
+// of one sink behaves like the sink, and a Tee of zero sinks is a no-op.
+func TestTeeEmptyAndSingle(t *testing.T) {
+	empty := Tee()
+	empty.Load(1, Ref{}, 1) // must not panic
+	empty.Count(1, 1)
+
+	var journal []string
+	one := Tee(&seqTracer{idx: 0, journal: &journal})
+	one.Store(2, Ref{Name: "y"}, 5)
+	if len(journal) != 1 || journal[0] != "sink0:Store(2,y,false,5)" {
+		t.Fatalf("single-sink tee journal = %v", journal)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the Go debug surface —
+// /debug/pprof/* (net/http/pprof) and /debug/vars (expvar) — plus
+// /debug/obs, which returns the observer's current Snapshot as JSON. The
+// handlers are registered on a private mux, not http.DefaultServeMux, so
+// repeated servers (tests, multiple runs) do not collide.
+//
+// It returns the bound address (useful with a ":0" addr) and a shutdown
+// function. The observer may be nil; /debug/obs then serves an empty report.
+func ServeDebug(addr string, o *Observer) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, req *http.Request) {
+		data, err := o.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import "pardetect/internal/interp"
+
+// defaultSampleEvery is the memory-event sampling stride of the per-line
+// histogram. Totals are exact (plain increments); only line attribution is
+// sampled, keeping the tracer's cost a few instructions per event.
+const defaultSampleEvery = 64
+
+// EventTracer is a lightweight interp.Tracer that counts the instrumentation
+// event stream: loads, stores, loop entries/iterations, calls and dynamic
+// operations. It is designed to ride along phase-1 profiling via interp.Tee.
+//
+// Memory events are additionally sampled (every sampleEvery-th load/store)
+// into a per-line histogram, scaled back up by the stride, giving a cheap
+// estimate of where the traffic lives without a per-event map update.
+type EventTracer struct {
+	sampleEvery int64
+	sinceSample int64
+
+	loads, stores int64
+	loopEnters    int64
+	loopIters     int64
+	calls         int64
+	ops           int64
+	lines         map[int]int64
+}
+
+// NewEventTracer returns a tracer sampling the per-line histogram every
+// sampleEvery memory events (0 selects the default of 64).
+func NewEventTracer(sampleEvery int64) *EventTracer {
+	if sampleEvery <= 0 {
+		sampleEvery = defaultSampleEvery
+	}
+	return &EventTracer{sampleEvery: sampleEvery, lines: make(map[int]int64)}
+}
+
+func (t *EventTracer) sampleMem(line int) {
+	t.sinceSample++
+	if t.sinceSample >= t.sampleEvery {
+		t.sinceSample = 0
+		t.lines[line] += t.sampleEvery
+	}
+}
+
+// Load implements interp.Tracer.
+func (t *EventTracer) Load(addr interp.Addr, ref interp.Ref, line int) {
+	t.loads++
+	t.sampleMem(line)
+}
+
+// Store implements interp.Tracer.
+func (t *EventTracer) Store(addr interp.Addr, ref interp.Ref, line int) {
+	t.stores++
+	t.sampleMem(line)
+}
+
+// LoopEnter implements interp.Tracer.
+func (t *EventTracer) LoopEnter(loopID string, line int) { t.loopEnters++ }
+
+// LoopIter implements interp.Tracer.
+func (t *EventTracer) LoopIter(loopID string, iter int64) { t.loopIters++ }
+
+// LoopExit implements interp.Tracer.
+func (t *EventTracer) LoopExit(loopID string) {}
+
+// CallEnter implements interp.Tracer.
+func (t *EventTracer) CallEnter(fn string, line int) { t.calls++ }
+
+// CallExit implements interp.Tracer.
+func (t *EventTracer) CallExit(fn string) {}
+
+// Count implements interp.Tracer.
+func (t *EventTracer) Count(n int64, line int) { t.ops += n }
+
+// FlushTo folds the accumulated totals into the observer's counters (under
+// the events.* namespace) and the sampled histogram into its line samples.
+// The tracer can keep running and be flushed again; counts are deltas since
+// the last flush.
+func (t *EventTracer) FlushTo(o *Observer) {
+	if t == nil || o == nil {
+		return
+	}
+	o.Add("events.loads", t.loads)
+	o.Add("events.stores", t.stores)
+	o.Add("events.loop_enters", t.loopEnters)
+	o.Add("events.loop_iters", t.loopIters)
+	o.Add("events.calls", t.calls)
+	o.Add("events.ops", t.ops)
+	for line, n := range t.lines {
+		o.addSample(line, n)
+	}
+	t.loads, t.stores, t.loopEnters, t.loopIters, t.calls, t.ops = 0, 0, 0, 0, 0, 0
+	t.lines = make(map[int]int64)
+}
+
+var _ interp.Tracer = (*EventTracer)(nil)

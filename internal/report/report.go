@@ -11,6 +11,7 @@ import (
 
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
+	"pardetect/internal/obs"
 	"pardetect/internal/patterns"
 	"pardetect/internal/sched"
 	"pardetect/internal/static"
@@ -29,22 +30,30 @@ type AppRun struct {
 }
 
 // RunApp analyses one benchmark and simulates its parallel schedule.
-func RunApp(name string) (*AppRun, error) {
+func RunApp(name string) (*AppRun, error) { return RunAppObserved(name, nil) }
+
+// RunAppObserved is RunApp with pipeline telemetry: when o is non-nil it
+// receives the analysis phase spans, counters and decision log, plus a
+// sched.sweep span covering the speedup simulation.
+func RunAppObserved(name string, o *obs.Observer) (*AppRun, error) {
 	app := apps.Get(name)
 	if app == nil {
 		return nil, fmt.Errorf("report: unknown app %q", name)
 	}
-	res, err := core.Analyze(app.Build(), core.Options{InferReductionOperator: true})
+	res, err := core.Analyze(app.Build(), core.Options{InferReductionOperator: true, Observer: o})
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", name, err)
 	}
 	run := &AppRun{App: app, Result: res}
 	if app.Schedule != nil {
+		sp := o.Start("sched.sweep")
 		cm := apps.CostModel{Prof: res.Profile, Tree: res.Tree}
 		run.Sweep = sched.Sweep(func(threads int) []sched.Node {
 			return app.Schedule(cm, threads)
 		}, nil, app.Spawn)
 		run.Best = sched.Best(run.Sweep)
+		sp.End()
+		o.Add("sched.points", int64(len(run.Sweep)))
 	}
 	return run, nil
 }

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeMultiRunFieldByField exercises Profile.Merge across every field,
+// simulating the paper's §II prescription of folding runs with different
+// representative inputs into one profile.
+func TestMergeMultiRunFieldByField(t *testing.T) {
+	p := &Profile{
+		ProgramName: "app",
+		Runs:        1,
+		Deps: []Dep{
+			{Kind: RAW, SrcLine: 10, DstLine: 20, Name: "a", Count: 5},
+			{Kind: WAR, SrcLine: 20, DstLine: 10, Name: "a", Count: 1},
+		},
+		Carried: map[string][]CarriedGroup{
+			"f.L1": {{
+				LoopID: "f.L1", Name: "s",
+				WriteLines: []int{12}, ReadLines: []int{11},
+				MaxPerAddr: 3, MinDist: 1, MaxDist: 1, Count: 7,
+			}},
+		},
+		CrossLoopDeps: map[PairKey]int64{{Writer: "f.L1", Reader: "f.L2"}: 4},
+		LoopTrips:     map[string]TripStat{"f.L1": {Iterations: 8, Activations: 1}},
+		LineOps:       map[int]int64{12: 100},
+		FuncCalls:     map[string]int64{"f": 1},
+	}
+	o := &Profile{
+		Runs: 1,
+		Deps: []Dep{
+			// Same dep as p's first: counts must add, not duplicate.
+			{Kind: RAW, SrcLine: 10, DstLine: 20, Name: "a", Count: 2},
+			// New dep, sorts before the existing ones.
+			{Kind: RAW, SrcLine: 5, DstLine: 6, Name: "b", Array: true, Count: 9},
+		},
+		Carried: map[string][]CarriedGroup{
+			// Same (loop, symbol): line sets union, MaxPerAddr max,
+			// MinDist min, MaxDist max, Count sum.
+			"f.L1": {{
+				LoopID: "f.L1", Name: "s",
+				WriteLines: []int{12, 14}, ReadLines: []int{13},
+				MaxPerAddr: 2, MinDist: 2, MaxDist: 5, Count: 3,
+			}},
+			// Loop unseen in p: appended verbatim.
+			"g.L1": {{LoopID: "g.L1", Name: "acc", MaxPerAddr: 8, MinDist: 1, MaxDist: 1, Count: 8}},
+		},
+		CrossLoopDeps: map[PairKey]int64{
+			{Writer: "f.L1", Reader: "f.L2"}: 6,
+			{Writer: "f.L2", Reader: "f.L3"}: 2,
+		},
+		LoopTrips: map[string]TripStat{
+			"f.L1": {Iterations: 16, Activations: 2},
+			"g.L1": {Iterations: 4, Activations: 1},
+		},
+		LineOps:   map[int]int64{12: 50, 30: 7},
+		FuncCalls: map[string]int64{"f": 2, "g": 1},
+	}
+
+	p.Merge(o)
+
+	if p.Runs != 2 {
+		t.Errorf("Runs = %d, want 2", p.Runs)
+	}
+	wantDeps := []Dep{
+		{Kind: RAW, SrcLine: 5, DstLine: 6, Name: "b", Array: true, Count: 9},
+		{Kind: RAW, SrcLine: 10, DstLine: 20, Name: "a", Count: 7},
+		{Kind: WAR, SrcLine: 20, DstLine: 10, Name: "a", Count: 1},
+	}
+	if !reflect.DeepEqual(p.Deps, wantDeps) {
+		t.Errorf("Deps = %+v, want %+v", p.Deps, wantDeps)
+	}
+	wantGroup := CarriedGroup{
+		LoopID: "f.L1", Name: "s",
+		WriteLines: []int{12, 14}, ReadLines: []int{11, 13},
+		MaxPerAddr: 3, MinDist: 1, MaxDist: 5, Count: 10,
+	}
+	if got := p.Carried["f.L1"]; len(got) != 1 || !reflect.DeepEqual(got[0], wantGroup) {
+		t.Errorf("Carried[f.L1] = %+v, want [%+v]", got, wantGroup)
+	}
+	if got := p.Carried["g.L1"]; len(got) != 1 || got[0].Name != "acc" || got[0].Count != 8 {
+		t.Errorf("Carried[g.L1] = %+v", got)
+	}
+	if n := p.CrossLoopDeps[PairKey{Writer: "f.L1", Reader: "f.L2"}]; n != 10 {
+		t.Errorf("cross-loop f.L1->f.L2 = %d, want 10", n)
+	}
+	if n := p.CrossLoopDeps[PairKey{Writer: "f.L2", Reader: "f.L3"}]; n != 2 {
+		t.Errorf("cross-loop f.L2->f.L3 = %d, want 2", n)
+	}
+	if got := p.LoopTrips["f.L1"]; got.Iterations != 24 || got.Activations != 3 {
+		t.Errorf("LoopTrips[f.L1] = %+v, want {24 3}", got)
+	}
+	if got := p.LoopTrips["f.L1"].AvgTrip(); got != 8 {
+		t.Errorf("AvgTrip = %v, want 8", got)
+	}
+	if p.LineOps[12] != 150 || p.LineOps[30] != 7 {
+		t.Errorf("LineOps = %+v", p.LineOps)
+	}
+	if p.FuncCalls["f"] != 3 || p.FuncCalls["g"] != 1 {
+		t.Errorf("FuncCalls = %+v", p.FuncCalls)
+	}
+}
+
+// TestMergeThreeRunsAccumulates merges three single-run profiles and checks
+// the result is independent of pairing: ((a+b)+c) equals (a+(b+c)) on the
+// observable fields.
+func TestMergeThreeRunsAccumulates(t *testing.T) {
+	mk := func(count int64, line int) *Profile {
+		return &Profile{
+			Runs: 1,
+			Deps: []Dep{{Kind: RAW, SrcLine: 1, DstLine: 2, Name: "x", Count: count}},
+			Carried: map[string][]CarriedGroup{
+				"m.L1": {{LoopID: "m.L1", Name: "x", WriteLines: []int{line}, MaxPerAddr: count, MinDist: count, MaxDist: count, Count: count}},
+			},
+			LineOps: map[int]int64{line: count},
+		}
+	}
+	left := mk(1, 10)
+	left.Merge(mk(2, 11))
+	left.Merge(mk(4, 12))
+
+	mid := mk(2, 11)
+	mid.Merge(mk(4, 12))
+	right := mk(1, 10)
+	right.Merge(mid)
+
+	for name, p := range map[string]*Profile{"left": left, "right": right} {
+		if p.Runs != 3 {
+			t.Errorf("%s: Runs = %d, want 3", name, p.Runs)
+		}
+		if len(p.Deps) != 1 || p.Deps[0].Count != 7 {
+			t.Errorf("%s: Deps = %+v", name, p.Deps)
+		}
+		g := p.Carried["m.L1"][0]
+		if !reflect.DeepEqual(g.WriteLines, []int{10, 11, 12}) {
+			t.Errorf("%s: WriteLines = %v", name, g.WriteLines)
+		}
+		if g.MaxPerAddr != 4 || g.MinDist != 1 || g.MaxDist != 4 || g.Count != 7 {
+			t.Errorf("%s: group = %+v", name, g)
+		}
+	}
+	if !reflect.DeepEqual(left.Carried, right.Carried) {
+		t.Errorf("association changed carried groups:\nleft  %+v\nright %+v", left.Carried, right.Carried)
+	}
+}
+
+// TestMergeDistinguishesScalarAndArrayGroups checks that carried groups of
+// the same symbol name but different Array flag stay separate — unioning a
+// scalar reduction with a same-named array stream would corrupt MaxPerAddr.
+func TestMergeDistinguishesScalarAndArrayGroups(t *testing.T) {
+	p := &Profile{Runs: 1, Carried: map[string][]CarriedGroup{
+		"f.L1": {{LoopID: "f.L1", Name: "v", Array: false, MaxPerAddr: 100, Count: 100}},
+	}}
+	o := &Profile{Runs: 1, Carried: map[string][]CarriedGroup{
+		"f.L1": {{LoopID: "f.L1", Name: "v", Array: true, MaxPerAddr: 1, Count: 50}},
+	}}
+	p.Merge(o)
+	groups := p.Carried["f.L1"]
+	if len(groups) != 2 {
+		t.Fatalf("want 2 groups (scalar + array), got %+v", groups)
+	}
+	// sortCarried orders the scalar group before the array group.
+	if groups[0].Array || !groups[1].Array {
+		t.Fatalf("group order wrong: %+v", groups)
+	}
+	if groups[0].MaxPerAddr != 100 || groups[1].MaxPerAddr != 1 {
+		t.Fatalf("groups merged across Array flag: %+v", groups)
+	}
+}

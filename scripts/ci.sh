@@ -1,0 +1,34 @@
+#!/bin/sh
+# ci.sh — the repository's continuous-integration gate.
+#
+# Runs the same checks the tier-1 acceptance uses, plus formatting, vet and
+# a race-detector pass over the concurrency-sensitive packages (the parallel
+# schedulers and the telemetry observer, which takes events from tracer
+# callbacks while debug endpoints snapshot it).
+#
+# Usage: scripts/ci.sh   (or: make ci)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/parallel/... ./internal/obs/..."
+go test -race ./internal/parallel/... ./internal/obs/...
+
+echo "ci: all checks passed"
