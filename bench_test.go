@@ -8,12 +8,14 @@ package pardetect_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
 	"pardetect/internal/cu"
+	"pardetect/internal/farm"
 	"pardetect/internal/interp"
 	"pardetect/internal/obs"
 	"pardetect/internal/patterns"
@@ -35,8 +37,41 @@ var benchObs struct {
 	reports []obs.Report
 }
 
+// farmOut accumulates per-configuration farm batch reports when FARM_OUT
+// names a file; TestMain writes them as a runset after the run:
+//
+//	FARM_OUT=BENCH_farm.json go test -bench BenchmarkFarm -benchmem
+//
+// This is how the committed BENCH_farm.json baseline is regenerated: one
+// farm report per pool size, with the benchmark's own ns/op attached.
+var farmOut struct {
+	mu      sync.Mutex
+	reports []obs.Report
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
+	if path := os.Getenv("FARM_OUT"); path != "" {
+		farmOut.mu.Lock()
+		last := map[string]int{}
+		for i, r := range farmOut.reports {
+			last[r.Label] = i
+		}
+		set := obs.RunSet{Schema: obs.RunSetSchema}
+		for i, r := range farmOut.reports {
+			if last[r.Label] == i {
+				set.Runs = append(set.Runs, r)
+			}
+		}
+		farmOut.mu.Unlock()
+		if len(set.Runs) > 0 {
+			if data, err := set.JSON(); err == nil {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "FARM_OUT: %v\n", err)
+				}
+			}
+		}
+	}
 	if path := os.Getenv("OBS_OUT"); path != "" {
 		benchObs.mu.Lock()
 		// The harness may rerun a benchmark while sizing b.N; keep only the
@@ -369,6 +404,47 @@ func BenchmarkAblation_PipelineGrain(b *testing.B) {
 			b.ReportMetric(speedup, "speedup")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Farm — concurrent batch analysis of every Table III app. The sub-benchmarks
+// contrast a sequential pool (jobs=1) with a GOMAXPROCS-sized pool; the
+// busy/wall metric is the pool's occupancy (≈ jobs when the farm scales).
+// ---------------------------------------------------------------------------
+
+func benchFarm(b *testing.B, jobs int) {
+	b.Helper()
+	var batch *farm.Batch
+	for i := 0; i < b.N; i++ {
+		batch = farm.RunApps(apps.TableIIIOrder, farm.Options{Jobs: jobs})
+		if errs := batch.Errs(); len(errs) != 0 {
+			b.Fatalf("%s: %v", errs[0].Name, errs[0].Err)
+		}
+	}
+	rep := batch.Report()
+	b.ReportMetric(float64(rep.Counters["farm.tasks"]), "apps/op")
+	if wall := float64(rep.Counters["farm.wall_ns"]); wall > 0 {
+		b.ReportMetric(float64(rep.Counters["farm.busy_ns"])/wall, "busy/wall")
+	}
+	if os.Getenv("FARM_OUT") != "" {
+		rep.Label = fmt.Sprintf("farm/jobs=%d", jobs)
+		if b.N > 0 {
+			rep.Counters["bench.ns_per_op"] = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+		rep.Counters["bench.iterations"] = int64(b.N)
+		farmOut.mu.Lock()
+		farmOut.reports = append(farmOut.reports, rep)
+		farmOut.mu.Unlock()
+	}
+}
+
+func BenchmarkFarm(b *testing.B) {
+	pool := runtime.GOMAXPROCS(0)
+	if pool == 1 {
+		pool = 4 // still exercise the pool (time-sliced) on a single-CPU box
+	}
+	b.Run("jobs=1", func(b *testing.B) { benchFarm(b, 1) })
+	b.Run(fmt.Sprintf("jobs=%d", pool), func(b *testing.B) { benchFarm(b, pool) })
 }
 
 // ---------------------------------------------------------------------------

@@ -6,14 +6,20 @@
 //
 //	benchtab                      # all tables
 //	benchtab -table 3             # one table
+//	benchtab -jobs 8              # farm the app analyses over 8 workers
 //	benchtab -curves              # speedup-vs-threads series per benchmark
 //	benchtab -stats-out obs.json  # also write per-app telemetry (JSON)
 //
+// The per-app analyses behind Tables III–V run on the internal/farm worker
+// pool; -jobs sets the pool size (default GOMAXPROCS, 1 = sequential). Farm
+// results keep input order, so the tables are byte-identical at any -jobs.
+//
 // -stats-out runs every Table III app with pipeline telemetry enabled and
-// writes one pardetect.obs/v1 report per app, wrapped in a
-// pardetect.obs.runset/v1 envelope — the machine-readable record of phase
-// timings, event/dependence counters and candidate decisions. -debug-addr
-// serves /debug/pprof and /debug/vars while the tables are being computed.
+// writes one pardetect.obs/v1 report per app — headed by the farm's own
+// batch report — wrapped in a pardetect.obs.runset/v1 envelope: the
+// machine-readable record of phase timings, event/dependence counters and
+// candidate decisions. -debug-addr serves /debug/pprof and /debug/vars
+// while the tables are being computed.
 package main
 
 import (
@@ -22,12 +28,14 @@ import (
 	"os"
 
 	"pardetect/internal/apps"
+	"pardetect/internal/farm"
 	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1..6); 0 prints all")
+	jobs := flag.Int("jobs", 0, "concurrent app analyses (default GOMAXPROCS; 1 = sequential)")
 	curves := flag.Bool("curves", false, "print the simulated speedup curves")
 	statsOut := flag.String("stats-out", "", "write per-app telemetry reports as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while running")
@@ -46,23 +54,15 @@ func main() {
 	needRuns := *curves || *statsOut != "" || *table == 0 || (*table >= 3 && *table <= 5)
 	var runs []*report.AppRun
 	if needRuns {
-		set := obs.RunSet{Schema: obs.RunSetSchema}
-		for _, name := range apps.TableIIIOrder {
-			var o *obs.Observer
-			if *statsOut != "" {
-				o = obs.New(name)
-			}
-			r, err := report.RunAppObserved(name, o)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-				os.Exit(1)
-			}
-			runs = append(runs, r)
-			if o != nil {
-				set.Runs = append(set.Runs, o.Snapshot())
-			}
+		batch := farm.RunApps(apps.TableIIIOrder, farm.Options{Jobs: *jobs, Observe: *statsOut != ""})
+		var err error
+		runs, err = batch.Runs()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
 		}
 		if *statsOut != "" {
+			set := batch.RunSet()
 			data, err := set.JSON()
 			if err == nil {
 				err = os.WriteFile(*statsOut, data, 0o644)

@@ -7,9 +7,16 @@
 // Usage:
 //
 //	pardetect [-hotspot 0.02] [-ops] [-deps] [-stats] <benchmark>
+//	pardetect -all [-jobs 8] [-stats] [-stats-json stats.json]
 //	pardetect -stats-json stats.json <benchmark>
 //	pardetect -debug-addr localhost:6060 <benchmark>
 //	pardetect -list
+//
+// -all analyses every registered benchmark through the internal/farm worker
+// pool (-jobs workers, default GOMAXPROCS) and prints the reports in
+// registry order; a failing app is reported and the rest of the batch still
+// completes. With -all, -stats prints the farm's batch telemetry and
+// -stats-json writes the whole batch as a pardetect.obs.runset/v1 envelope.
 //
 // -stats appends the telemetry report: the per-phase span tree (wall time
 // and allocated bytes), the counter table, the hottest sampled lines and
@@ -23,15 +30,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
+	"pardetect/internal/farm"
 	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the available benchmarks and exit")
+	all := flag.Bool("all", false, "analyse every registered benchmark through the farm worker pool")
+	jobs := flag.Int("jobs", 0, "concurrent analyses with -all (default GOMAXPROCS; 1 = sequential)")
 	hotspot := flag.Float64("hotspot", 0, "hotspot share threshold (default 0.02)")
 	showOps := flag.Bool("ops", false, "print the Program Execution Tree with operation counts")
 	showDeps := flag.Bool("deps", false, "print the profiled cross-loop dependences")
@@ -47,8 +58,15 @@ func main() {
 		}
 		return
 	}
+	if *all {
+		if flag.NArg() != 0 || *hotspot != 0 || *showOps || *showDeps || *showSrc || *debugAddr != "" {
+			fmt.Fprintln(os.Stderr, "pardetect: -all runs the default configuration; it cannot be combined with a benchmark argument, -hotspot, -ops, -deps, -src or -debug-addr")
+			os.Exit(2)
+		}
+		os.Exit(runAll(*jobs, *stats, *statsJSON))
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pardetect [flags] <benchmark>   (or -list)")
+		fmt.Fprintln(os.Stderr, "usage: pardetect [flags] <benchmark>   (or -list, -all)")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -111,4 +129,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pardetect: analysis done; debug endpoint stays up (Ctrl-C to exit)")
 		select {}
 	}
+}
+
+// runAll farms every registered benchmark and prints the detection reports
+// in registry order. It returns the process exit code: 0 when every app
+// analysed cleanly, 1 when any failed (the failures are reported inline and
+// the rest of the batch still completes).
+func runAll(jobs int, stats bool, statsJSON string) int {
+	names := make([]string, 0, len(apps.All()))
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	observe := stats || statsJSON != ""
+	batch := farm.RunApps(names, farm.Options{Jobs: jobs, Observe: observe})
+
+	code := 0
+	for i, r := range batch.Results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if r.Err != nil {
+			code = 1
+			fmt.Fprintf(os.Stderr, "pardetect: %s: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Print(r.Run.Result.Summary())
+	}
+	rep := batch.Report()
+	fmt.Fprintf(os.Stderr, "pardetect: farmed %d apps on %d workers in %s (%d failed)\n",
+		rep.Counters["farm.tasks"], rep.Counters["farm.jobs"], batch.Wall.Round(time.Millisecond), rep.Counters["farm.errors"])
+	if stats {
+		fmt.Println()
+		for _, run := range batch.RunSet().Runs {
+			fmt.Print(run.Text())
+		}
+	}
+	if statsJSON != "" {
+		data, err := batch.RunSet().JSON()
+		if err == nil {
+			err = os.WriteFile(statsJSON, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardetect: stats-json: %v\n", err)
+			return 1
+		}
+	}
+	return code
 }

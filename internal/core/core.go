@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pardetect/internal/cu"
 	"pardetect/internal/interp"
@@ -47,6 +48,13 @@ type Options struct {
 	MinEstSpeedup float64
 	// MaxSteps bounds each profiled execution (see interp.Options).
 	MaxSteps int64
+	// Timeout, when positive, bounds the whole analysis in wall-clock time
+	// alongside MaxSteps: one deadline is computed when Analyze starts and
+	// every profiled execution (phase 1, extra inputs, phase 2) runs under
+	// it. An exceeded deadline surfaces as an error wrapping
+	// interp.ErrDeadline. Batch drivers (internal/farm) use this to stop a
+	// wedged analysis from stalling the whole batch.
+	Timeout time.Duration
 	// InferReductionOperator enables the paper's future-work extension.
 	InferReductionOperator bool
 	// ExtraInputs, when set, profiles the program under these additional
@@ -79,6 +87,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxSteps < 0 {
 		o.MaxSteps = 0 // interp applies its own default bound
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0 // no deadline
 	}
 }
 
@@ -119,6 +130,13 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 	opts.fill()
 	o := opts.Observer
 	res := &Result{Program: p, opts: opts}
+	// One wall-clock deadline covers every profiled execution of this
+	// analysis, so a slow phase 1 leaves correspondingly less budget for
+	// phase 2 rather than resetting the clock.
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
 
 	total := o.Start("analyze")
 	defer total.End()
@@ -133,7 +151,7 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 		ev = obs.NewEventTracer(0)
 		tr = interp.Tee(col, pb, ev)
 	}
-	if err := runProgram(p, tr, opts.MaxSteps); err != nil {
+	if err := runProgram(p, tr, opts.MaxSteps, deadline); err != nil {
 		return nil, fmt.Errorf("core: phase-1 run: %w", err)
 	}
 	res.Profile = col.Finish(p.Name)
@@ -147,7 +165,7 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 		for i, build := range opts.ExtraInputs {
 			p2 := build()
 			col2 := trace.NewCollector()
-			if err := runProgram(p2, col2, opts.MaxSteps); err != nil {
+			if err := runProgram(p2, col2, opts.MaxSteps, deadline); err != nil {
 				return nil, fmt.Errorf("core: extra input %d: %w", i, err)
 			}
 			res.Profile.Merge(col2.Finish(p2.Name))
@@ -182,7 +200,7 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 	if len(pairs) > 0 {
 		sp = o.Start("phase2.profile")
 		pp := trace.NewPairProfiler(pairs, 0)
-		if err := runProgram(p, pp, opts.MaxSteps); err != nil {
+		if err := runProgram(p, pp, opts.MaxSteps, deadline); err != nil {
 			return nil, fmt.Errorf("core: phase-2 run: %w", err)
 		}
 		pts := pp.Finish()
@@ -193,6 +211,7 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 				samples += int64(len(s))
 			}
 			o.Add("phase2.samples", samples)
+			o.Add("phase2.snapshot_truncated", pts.SnapshotTruncated)
 		}
 
 		sp = o.Start("regression.fit")
@@ -204,7 +223,14 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 		patterns.RefineFusion(res.Pipelines, loopLine)
 		sp.End()
 		o.Add("phase2.pairs_fitted", int64(len(res.Pipelines)))
-		o.Add("phase2.pairs_dropped", int64(len(pairs)-len(res.Pipelines)))
+		// Fusion refinement may split a candidate pair into more than one
+		// result, so the difference is clamped at zero rather than exported
+		// as a negative drop count.
+		dropped := int64(len(pairs) - len(res.Pipelines))
+		if dropped < 0 {
+			dropped = 0
+		}
+		o.Add("phase2.pairs_dropped", dropped)
 	}
 
 	// Task parallelism on hotspot regions: functions and loop bodies.
@@ -268,6 +294,7 @@ func recordProfileCounters(o *obs.Observer, prof *trace.Profile) {
 	o.Add("profile.cross_loop_pairs", int64(len(prof.CrossLoopDeps)))
 	o.Add("profile.loops", int64(len(prof.LoopTrips)))
 	o.Add("profile.runs", int64(prof.Runs))
+	o.Add("profile.snapshot_truncated", prof.SnapshotTruncated)
 }
 
 // recordGraphCounters exports one CU graph's size.
@@ -284,8 +311,8 @@ func recordGraphCounters(o *obs.Observer, g *cu.Graph) {
 	o.Add("cu.edges", edges)
 }
 
-func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64) error {
-	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: maxSteps})
+func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64, deadline time.Time) error {
+	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: maxSteps, Deadline: deadline})
 	if err != nil {
 		return err
 	}

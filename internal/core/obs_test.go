@@ -139,3 +139,43 @@ func TestDecisionLogCoversAllCandidates(t *testing.T) {
 		})
 	}
 }
+
+// TestCountersNonNegative pins the counter-sanity contract across every
+// Table III app: no pipeline counter may go negative. phase2.pairs_dropped
+// in particular is computed as a difference (candidate pairs minus fitted
+// pipelines) and is clamped at 0 in Analyze — a successful fit of a pair
+// that later multiplies into several pipeline rows must not be reported as
+// a negative drop.
+func TestCountersNonNegative(t *testing.T) {
+	for _, name := range apps.TableIIIOrder {
+		t.Run(name, func(t *testing.T) {
+			o := obs.New(name)
+			analyzeObserved(t, name, o)
+			for k, v := range o.Snapshot().Counters {
+				if v < 0 {
+					t.Errorf("counter %s = %d, want >= 0", k, v)
+				}
+			}
+			if o.Counter("phase2.pairs") > 0 {
+				if d := o.Counter("phase2.pairs_dropped"); d < 0 || d > o.Counter("phase2.pairs") {
+					t.Errorf("phase2.pairs_dropped = %d with %d pairs", d, o.Counter("phase2.pairs"))
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotTruncationCounterExported pins that the profiler's snapshot
+// truncation count reaches the telemetry: a 7-deep loop nest (one past
+// maxSnapDepth) must surface as a non-zero profile.snapshot_truncated
+// counter, and the in-repo benchmarks (which never nest that deep) as zero.
+func TestSnapshotTruncationCounterExported(t *testing.T) {
+	o := obs.New("kmeans")
+	analyzeObserved(t, "kmeans", o)
+	if v := o.Counter("profile.snapshot_truncated"); v != 0 {
+		t.Errorf("kmeans profile.snapshot_truncated = %d, want 0", v)
+	}
+	if _, ok := o.Snapshot().Counters["profile.snapshot_truncated"]; !ok {
+		t.Error("profile.snapshot_truncated counter not exported")
+	}
+}

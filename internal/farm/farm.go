@@ -1,0 +1,243 @@
+// Package farm is the concurrent batch driver of the analysis pipeline:
+// a fixed-size worker pool that runs full app analyses (core.Analyze plus
+// the speedup simulation, via package report) over many programs at once.
+//
+// Analyses of independent programs share no mutable state — each run owns
+// its interpreter, profilers and interners — so a batch is embarrassingly
+// parallel and the farm simply schedules one analysis per worker. The
+// guarantees the farm adds on top of plain goroutines are the ones a batch
+// driver needs to be dependable:
+//
+//   - deterministic result ordering: results come back in input order, no
+//     matter which worker finished first, so table generation from a farmed
+//     batch is byte-identical to the sequential path;
+//   - per-run panic recovery: a panicking analysis becomes an error Result,
+//     never a dead batch;
+//   - a per-run wall-clock deadline (core.Options.Timeout) alongside the
+//     interpreter's step limit, so a wedged run cannot stall its worker
+//     forever;
+//   - per-run obs.Observer telemetry, merged into one batch report
+//     (an obs.RunSet headed by the farm's own counters).
+//
+// cmd/benchtab (-jobs) and cmd/pardetect (-all) are the front-ends.
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/obs"
+	"pardetect/internal/report"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Jobs is the worker-pool size; values < 1 select GOMAXPROCS.
+	Jobs int
+	// Timeout is the per-run wall-clock deadline (0 = none). It bounds each
+	// analysis through core.Options.Timeout, enforced inside the interpreter
+	// alongside MaxSteps; a run that exceeds it fails with an error wrapping
+	// interp.ErrDeadline and is counted in the farm.timeouts counter.
+	Timeout time.Duration
+	// Observe attaches a per-run obs.Observer to every analysis and merges
+	// the per-run reports into the batch RunSet.
+	Observe bool
+}
+
+func (o *Options) fill() {
+	if o.Jobs < 1 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0
+	}
+}
+
+// Job is one unit of batch work: a named analysis producing an AppRun.
+type Job struct {
+	// Name labels the job in results and telemetry.
+	Name string
+	// Run performs the analysis. The observer is non-nil iff the batch runs
+	// with Options.Observe; implementations must tolerate nil.
+	Run func(o *obs.Observer) (*report.AppRun, error)
+}
+
+// Result is one job's outcome, in the batch's input order.
+type Result struct {
+	// Name is the job's name.
+	Name string
+	// Run is the completed analysis (nil when Err is set).
+	Run *report.AppRun
+	// Report is the run's telemetry snapshot (zero-valued unless the batch
+	// ran with Options.Observe).
+	Report obs.Report
+	// Err is the job's failure: the analysis error, a deadline error
+	// (errors.Is(Err, interp.ErrDeadline)) or a recovered panic
+	// (errors.As to *PanicError).
+	Err error
+	// Elapsed is the job's wall time on its worker.
+	Elapsed time.Duration
+}
+
+// PanicError wraps a panic recovered from a farmed analysis.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("farm: analysis panicked: %v", e.Value) }
+
+// Batch is a completed batch run.
+type Batch struct {
+	// Results holds one entry per job, in input order.
+	Results []Result
+	// Jobs is the worker-pool size the batch ran with.
+	Jobs int
+	// Wall is the batch's total wall time.
+	Wall time.Duration
+}
+
+// Run executes the jobs on a worker pool and returns when all have finished.
+func Run(jobs []Job, opts Options) *Batch {
+	opts.fill()
+	b := &Batch{Results: make([]Result, len(jobs)), Jobs: opts.Jobs}
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := opts.Jobs
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				b.Results[i] = runOne(jobs[i], opts)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	b.Wall = time.Since(start)
+	return b
+}
+
+// runOne executes one job with panic recovery and optional telemetry.
+func runOne(job Job, opts Options) (res Result) {
+	res.Name = job.Name
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		res.Elapsed = time.Since(start)
+	}()
+	var o *obs.Observer
+	if opts.Observe {
+		o = obs.New(job.Name)
+	}
+	res.Run, res.Err = job.Run(o)
+	if opts.Observe {
+		res.Report = o.Snapshot()
+	}
+	return res
+}
+
+// RunApps farms the named registered benchmark apps (the report.RunApp
+// pipeline: full analysis plus speedup simulation) and returns their results
+// in input order.
+func RunApps(names []string, opts Options) *Batch {
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = Job{Name: name, Run: func(o *obs.Observer) (*report.AppRun, error) {
+			return report.RunAppTimeout(name, o, opts.Timeout)
+		}}
+	}
+	return Run(jobs, opts)
+}
+
+// Runs unwraps the batch into the per-job AppRuns in input order, or the
+// first error encountered.
+func (b *Batch) Runs() ([]*report.AppRun, error) {
+	out := make([]*report.AppRun, len(b.Results))
+	for i, r := range b.Results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("farm: %s: %w", r.Name, r.Err)
+		}
+		out[i] = r.Run
+	}
+	return out, nil
+}
+
+// Errs returns the failed results (empty for a fully successful batch).
+func (b *Batch) Errs() []Result {
+	var out []Result
+	for _, r := range b.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Report summarises the batch itself as one telemetry report labelled
+// "farm": worker count, job totals, error/panic/timeout counts and wall
+// time, in the same schema as per-run reports.
+func (b *Batch) Report() obs.Report {
+	var errs, panics, timeouts int64
+	var busy time.Duration
+	for _, r := range b.Results {
+		busy += r.Elapsed
+		if r.Err == nil {
+			continue
+		}
+		errs++
+		var pe *PanicError
+		if errors.As(r.Err, &pe) {
+			panics++
+		}
+		if errors.Is(r.Err, interp.ErrDeadline) {
+			timeouts++
+		}
+	}
+	return obs.Report{
+		Schema: obs.Schema,
+		Label:  "farm",
+		WallNS: b.Wall.Nanoseconds(),
+		Counters: obs.Counters{
+			"farm.jobs":     int64(b.Jobs),
+			"farm.tasks":    int64(len(b.Results)),
+			"farm.errors":   errs,
+			"farm.panics":   panics,
+			"farm.timeouts": timeouts,
+			"farm.busy_ns":  busy.Nanoseconds(),
+			"farm.wall_ns":  b.Wall.Nanoseconds(),
+		},
+	}
+}
+
+// RunSet merges the batch into one export envelope: the farm's own report
+// first, then every per-run report in input order (successful runs only
+// carry telemetry when the batch ran with Options.Observe).
+func (b *Batch) RunSet() obs.RunSet {
+	set := obs.RunSet{Schema: obs.RunSetSchema, Runs: []obs.Report{b.Report()}}
+	for _, r := range b.Results {
+		if r.Report.Schema != "" {
+			set.Runs = append(set.Runs, r.Report)
+		}
+	}
+	return set
+}

@@ -1,0 +1,211 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/interp"
+	"pardetect/internal/obs"
+	"pardetect/internal/report"
+)
+
+// allAppNames returns every registered benchmark (the 19 apps: Table III
+// plus the two synthetic Table VI reduction benchmarks), in registry order.
+func allAppNames() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// TestFarmAllAppsRace farms every registered app concurrently. Run under
+// `go test -race` (scripts/ci.sh does) this proves the app IR builders, the
+// profiler interners and core.Analyze share no mutable state across
+// concurrent analyses. It also pins the ordering contract: results come
+// back in input order with the right names, whichever worker finished
+// first.
+func TestFarmAllAppsRace(t *testing.T) {
+	names := allAppNames()
+	if len(names) != 19 {
+		t.Fatalf("expected 19 registered apps, got %d", len(names))
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+	batch := RunApps(names, Options{Jobs: jobs})
+	if len(batch.Results) != len(names) {
+		t.Fatalf("got %d results for %d jobs", len(batch.Results), len(names))
+	}
+	for i, r := range batch.Results {
+		if r.Name != names[i] {
+			t.Errorf("result %d: name %q, want %q (input order must be preserved)", i, r.Name, names[i])
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+		if r.Err == nil && r.Run == nil {
+			t.Errorf("%s: successful result carries no run", r.Name)
+		}
+	}
+}
+
+// TestFarmTablesMatchSequential is the acceptance check of the batch
+// driver: Tables III–V generated from a concurrently farmed batch must be
+// byte-identical to the sequential report.RunAll path.
+func TestFarmTablesMatchSequential(t *testing.T) {
+	seq, err := report.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := RunApps(apps.TableIIIOrder, Options{Jobs: 4})
+	farmed, err := batch.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range []struct {
+		name   string
+		render func([]*report.AppRun) string
+	}{
+		{"TableIII", report.TableIII},
+		{"TableIV", report.TableIV},
+		{"TableV", report.TableV},
+	} {
+		want := table.render(seq)
+		got := table.render(farmed)
+		if got != want {
+			t.Errorf("%s differs between farmed and sequential runs:\n--- farmed ---\n%s\n--- sequential ---\n%s", table.name, got, want)
+		}
+	}
+}
+
+// TestFarmPanicRecovery pins that a panicking analysis becomes an error
+// result and the rest of the batch still completes.
+func TestFarmPanicRecovery(t *testing.T) {
+	jobs := []Job{
+		{Name: "ok-before", Run: func(o *obs.Observer) (*report.AppRun, error) {
+			return report.RunAppObserved("fib", o)
+		}},
+		{Name: "boom", Run: func(o *obs.Observer) (*report.AppRun, error) {
+			panic("deliberate test panic")
+		}},
+		{Name: "ok-after", Run: func(o *obs.Observer) (*report.AppRun, error) {
+			return report.RunAppObserved("bicg", o)
+		}},
+	}
+	batch := Run(jobs, Options{Jobs: 2})
+	if got := batch.Results[0].Err; got != nil {
+		t.Errorf("ok-before failed: %v", got)
+	}
+	if got := batch.Results[2].Err; got != nil {
+		t.Errorf("ok-after failed: %v", got)
+	}
+	err := batch.Results[1].Err
+	if err == nil {
+		t.Fatal("panicking job produced no error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking job error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Value != "deliberate test panic" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack trace")
+	}
+	if rep := batch.Report(); rep.Counters["farm.panics"] != 1 || rep.Counters["farm.errors"] != 1 {
+		t.Errorf("batch report counters = %v, want 1 panic / 1 error", rep.Counters)
+	}
+}
+
+// TestFarmDeadline pins the per-run wall-clock deadline: with a timeout
+// that has effectively already expired, every analysis must fail with an
+// error wrapping interp.ErrDeadline instead of running to completion.
+func TestFarmDeadline(t *testing.T) {
+	batch := RunApps([]string{"2mm"}, Options{Jobs: 1, Timeout: time.Nanosecond})
+	err := batch.Results[0].Err
+	if err == nil {
+		t.Fatal("analysis with 1ns timeout succeeded")
+	}
+	if !errors.Is(err, interp.ErrDeadline) {
+		t.Fatalf("error %v does not wrap interp.ErrDeadline", err)
+	}
+	if rep := batch.Report(); rep.Counters["farm.timeouts"] != 1 {
+		t.Errorf("farm.timeouts = %d, want 1", rep.Counters["farm.timeouts"])
+	}
+}
+
+// TestFarmRunsSurfacesFirstError pins Batch.Runs error unwrapping.
+func TestFarmRunsSurfacesFirstError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	batch := Run([]Job{
+		{Name: "bad", Run: func(o *obs.Observer) (*report.AppRun, error) { return nil, sentinel }},
+	}, Options{Jobs: 1})
+	if _, err := batch.Runs(); !errors.Is(err, sentinel) {
+		t.Fatalf("Runs() error = %v, want wrapped sentinel", err)
+	}
+	if len(batch.Errs()) != 1 {
+		t.Fatalf("Errs() = %v, want one failure", batch.Errs())
+	}
+}
+
+// TestFarmObserve pins the telemetry merge: with Observe set, the RunSet
+// carries the farm's own batch report first, then one per-run report per
+// job in input order.
+func TestFarmObserve(t *testing.T) {
+	names := []string{"fib", "bicg", "gesummv"}
+	batch := RunApps(names, Options{Jobs: 2, Observe: true})
+	set := batch.RunSet()
+	if set.Schema != obs.RunSetSchema {
+		t.Errorf("RunSet schema %q", set.Schema)
+	}
+	if len(set.Runs) != len(names)+1 {
+		t.Fatalf("RunSet has %d reports, want %d (farm + per-run)", len(set.Runs), len(names)+1)
+	}
+	if set.Runs[0].Label != "farm" {
+		t.Errorf("first report label %q, want \"farm\"", set.Runs[0].Label)
+	}
+	if got := set.Runs[0].Counters["farm.tasks"]; got != int64(len(names)) {
+		t.Errorf("farm.tasks = %d, want %d", got, len(names))
+	}
+	for i, name := range names {
+		run := set.Runs[i+1]
+		if run.Label != name {
+			t.Errorf("report %d label %q, want %q", i+1, run.Label, name)
+		}
+		if len(run.Spans) == 0 || run.Counters["events.loads"] == 0 {
+			t.Errorf("%s: per-run report missing spans or event counters", name)
+		}
+	}
+}
+
+// TestFarmSummariesMatchSequential farms with several worker counts and
+// checks the rendered detection reports are byte-identical to a plain
+// sequential run — the determinism contract behind pardetect -all.
+func TestFarmSummariesMatchSequential(t *testing.T) {
+	names := []string{"kmeans", "fib", "reg_detect", "sum_local"}
+	render := func(rs []Result) string {
+		var sb strings.Builder
+		for _, r := range rs {
+			if r.Err != nil {
+				fmt.Fprintf(&sb, "error: %v\n", r.Err)
+				continue
+			}
+			sb.WriteString(r.Run.Result.Summary())
+		}
+		return sb.String()
+	}
+	want := render(RunApps(names, Options{Jobs: 1}).Results)
+	for _, jobs := range []int{2, len(names)} {
+		if got := render(RunApps(names, Options{Jobs: jobs}).Results); got != want {
+			t.Errorf("jobs=%d: summaries differ from sequential run", jobs)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"pardetect/internal/ir"
 )
@@ -16,6 +18,11 @@ type Options struct {
 	// default of 200 million. Exceeding the bound is an error (the mini-IR
 	// has no termination checker).
 	MaxSteps int64
+	// Deadline, when non-zero, bounds the run in wall-clock time alongside
+	// MaxSteps: execution past the deadline fails with an error wrapping
+	// ErrDeadline. The clock is polled every deadlineCheckEvery statements,
+	// so enforcement granularity is a few thousand statements.
+	Deadline time.Time
 	// MaxDepth bounds the call depth; 0 means the default of 10000.
 	MaxDepth int
 	// ArrayInit seeds the named global arrays before execution. Each slice
@@ -27,7 +34,14 @@ const (
 	defaultMaxSteps = 200_000_000
 	defaultMaxDepth = 10_000
 	scalarBase      = Addr(1) << 40
+	// deadlineCheckEvery is the statement stride between wall-clock polls;
+	// a power of two so the check compiles to a mask test on the hot path.
+	deadlineCheckEvery = 1 << 14
 )
+
+// ErrDeadline reports that a run exceeded its wall-clock deadline
+// (Options.Deadline). Use errors.Is to distinguish it from the step limit.
+var ErrDeadline = errors.New("interp: wall-clock deadline exceeded")
 
 // Machine executes one mini-IR program. A Machine is single-use: create,
 // Run, then inspect arrays and the return value.
@@ -183,6 +197,9 @@ func (m *Machine) execStmt(fr *frame, s ir.Stmt) (control, float64, error) {
 	m.steps++
 	if m.steps > m.opts.MaxSteps {
 		return ctlNext, 0, fmt.Errorf("interp: step limit %d exceeded at line %d", m.opts.MaxSteps, s.Pos())
+	}
+	if m.steps%deadlineCheckEvery == 0 && !m.opts.Deadline.IsZero() && time.Now().After(m.opts.Deadline) {
+		return ctlNext, 0, fmt.Errorf("%w after %d steps at line %d", ErrDeadline, m.steps, s.Pos())
 	}
 	switch s := s.(type) {
 	case *ir.Assign:

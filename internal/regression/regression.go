@@ -63,10 +63,16 @@ func Fit(xs, ys []float64) (Line, error) {
 		// All Y identical: the horizontal line fits exactly.
 		l.R2 = 1
 	} else {
+		// ssRes = syy - A·sxy is mathematically non-negative, but
+		// catastrophic cancellation on near-collinear data can push it
+		// slightly negative (R² > 1) or above syy (R² < 0); clamp to the
+		// meaningful range.
 		ssRes := syy - l.A*sxy
 		l.R2 = 1 - ssRes/syy
 		if l.R2 < 0 {
 			l.R2 = 0
+		} else if l.R2 > 1 {
+			l.R2 = 1
 		}
 	}
 	return l, nil

@@ -212,3 +212,50 @@ func TestQuickEfficiencyOfPerfectLineIsOne(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression test for the R² clamp: on near-collinear data far from the
+// origin, catastrophic cancellation in ssRes = syy − A·sxy can push the raw
+// coefficient of determination above 1 (this exact input produced
+// R² = 1.0000000000000004 before the clamp). R² must stay in [0, 1].
+func TestFitR2ClampedOnCancellation(t *testing.T) {
+	xs := make([]float64, 5)
+	ys := make([]float64, 5)
+	for i := range xs {
+		xs[i] = 1e7 + float64(i)*0.1
+		ys[i] = 7 * xs[i]
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.R2 < 0 || l.R2 > 1 {
+		t.Fatalf("R2 = %.17g, want within [0, 1]", l.R2)
+	}
+	if !almost(l.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %g for exactly collinear data, want ≈ 1", l.R2)
+	}
+}
+
+// Property: R² stays in [0, 1] for arbitrary affine data with offsets and
+// scales chosen to provoke cancellation.
+func TestQuickFitR2InRange(t *testing.T) {
+	f := func(a8, off8, n8 uint8) bool {
+		a := float64(int(a8)%19 - 9)
+		off := math.Pow(10, float64(off8%9)) // offsets up to 1e8 from origin
+		n := int(n8%50) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = off + float64(i)*0.1
+			ys[i] = a*xs[i] + 3
+		}
+		l, err := Fit(xs, ys)
+		if err != nil {
+			return err == ErrDegenerate
+		}
+		return l.R2 >= 0 && l.R2 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
@@ -36,11 +37,23 @@ func RunApp(name string) (*AppRun, error) { return RunAppObserved(name, nil) }
 // receives the analysis phase spans, counters and decision log, plus a
 // sched.sweep span covering the speedup simulation.
 func RunAppObserved(name string, o *obs.Observer) (*AppRun, error) {
+	return RunAppTimeout(name, o, 0)
+}
+
+// RunAppTimeout is RunAppObserved with a per-run wall-clock deadline on the
+// analysis (core.Options.Timeout); 0 means no deadline. Batch drivers
+// (internal/farm) use the deadline so one wedged analysis cannot stall a
+// whole batch.
+func RunAppTimeout(name string, o *obs.Observer, timeout time.Duration) (*AppRun, error) {
 	app := apps.Get(name)
 	if app == nil {
 		return nil, fmt.Errorf("report: unknown app %q", name)
 	}
-	res, err := core.Analyze(app.Build(), core.Options{InferReductionOperator: true, Observer: o})
+	res, err := core.Analyze(app.Build(), core.Options{
+		InferReductionOperator: true,
+		Observer:               o,
+		Timeout:                timeout,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", name, err)
 	}

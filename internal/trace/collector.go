@@ -22,6 +22,13 @@ type Collector struct {
 	loops   []liveLoop
 	nextAct uint32
 	in      *interner
+	// syms interns symbol (variable/array) names, so the hot-path shadow
+	// entries and dependence keys carry a uint32 instead of a string; the
+	// names are resolved back only once, in Finish.
+	syms *interner
+	// snapTrunc counts shadow-memory snapshots whose loop nest exceeded
+	// maxSnapDepth and was truncated (Profile.SnapshotTruncated).
+	snapTrunc int64
 
 	lastWrite map[interp.Addr]writeInfo
 	lastRead  map[interp.Addr]readInfo
@@ -104,7 +111,7 @@ func divergeLines(w, r *callNode, wLine, rLine int32) (int32, int32, bool) {
 type writeInfo struct {
 	line  int32
 	array bool
-	name  string
+	name  uint32 // interned symbol name
 	stack stackVec
 	call  *callNode
 }
@@ -112,20 +119,20 @@ type writeInfo struct {
 type readInfo struct {
 	line  int32
 	array bool
-	name  string
+	name  uint32 // interned symbol name
 }
 
 type depKey struct {
 	kind     DepKind
 	src, dst int32
-	name     string
+	name     uint32 // interned symbol name
 	array    bool
 	carried  bool
 }
 
 type carrKey struct {
 	loop  uint32
-	name  string
+	name  uint32 // interned symbol name
 	array bool
 }
 
@@ -152,6 +159,7 @@ type addrCount struct {
 func NewCollector() *Collector {
 	return &Collector{
 		in:        newInterner(),
+		syms:      newInterner(),
 		lastWrite: make(map[interp.Addr]writeInfo),
 		lastRead:  make(map[interp.Addr]readInfo),
 		deps:      make(map[depKey]int64),
@@ -171,21 +179,41 @@ func (c *Collector) LoopEnter(loopID string, line int) {
 	c.trip(id).Activations++
 }
 
-// LoopIter implements interp.Tracer.
+// LoopIter implements interp.Tracer. The event is validated against the live
+// stack: if the top frame is not loopID (inner loops were abandoned without
+// exit events, e.g. a step-limit abort mid-loop), the stack unwinds to the
+// innermost matching frame first; an iteration event for a loop that is not
+// live at all is dropped. Blindly mutating the top frame would attribute the
+// iteration advance to the wrong loop and corrupt carried/cross-loop
+// classification.
 func (c *Collector) LoopIter(loopID string, iter int64) {
-	n := len(c.loops)
-	if n == 0 {
+	i := unwindTo(c.loops, c.in.idx(loopID))
+	if i < 0 {
 		return
 	}
-	c.loops[n-1].iter = iter
-	c.trip(c.loops[n-1].id).Iterations++
+	c.loops = c.loops[:i+1]
+	c.loops[i].iter = iter
+	c.trip(c.loops[i].id).Iterations++
 }
 
-// LoopExit implements interp.Tracer.
+// LoopExit implements interp.Tracer. Like LoopIter, the exit unwinds to (and
+// pops) the innermost frame matching loopID; an exit for a loop that is not
+// live is dropped rather than popping an unrelated frame.
 func (c *Collector) LoopExit(loopID string) {
-	if n := len(c.loops); n > 0 {
-		c.loops = c.loops[:n-1]
+	if i := unwindTo(c.loops, c.in.idx(loopID)); i >= 0 {
+		c.loops = c.loops[:i]
 	}
+}
+
+// unwindTo returns the index of the innermost live frame with the given
+// interned loop ID, or -1 when the loop is not live.
+func unwindTo(loops []liveLoop, id uint32) int {
+	for i := len(loops) - 1; i >= 0; i-- {
+		if loops[i].id == id {
+			return i
+		}
+	}
+	return -1
 }
 
 // CallEnter implements interp.Tracer.
@@ -243,12 +271,21 @@ func (c *Collector) trip(id uint32) *TripStat {
 	return t
 }
 
+// snap snapshots the live loop stack, counting truncated deep nests.
+func (c *Collector) snap() stackVec {
+	if len(c.loops) > maxSnapDepth {
+		c.snapTrunc++
+	}
+	return snapshot(c.loops)
+}
+
 // Load implements interp.Tracer: it records a RAW dependence against the
 // last write of addr, classifies it as loop-carried and/or cross-loop, and
 // updates the read shadow.
 func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
+	name := c.syms.idx(ref.Name)
 	if w, ok := c.lastWrite[addr]; ok {
-		cur := snapshot(c.loops)
+		cur := c.snap()
 		cp := commonPrefix(w.stack, cur)
 		// Loop-carried: every commonly live loop activation whose
 		// iteration advanced between write and read carries this RAW.
@@ -267,9 +304,9 @@ func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
 		// into one region's dependence set would fabricate edges between
 		// unrelated statements of recursive functions.
 		if w.call == c.curCall {
-			c.deps[depKey{RAW, w.line, int32(line), ref.Name, ref.Array, carried}]++
+			c.deps[depKey{RAW, w.line, int32(line), name, ref.Array, carried}]++
 		} else if wl, rl, ok := divergeLines(w.call, c.curCall, w.line, int32(line)); ok {
-			c.deps[depKey{RAW, wl, rl, ref.Name, ref.Array, carried}]++
+			c.deps[depKey{RAW, wl, rl, name, ref.Array, carried}]++
 		}
 		// Cross-loop: after the common live prefix, a write-side loop that
 		// has since exited feeding a distinct read-side loop is a
@@ -278,23 +315,24 @@ func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
 			c.cross[crossKey{writer: w.stack.e[cp].id, reader: cur.e[cp].id}]++
 		}
 	}
-	c.lastRead[addr] = readInfo{line: int32(line), array: ref.Array, name: ref.Name}
+	c.lastRead[addr] = readInfo{line: int32(line), array: ref.Array, name: name}
 }
 
 // Store implements interp.Tracer: it records WAR/WAW dependences and updates
 // the write shadow.
 func (c *Collector) Store(addr interp.Addr, ref interp.Ref, line int) {
+	name := c.syms.idx(ref.Name)
 	if r, ok := c.lastRead[addr]; ok {
-		c.deps[depKey{WAR, r.line, int32(line), ref.Name, ref.Array, false}]++
+		c.deps[depKey{WAR, r.line, int32(line), name, ref.Array, false}]++
 	}
 	if w, ok := c.lastWrite[addr]; ok {
-		c.deps[depKey{WAW, w.line, int32(line), ref.Name, ref.Array, false}]++
+		c.deps[depKey{WAW, w.line, int32(line), name, ref.Array, false}]++
 	}
 	c.lastWrite[addr] = writeInfo{
 		line:  int32(line),
 		array: ref.Array,
-		name:  ref.Name,
-		stack: snapshot(c.loops),
+		name:  name,
+		stack: c.snap(),
 		call:  c.curCall,
 	}
 }
@@ -336,18 +374,19 @@ func (c *Collector) recordCarried(loop, act uint32, addr interp.Addr, w writeInf
 // be reused afterwards.
 func (c *Collector) Finish(programName string) *Profile {
 	p := &Profile{
-		ProgramName:   programName,
-		Runs:          1,
-		Carried:       make(map[string][]CarriedGroup),
-		CrossLoopDeps: make(map[PairKey]int64),
-		LoopTrips:     make(map[string]TripStat),
+		ProgramName:       programName,
+		Runs:              1,
+		Carried:           make(map[string][]CarriedGroup),
+		CrossLoopDeps:     make(map[PairKey]int64),
+		LoopTrips:         make(map[string]TripStat),
+		SnapshotTruncated: c.snapTrunc,
 	}
 	for k, n := range c.deps {
 		p.Deps = append(p.Deps, Dep{
 			Kind:    k.kind,
 			SrcLine: int(k.src),
 			DstLine: int(k.dst),
-			Name:    k.name,
+			Name:    c.syms.name(k.name),
 			Array:   k.array,
 			Carried: k.carried,
 			Count:   n,
@@ -359,7 +398,7 @@ func (c *Collector) Finish(programName string) *Profile {
 		loopID := c.in.name(k.loop)
 		g := CarriedGroup{
 			LoopID:     loopID,
-			Name:       k.name,
+			Name:       c.syms.name(k.name),
 			Array:      k.array,
 			WriteLines: int32SetToSorted(a.writeLines),
 			ReadLines:  int32SetToSorted(a.readLines),

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+)
+
+// The tests in this file pin two hardening guarantees of the profilers:
+// mismatched loop enter/iter/exit events (an inner loop abandoned without
+// exit events, e.g. by a step-limit abort) must not corrupt dependence
+// attribution, and loop nests deeper than maxSnapDepth must be counted as
+// truncated snapshots instead of silently dropping frames.
+
+func TestCollectorUnbalancedLoopEvents(t *testing.T) {
+	c := NewCollector()
+	ref := interp.Ref{Name: "x"}
+	const addr = interp.Addr(100)
+
+	c.LoopEnter("outer", 1)
+	c.LoopIter("outer", 0)
+	c.LoopEnter("inner", 2)
+	c.LoopIter("inner", 0)
+	c.Store(addr, ref, 3)
+
+	// The inner loop is abandoned without a LoopExit: the next outer
+	// iteration event must unwind to the outer frame, not mutate the stale
+	// inner frame at the top of the stack.
+	c.LoopIter("outer", 1)
+	if len(c.loops) != 1 || c.in.name(c.loops[0].id) != "outer" || c.loops[0].iter != 1 {
+		t.Fatalf("live stack after unbalanced iter = %+v, want [outer iter=1]", c.loops)
+	}
+	c.Load(addr, ref, 4)
+
+	// An exit event for a loop that is no longer live must be dropped, not
+	// pop an unrelated frame.
+	c.LoopExit("inner")
+	if len(c.loops) != 1 {
+		t.Fatalf("exit of dead inner loop changed the stack: %+v", c.loops)
+	}
+	// An iteration event for a dead loop must be dropped too.
+	c.LoopIter("ghost", 7)
+	if len(c.loops) != 1 || c.loops[0].iter != 1 {
+		t.Fatalf("iter of unknown loop changed the stack: %+v", c.loops)
+	}
+	c.LoopExit("outer")
+	if len(c.loops) != 0 {
+		t.Fatalf("stack not empty after final exit: %+v", c.loops)
+	}
+
+	prof := c.Finish("unbalanced")
+	if !prof.HasLoopCarriedRAW("outer") {
+		t.Error("write in iter 0, read in iter 1: carried RAW on outer not recorded")
+	}
+	if _, ok := prof.Carried["inner"]; ok {
+		t.Errorf("carried dependence attributed to the abandoned inner loop: %+v", prof.Carried["inner"])
+	}
+	if got := prof.LoopTrips["outer"].Iterations; got != 2 {
+		t.Errorf("outer iterations = %d, want 2", got)
+	}
+}
+
+func TestPairProfilerUnbalancedLoopEvents(t *testing.T) {
+	p := NewPairProfiler([]PairKey{{Writer: "w", Reader: "r"}}, 0)
+	p.LoopEnter("w", 1)
+	if p.liveWriters != 1 {
+		t.Fatalf("liveWriters = %d after entering writer loop, want 1", p.liveWriters)
+	}
+	p.LoopEnter("inner", 2)
+
+	// An iteration event for the writer loop with the inner frame abandoned
+	// must unwind to the writer frame and keep the live-writer count intact.
+	p.LoopIter("w", 1)
+	if len(p.loops) != 1 || p.liveWriters != 1 {
+		t.Fatalf("after unbalanced iter: %d frames, liveWriters = %d, want 1/1", len(p.loops), p.liveWriters)
+	}
+
+	p.LoopEnter("inner", 2)
+	// Exiting the writer loop with the inner frame still on the stack must
+	// pop both frames and keep liveWriters in step — a stale positive count
+	// would force slow-path snapshots forever after.
+	p.LoopExit("w")
+	if len(p.loops) != 0 || p.liveWriters != 0 {
+		t.Fatalf("after unbalanced exit: %d frames, liveWriters = %d, want 0/0", len(p.loops), p.liveWriters)
+	}
+	// Events for dead loops are dropped.
+	p.LoopExit("inner")
+	p.LoopIter("w", 5)
+	if len(p.loops) != 0 || p.liveWriters != 0 {
+		t.Fatalf("dead-loop events changed state: %d frames, liveWriters = %d", len(p.loops), p.liveWriters)
+	}
+}
+
+func TestPairStoreFastPathVersionOnly(t *testing.T) {
+	key := PairKey{Writer: "w", Reader: "r"}
+	p := NewPairProfiler([]PairKey{key}, 0)
+	ref := interp.Ref{Name: "m", Array: true}
+	const addr = interp.Addr(7)
+
+	// A store with no candidate writer loop live (here: inside an unrelated
+	// loop) must take the fast path: a version-only shadow entry, no stack
+	// snapshot.
+	p.LoopEnter("other", 1)
+	p.LoopIter("other", 0)
+	p.Store(addr, ref, 2)
+	if w := p.lastWrite[addr]; w.stack.n != 0 || w.version == 0 {
+		t.Fatalf("fast-path shadow entry = %+v, want version-only with empty stack", w)
+	}
+	p.LoopExit("other")
+
+	// The version-only entry still invalidates: a read in the reader loop
+	// finds no writer frame in the empty stack and records nothing.
+	p.LoopEnter("r", 3)
+	p.LoopIter("r", 0)
+	p.Load(addr, ref, 4)
+	p.LoopExit("r")
+	if pts := p.Finish(); len(pts.Points[key]) != 0 {
+		t.Fatalf("recorded %d points from a version-only write", len(pts.Points[key]))
+	}
+}
+
+// buildDeepNest builds depth perfectly nested loops (trips iterations each)
+// whose innermost body accumulates a[i] into a scalar — so every level
+// carries the s dependence. Returns the program and the outermost loop ID.
+func buildDeepNest(depth, trips int) (*ir.Program, string) {
+	b := ir.NewBuilder("deep")
+	b.GlobalArray("a", trips)
+	f := b.Function("main")
+	f.Assign("s", ir.C(0))
+	var outer string
+	var nest func(k *ir.Block, d int) string
+	nest = func(k *ir.Block, d int) string {
+		v := fmt.Sprintf("i%d", d)
+		return k.For(v, ir.C(0), ir.CI(trips), func(inner *ir.Block) {
+			if d == depth-1 {
+				inner.Assign("s", ir.AddE(ir.V("s"), ir.Ld("a", ir.V(v))))
+				return
+			}
+			nest(inner, d+1)
+		})
+	}
+	outer = nest(f, 0)
+	f.Ret(ir.V("s"))
+	return b.Build(), outer
+}
+
+func TestSnapshotTruncationCounted(t *testing.T) {
+	// At exactly maxSnapDepth the snapshots still fit: nothing truncated.
+	if prof := profileOf(t, mustProg(buildDeepNest(maxSnapDepth, 2))); prof.SnapshotTruncated != 0 {
+		t.Errorf("%d-deep nest truncated %d snapshots, want 0", maxSnapDepth, prof.SnapshotTruncated)
+	}
+	// One level deeper every access snapshots a 7-frame stack.
+	prog, outer := buildDeepNest(maxSnapDepth+1, 2)
+	prof := profileOf(t, prog)
+	if prof.SnapshotTruncated == 0 {
+		t.Fatalf("%d-deep nest recorded no truncated snapshots", maxSnapDepth+1)
+	}
+	// Truncation keeps the outermost frames, so attribution of the scalar
+	// reduction to the outermost loop survives.
+	if !prof.HasLoopCarriedRAW(outer) {
+		t.Error("outermost loop lost its carried RAW under snapshot truncation")
+	}
+}
+
+func mustProg(p *ir.Program, _ string) *ir.Program { return p }
+
+func TestPairSnapshotTruncationCounted(t *testing.T) {
+	key := PairKey{Writer: "L0", Reader: "R"}
+	p := NewPairProfiler([]PairKey{key}, 0)
+	ref := interp.Ref{Name: "m", Array: true}
+	for i := 0; i <= maxSnapDepth; i++ { // 7 live frames, writer outermost
+		id := fmt.Sprintf("L%d", i)
+		p.LoopEnter(id, i)
+		p.LoopIter(id, 0)
+	}
+	p.Store(1, ref, 10)
+	for i := maxSnapDepth; i >= 0; i-- {
+		p.LoopExit(fmt.Sprintf("L%d", i))
+	}
+	p.LoopEnter("R", 20)
+	p.LoopIter("R", 0)
+	p.Load(1, ref, 21)
+	p.LoopExit("R")
+
+	pts := p.Finish()
+	if pts.SnapshotTruncated != 1 {
+		t.Errorf("SnapshotTruncated = %d, want 1 (the 7-frame store)", pts.SnapshotTruncated)
+	}
+	// The writer frame is outermost, so it survives truncation and the pair
+	// still records its sample.
+	if n := len(pts.Points[key]); n != 1 {
+		t.Errorf("recorded %d points, want 1 (truncation keeps outer frames)", n)
+	}
+}

@@ -18,6 +18,12 @@ type PairProfiler struct {
 	loops   []liveLoop
 	nextAct uint32
 	in      *interner
+	// liveWriters counts live loop frames that are candidate writer loops.
+	// While zero, Store skips the loop-stack snapshot entirely and records a
+	// version-only invalidation entry (see Store).
+	liveWriters int
+	// snapTrunc counts snapshots truncated at maxSnapDepth.
+	snapTrunc int64
 
 	writers map[uint32][]int // writer loop idx -> indices into aggs
 	readers map[uint32][]int // reader loop idx -> indices into aggs
@@ -83,29 +89,61 @@ func NewPairProfiler(pairs []PairKey, maxPoints int) *PairProfiler {
 // LoopEnter implements interp.Tracer.
 func (p *PairProfiler) LoopEnter(loopID string, line int) {
 	p.nextAct++
-	p.loops = append(p.loops, liveLoop{id: p.in.idx(loopID), act: p.nextAct, iter: -1})
+	id := p.in.idx(loopID)
+	p.loops = append(p.loops, liveLoop{id: id, act: p.nextAct, iter: -1})
+	if _, ok := p.writers[id]; ok {
+		p.liveWriters++
+	}
 }
 
-// LoopIter implements interp.Tracer.
+// LoopIter implements interp.Tracer. Like the Collector, the event is
+// validated against the live stack: mismatched inner frames (abandoned
+// without exit events) are unwound first, and an iteration event for a loop
+// that is not live is dropped.
 func (p *PairProfiler) LoopIter(loopID string, iter int64) {
-	if n := len(p.loops); n > 0 {
-		p.loops[n-1].iter = iter
+	i := unwindTo(p.loops, p.in.idx(loopID))
+	if i < 0 {
+		return
+	}
+	p.popTo(i + 1)
+	p.loops[i].iter = iter
+}
+
+// LoopExit implements interp.Tracer. The exit unwinds to (and pops) the
+// innermost frame matching loopID; an exit for a loop that is not live is
+// dropped.
+func (p *PairProfiler) LoopExit(loopID string) {
+	if i := unwindTo(p.loops, p.in.idx(loopID)); i >= 0 {
+		p.popTo(i)
 	}
 }
 
-// LoopExit implements interp.Tracer.
-func (p *PairProfiler) LoopExit(loopID string) {
-	if n := len(p.loops); n > 0 {
-		p.loops = p.loops[:n-1]
+// popTo truncates the live stack to n frames, keeping liveWriters in step.
+func (p *PairProfiler) popTo(n int) {
+	for i := n; i < len(p.loops); i++ {
+		if _, ok := p.writers[p.loops[i].id]; ok {
+			p.liveWriters--
+		}
 	}
+	p.loops = p.loops[:n]
 }
 
 // Store implements interp.Tracer. Only stores made while some candidate
 // writer loop is live need shadow entries; others are recorded too because a
 // later write by a non-candidate site must invalidate the address ("last
-// write" semantics).
+// write" semantics). For those invalidation-only stores the loop-stack
+// snapshot is skipped — the entry carries just the new write version with an
+// empty stack, which no candidate pair can match — keeping the hot path of
+// non-candidate code regions cheap.
 func (p *PairProfiler) Store(addr interp.Addr, ref interp.Ref, line int) {
 	p.version++
+	if p.liveWriters == 0 {
+		p.lastWrite[addr] = pairWrite{version: p.version}
+		return
+	}
+	if len(p.loops) > maxSnapDepth {
+		p.snapTrunc++
+	}
 	p.lastWrite[addr] = pairWrite{stack: snapshot(p.loops), version: p.version}
 }
 
@@ -115,6 +153,9 @@ func (p *PairProfiler) Load(addr interp.Addr, ref interp.Ref, line int) {
 	w, ok := p.lastWrite[addr]
 	if !ok {
 		return
+	}
+	if len(p.loops) > maxSnapDepth {
+		p.snapTrunc++
 	}
 	cur := snapshot(p.loops)
 	// A pair matches when the writer loop appears in the write-time stack,
@@ -171,8 +212,9 @@ func liveAct(v stackVec, id uint32, act uint32) bool {
 // Finish returns the recorded samples. The profiler must not be reused.
 func (p *PairProfiler) Finish() *PairPoints {
 	out := &PairPoints{
-		Points:    make(map[PairKey][]IterPair, len(p.aggs)),
-		Truncated: make(map[PairKey]bool),
+		Points:            make(map[PairKey][]IterPair, len(p.aggs)),
+		Truncated:         make(map[PairKey]bool),
+		SnapshotTruncated: p.snapTrunc,
 	}
 	for _, a := range p.aggs {
 		out.Points[a.key] = a.points

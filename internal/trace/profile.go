@@ -142,6 +142,11 @@ type Profile struct {
 	LineOps map[int]int64
 	// FuncCalls records, per function, how many times it was called.
 	FuncCalls map[string]int64
+	// SnapshotTruncated counts shadow-memory snapshots whose loop nest was
+	// deeper than the profiler's fixed snapshot depth and lost its innermost
+	// frames. A non-zero value means carried/cross-loop classification is
+	// incomplete for the deepest loops of this run.
+	SnapshotTruncated int64
 }
 
 // TripStat aggregates dynamic trip counts of one loop.
@@ -184,6 +189,7 @@ func (p *Profile) DepsBetween(src, dst func(line int) bool) []Dep {
 // counts added.
 func (p *Profile) Merge(o *Profile) {
 	p.Runs += o.Runs
+	p.SnapshotTruncated += o.SnapshotTruncated
 	// Union dependences.
 	type dk struct {
 		kind     DepKind
@@ -319,6 +325,9 @@ type PairPoints struct {
 	Points map[PairKey][]IterPair
 	// Truncated reports pairs whose sample sets hit the configured cap.
 	Truncated map[PairKey]bool
+	// SnapshotTruncated counts loop-stack snapshots truncated at the fixed
+	// snapshot depth during the phase-2 run.
+	SnapshotTruncated int64
 }
 
 var _ interp.Tracer = (*Collector)(nil)

@@ -3,8 +3,10 @@
 #
 # Runs the same checks the tier-1 acceptance uses, plus formatting, vet and
 # a race-detector pass over the concurrency-sensitive packages (the parallel
-# schedulers and the telemetry observer, which takes events from tracer
-# callbacks while debug endpoints snapshot it).
+# schedulers, the telemetry observer — which takes events from tracer
+# callbacks while debug endpoints snapshot it — and the analysis farm, whose
+# tests run all 19 app analyses concurrently), plus a one-shot BenchmarkFarm
+# smoke run so the batch driver keeps working as a benchmark harness.
 #
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
@@ -28,7 +30,10 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/parallel/... ./internal/obs/..."
-go test -race ./internal/parallel/... ./internal/obs/...
+echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/..."
+go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/...
+
+echo "==> BenchmarkFarm smoke (1 iteration per pool size)"
+go test -run '^$' -bench '^BenchmarkFarm$' -benchtime 1x .
 
 echo "ci: all checks passed"
