@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci stats
+.PHONY: build test bench ci stats fuzz fuzz-smoke goldens goldens-update
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,26 @@ ci:
 # baseline for the Table III benchmark apps.
 stats:
 	OBS_OUT=BENCH_obs.json $(GO) test -bench BenchmarkTable3 -benchmem -run '^$$'
+
+# fuzz hunts for new divergences: each native target runs for FUZZTIME
+# (default 10 minutes) from the committed corpus in
+# internal/fuzzer/testdata/fuzz. Reproduce any find with
+# `pardetect -fuzz-seed <seed>`.
+FUZZTIME ?= 10m
+fuzz:
+	for t in FuzzGenerate FuzzDifferential FuzzMetamorphic; do \
+		$(GO) test ./internal/fuzzer/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# fuzz-smoke is the bounded CI variant: 10 seconds per target, enough to
+# replay the corpus and prove the harness still executes.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
+# goldens byte-compares the rendered Tables III-V against testdata/goldens/;
+# goldens-update rewrites them after an intentional detector change.
+goldens:
+	sh scripts/goldens.sh check
+
+goldens-update:
+	sh scripts/goldens.sh update

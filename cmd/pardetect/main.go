@@ -10,7 +10,13 @@
 //	pardetect -all [-jobs 8] [-stats] [-stats-json stats.json]
 //	pardetect -stats-json stats.json <benchmark>
 //	pardetect -debug-addr localhost:6060 <benchmark>
+//	pardetect -fuzz-seed 0x83b
 //	pardetect -list
+//
+// -fuzz-seed replays one internal/fuzzer seed: it prints the generated
+// program and runs the differential and metamorphic oracle suites on it,
+// exiting 1 if any oracle disagrees. This reproduces campaign and go-fuzz
+// failures from the seed alone.
 //
 // -all analyses every registered benchmark through the internal/farm worker
 // pool (-jobs workers, default GOMAXPROCS) and prints the reports in
@@ -35,6 +41,7 @@ import (
 	"pardetect/internal/apps"
 	"pardetect/internal/core"
 	"pardetect/internal/farm"
+	"pardetect/internal/fuzzer"
 	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
@@ -50,8 +57,18 @@ func main() {
 	stats := flag.Bool("stats", false, "print the telemetry report (phase spans, counters, decision log)")
 	statsJSON := flag.String("stats-json", "", "write the telemetry report as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address and wait")
+	fuzzSeed := flag.Uint64("fuzz-seed", 0, "replay one fuzzer seed: print the generated program, run every oracle, exit 1 on divergence")
+	fuzzSeedSet := false
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fuzz-seed" {
+			fuzzSeedSet = true
+		}
+	})
 
+	if fuzzSeedSet {
+		os.Exit(replaySeed(*fuzzSeed))
+	}
 	if *list {
 		for _, a := range apps.All() {
 			fmt.Printf("%-14s %-10s %s\n", a.Name, a.Suite, a.Expect.Pattern)
@@ -129,6 +146,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pardetect: analysis done; debug endpoint stays up (Ctrl-C to exit)")
 		select {}
 	}
+}
+
+// replaySeed regenerates the program of one fuzzer seed, prints it, runs the
+// full differential + metamorphic oracle suite on it, and reports the
+// outcome. This is the reproduction entry point for a campaign or go-fuzz
+// failure: the seed alone rebuilds the exact program and disagreement.
+func replaySeed(seed uint64) int {
+	p := fuzzer.Generate(seed)
+	fmt.Printf("seed %#016x  shape %+v\n\n%s\n", seed, fuzzer.ShapeForSeed(seed), p)
+	res := fuzzer.CheckSeed(seed)
+	for _, s := range res.Skips {
+		fmt.Printf("skip  %s\n", s)
+	}
+	if len(res.Divergences) == 0 {
+		fmt.Println("ok    all oracles agree")
+		return 0
+	}
+	for _, d := range res.Divergences {
+		fmt.Printf("FAIL  %s\n", d)
+	}
+	return 1
 }
 
 // runAll farms every registered benchmark and prints the detection reports

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a deterministic digest of the full analysis output:
+// the rendered Summary (loop classes, reductions, pipeline fits, task
+// parallelism, geometric decomposition and the headline) plus the phase-1
+// profile's own fingerprint and the hotspot list. The differential fuzzing
+// oracle asserts that configurations which must not change the analysis —
+// farmed vs. sequential execution, telemetry on vs. off — produce equal
+// fingerprints for the same program.
+func (r *Result) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "summary:%s\n", r.Summary())
+	fmt.Fprintf(h, "profile:%s\n", r.Profile.Fingerprint())
+	fmt.Fprintf(h, "hotspotfn:%s share=%.6f\n", r.HotspotFunc, r.HotspotSharePct)
+	for _, hs := range r.Hotspots {
+		fmt.Fprintf(h, "hotspot %s %s share=%.6f\n", hs.Node.Kind, hs.Node.Name, hs.Share)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,85 @@
+package fuzzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report aggregates a bounded fuzzing campaign.
+type Report struct {
+	// Programs is the number of seeds checked.
+	Programs int
+	// Checked counts, per oracle, how many programs it actually judged.
+	Checked map[string]int
+	// Skipped counts, per oracle, how many programs it had to skip.
+	Skipped map[string]int
+	// Divergences lists every oracle failure found.
+	Divergences []Divergence
+}
+
+// oracles is the fixed oracle roster, for reporting.
+var oracles = []string{
+	"traced-vs-untraced",
+	"farmed-vs-sequential",
+	"observer-tee",
+	"metamorphic",
+	"renumber-lines",
+	"swap-independent",
+	"outline-loop-body",
+}
+
+// Campaign checks n consecutive seeds starting at baseSeed and aggregates
+// the outcome. It is the bounded entry point the CI smoke gate calls: a
+// clean tree yields zero divergences over at least 500 programs.
+func Campaign(n int, baseSeed uint64) *Report {
+	rep := &Report{
+		Checked: map[string]int{},
+		Skipped: map[string]int{},
+	}
+	for i := 0; i < n; i++ {
+		res := CheckSeed(baseSeed + uint64(i))
+		rep.Programs++
+		skipped := map[string]bool{}
+		for _, s := range res.Skips {
+			name := s[:strings.Index(s, ":")]
+			skipped[name] = true
+			rep.Skipped[name]++
+		}
+		if skipped["metamorphic"] {
+			// The whole metamorphic suite was skipped (no baseline), so its
+			// per-transform oracles did not judge this program either.
+			for _, o := range []string{"renumber-lines", "swap-independent", "outline-loop-body"} {
+				skipped[o] = true
+			}
+		}
+		for _, o := range oracles {
+			if !skipped[o] {
+				rep.Checked[o]++
+			}
+		}
+		rep.Divergences = append(rep.Divergences, res.Divergences...)
+	}
+	return rep
+}
+
+// Clean reports whether the campaign found no divergence.
+func (r *Report) Clean() bool { return len(r.Divergences) == 0 }
+
+// String renders a compact campaign summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fuzzer campaign: %d programs, %d divergences\n", r.Programs, len(r.Divergences))
+	names := make([]string, 0, len(r.Checked))
+	for name := range r.Checked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&sb, "  %-22s checked %5d  skipped %5d\n", name, r.Checked[name], r.Skipped[name])
+	}
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&sb, "  DIVERGENCE %s\n", d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,473 @@
+// Package fuzzer generates random-but-well-formed mini-IR programs and runs
+// them through pairs of pipeline configurations that must agree
+// (differential oracles) and through semantics-preserving rewrites whose
+// detection results must not change (metamorphic oracles). The paper
+// validates the detector on 17 fixed benchmarks; this package probes the
+// space of programs those benchmarks do not cover — unusual control flow,
+// aliased array accesses, deep expression trees, call chains — where dynamic
+// dependence profilers historically mis-attribute dependences.
+//
+// Generation is deterministic: one uint64 seed fully determines the program
+// (shape and body), so any failure reproduces with `pardetect -fuzz-seed N`
+// and fuzz-corpus entries stay meaningful forever.
+package fuzzer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"pardetect/internal/ir"
+)
+
+// ---------------------------------------------------------------------------
+// Deterministic PRNG (splitmix64)
+// ---------------------------------------------------------------------------
+
+// rng is a splitmix64 stream: tiny, fast, and with a one-word state that
+// makes "same seed, same program" trivially true.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// between returns a draw in [lo, hi].
+func (r *rng) between(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+// chance reports true with the given percentage probability.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// SeedFromBytes maps arbitrary fuzz-input bytes onto a generator seed, so
+// native `go test -fuzz` targets can explore seed space from byte corpora.
+// Exactly eight bytes decode big-endian as the seed itself — that is how a
+// divergence found at a known seed is committed back to the corpus as a
+// byte-exact regression entry. Every other length hashes (FNV-1a).
+func SeedFromBytes(data []byte) uint64 {
+	if len(data) == 8 {
+		return binary.BigEndian.Uint64(data)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// SeedBytes is the inverse of the eight-byte case of SeedFromBytes; use it
+// to add a known seed to a fuzz corpus.
+func SeedBytes(seed uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Shape
+// ---------------------------------------------------------------------------
+
+// Shape bounds one generated program. It is derived from the seed (so a
+// seed alone reproduces the program) but kept explicit and exported for
+// tests that want to pin specific regions of the space.
+type Shape struct {
+	// Funcs is the number of functions (1–3). Function i may only call
+	// functions with a higher index, so the call graph is acyclic and every
+	// generated program terminates.
+	Funcs int
+	// Arrays is the number of global arrays (1–3), all one-dimensional.
+	Arrays int
+	// ArrayLen is the length of every array (8–32).
+	ArrayLen int
+	// MaxStmts bounds the top-level statement count per function.
+	MaxStmts int
+	// MaxDepth bounds loop/conditional nesting inside a function.
+	MaxDepth int
+	// IdiomPct is the probability (in %) that a loop is one of the known
+	// detector-relevant idioms (do-all, reduction, streaming pair, carried
+	// stencil) rather than a fully random loop.
+	IdiomPct int
+	// CallPct is the probability (in %) of emitting a call where one is
+	// allowed.
+	CallPct int
+	// AliasBias, when true, routes most array accesses to the first array,
+	// maximising aliasing between generated statements.
+	AliasBias bool
+}
+
+// ShapeForSeed derives the program shape from the seed. Generate uses a
+// decorrelated stream for the program body, so nearby seeds still produce
+// very different programs.
+func ShapeForSeed(seed uint64) Shape {
+	r := newRng(seed)
+	return Shape{
+		Funcs:     1 + r.intn(3),
+		Arrays:    1 + r.intn(3),
+		ArrayLen:  8 + 4*r.intn(7),
+		MaxStmts:  3 + r.intn(5),
+		MaxDepth:  2,
+		IdiomPct:  30 + r.intn(45),
+		CallPct:   20 + r.intn(35),
+		AliasBias: r.chance(40),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+// Generate builds the program for one seed. The result is always
+// well-formed (it passes ir.Builder's validation) and always terminates:
+// counted loops have small constant bounds, while loops use a bounded
+// counter with an unconditional final increment, and the call graph is
+// acyclic. Indexes are wrapped into range and divisors are bounded away
+// from zero, so generated programs are also free of runtime errors; the
+// only admissible abort is the interpreter's deterministic step limit.
+func Generate(seed uint64) *ir.Program {
+	shape := ShapeForSeed(seed)
+	g := &gen{
+		r:     newRng(seed ^ 0xda942042e4dd58b5),
+		shape: shape,
+	}
+	g.b = ir.NewBuilder(fmt.Sprintf("fuzz-%016x", seed))
+	for i := 0; i < shape.Arrays; i++ {
+		name := fmt.Sprintf("A%d", i)
+		g.arrays = append(g.arrays, name)
+		g.b.GlobalArray(name, shape.ArrayLen)
+	}
+	// Signatures first: bodies need callee arities, and function i may only
+	// call j > i.
+	g.fns = append(g.fns, fnsig{name: "main"})
+	for i := 1; i < shape.Funcs; i++ {
+		sig := fnsig{name: fmt.Sprintf("f%d", i)}
+		for pi := 0; pi < g.r.intn(3); pi++ {
+			sig.params = append(sig.params, fmt.Sprintf("p%d", pi))
+		}
+		g.fns = append(g.fns, sig)
+	}
+	for i, sig := range g.fns {
+		g.cur, g.iv, g.wv, g.sv = i, 0, 0, 0
+		g.budget = 4 * shape.MaxStmts
+		blk := g.b.Function(sig.name, sig.params...)
+		scope := map[string]bool{}
+		ints := map[string]bool{}
+		for _, p := range sig.params {
+			scope[p] = true
+			ints[p] = true // call sites only pass integer-valued arguments
+		}
+		g.genBlock(blk, scope, ints, 0, false, g.r.between(2, shape.MaxStmts))
+		blk.Ret(g.genExpr(scope, ints, 1))
+	}
+	return g.b.Build()
+}
+
+type fnsig struct {
+	name   string
+	params []string
+}
+
+type gen struct {
+	r      *rng
+	shape  Shape
+	b      *ir.Builder
+	arrays []string
+	fns    []fnsig
+	cur    int // index of the function being generated
+	iv     int // per-function counters for the distinct name pools:
+	wv     int // induction vars i<n>, while counters w<n>, scalars s<n>
+	sv     int
+	budget int // remaining statements for the current function
+}
+
+// genBlock emits n statements into k. scope holds the scalars readable at
+// this point; ints the subset known to hold small integers (safe in index
+// arithmetic). Nested blocks receive copies, so definitions made inside a
+// loop or branch never leak into code that may execute without them.
+func (g *gen) genBlock(k *ir.Block, scope, ints map[string]bool, depth int, inLoop bool, n int) {
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.budget--
+		g.genStmt(k, scope, ints, depth, inLoop)
+	}
+}
+
+func (g *gen) genStmt(k *ir.Block, scope, ints map[string]bool, depth int, inLoop bool) {
+	roll := g.r.intn(100)
+	switch {
+	case roll < 25: // scalar assignment
+		name := g.pickAssignTarget(scope, ints)
+		k.Assign(name, g.genExpr(scope, ints, 2))
+		scope[name] = true
+
+	case roll < 45: // array store
+		arr := g.pickArray()
+		k.Store(arr, []ir.Expr{g.genIndex(ints)}, g.genExpr(scope, ints, 2))
+
+	case roll < 65 && depth < g.shape.MaxDepth: // loop
+		if g.r.chance(g.shape.IdiomPct) {
+			g.genIdiomLoop(k, scope, ints)
+		} else if g.r.chance(30) {
+			g.genWhileLoop(k, scope, ints, depth)
+		} else {
+			g.genForLoop(k, scope, ints, depth)
+		}
+
+	case roll < 80 && depth < g.shape.MaxDepth: // conditional
+		cond := g.genCond(scope, ints)
+		inner := g.r.between(1, 2)
+		if g.r.chance(40) {
+			k.IfElse(cond,
+				func(t *ir.Block) { g.genBlock(t, copyScope(scope), copyScope(ints), depth+1, inLoop, inner) },
+				func(e *ir.Block) { g.genBlock(e, copyScope(scope), copyScope(ints), depth+1, inLoop, inner) })
+		} else {
+			k.If(cond, func(t *ir.Block) { g.genBlock(t, copyScope(scope), copyScope(ints), depth+1, inLoop, inner) })
+		}
+
+	case roll < 88 && g.cur < len(g.fns)-1 && g.r.chance(g.shape.CallPct): // call
+		callee := g.fns[g.r.between(g.cur+1, len(g.fns)-1)]
+		k.Call(callee.name, g.genArgs(ints, len(callee.params))...)
+
+	case roll < 93 && inLoop: // guarded break
+		k.If(g.genCond(scope, ints), func(t *ir.Block) { t.Break() })
+
+	case roll < 96 && depth > 0: // guarded early return
+		val := g.genExpr(scope, ints, 1)
+		k.If(g.genCond(scope, ints), func(t *ir.Block) { t.Ret(val) })
+
+	default: // fallback: another scalar assignment
+		name := g.pickAssignTarget(scope, ints)
+		k.Assign(name, g.genExpr(scope, ints, 2))
+		scope[name] = true
+	}
+}
+
+// pickAssignTarget returns either a fresh scalar name or an existing
+// non-integer scalar. Integer-pool names (params, induction variables,
+// while counters) are never reassigned, which keeps every index expression
+// finite and bounded.
+func (g *gen) pickAssignTarget(scope, ints map[string]bool) string {
+	var reusable []string
+	for name := range scope {
+		if !ints[name] {
+			reusable = append(reusable, name)
+		}
+	}
+	if len(reusable) > 0 && g.r.chance(50) {
+		return pickSorted(g.r, reusable)
+	}
+	name := fmt.Sprintf("s%d", g.sv)
+	g.sv++
+	return name
+}
+
+func (g *gen) genForLoop(k *ir.Block, scope, ints map[string]bool, depth int) {
+	v := fmt.Sprintf("i%d", g.iv)
+	g.iv++
+	bodyScope, bodyInts := copyScope(scope), copyScope(ints)
+	bodyScope[v] = true
+	bodyInts[v] = true
+	inner := g.r.between(1, 3)
+	k.For(v, ir.C(0), ir.CI(g.r.between(2, 6)), func(body *ir.Block) {
+		g.genBlock(body, bodyScope, bodyInts, depth+1, true, inner)
+	})
+}
+
+// genWhileLoop emits the bounded-counter idiom: the counter starts at zero
+// and the body's last statement unconditionally increments it, so every
+// full body pass makes progress and the loop terminates (a break or early
+// return only exits sooner).
+func (g *gen) genWhileLoop(k *ir.Block, scope, ints map[string]bool, depth int) {
+	w := fmt.Sprintf("w%d", g.wv)
+	g.wv++
+	k.Assign(w, ir.C(0))
+	scope[w] = true
+	ints[w] = true
+	bodyScope, bodyInts := copyScope(scope), copyScope(ints)
+	inner := g.r.between(1, 2)
+	k.While(ir.LtE(ir.V(w), ir.CI(g.r.between(2, 5))), func(body *ir.Block) {
+		g.genBlock(body, bodyScope, bodyInts, depth+1, true, inner)
+		body.Assign(w, ir.AddE(ir.V(w), ir.C(1)))
+	})
+}
+
+// genIdiomLoop emits one of the detector-relevant loop idioms, so the
+// oracles exercise do-all/reduction/pipeline classification and not just
+// the sequential fallback.
+func (g *gen) genIdiomLoop(k *ir.Block, scope, ints map[string]bool) {
+	v := fmt.Sprintf("i%d", g.iv)
+	g.iv++
+	n := g.shape.ArrayLen
+	src, dst := g.pickArray(), g.pickArray()
+	switch g.r.intn(5) {
+	case 0: // do-all: dst[i] = src[i] * c + i
+		k.For(v, ir.C(0), ir.CI(n), func(body *ir.Block) {
+			body.Store(dst, []ir.Expr{ir.V(v)},
+				ir.AddE(ir.MulE(ir.Ld(src, ir.V(v)), ir.CI(g.r.between(2, 5))), ir.V(v)))
+		})
+	case 1: // scalar reduction: s = s + src[i], one read-modify-write line
+		s := fmt.Sprintf("s%d", g.sv)
+		g.sv++
+		k.Assign(s, ir.C(0))
+		scope[s] = true
+		k.For(v, ir.C(0), ir.CI(n), func(body *ir.Block) {
+			body.Assign(s, ir.AddE(ir.V(s), ir.Ld(src, ir.V(v))))
+		})
+	case 2: // array-cell reduction: dst[0] = dst[0] + src[i]
+		k.For(v, ir.C(0), ir.CI(n), func(body *ir.Block) {
+			body.Store(dst, []ir.Expr{ir.C(0)},
+				ir.AddE(ir.Ld(dst, ir.C(0)), ir.Ld(src, ir.V(v))))
+		})
+	case 3: // streaming pair: a producer loop feeding a consumer loop
+		s := fmt.Sprintf("s%d", g.sv)
+		g.sv++
+		k.For(v, ir.C(0), ir.CI(n), func(body *ir.Block) {
+			body.Store(dst, []ir.Expr{ir.V(v)}, ir.MulE(ir.V(v), ir.CI(g.r.between(2, 4))))
+		})
+		v2 := fmt.Sprintf("i%d", g.iv)
+		g.iv++
+		k.Assign(s, ir.C(0))
+		scope[s] = true
+		k.For(v2, ir.C(0), ir.CI(n), func(body *ir.Block) {
+			body.Assign(s, ir.AddE(ir.V(s), ir.Ld(dst, ir.V(v2))))
+		})
+	default: // carried stencil: dst[i] = dst[i-1] + 1 (sequential chain)
+		k.For(v, ir.C(1), ir.CI(n), func(body *ir.Block) {
+			body.Store(dst, []ir.Expr{ir.V(v)},
+				ir.AddE(ir.Ld(dst, ir.SubE(ir.V(v), ir.C(1))), ir.C(1)))
+		})
+	}
+}
+
+// genArgs builds integer-valued call arguments, so callee parameters join
+// the integer pool of the callee's scope.
+func (g *gen) genArgs(ints map[string]bool, n int) []ir.Expr {
+	out := make([]ir.Expr, n)
+	for i := range out {
+		out[i] = g.genIntExpr(ints, 2)
+	}
+	return out
+}
+
+func (g *gen) pickArray() string {
+	if g.shape.AliasBias && g.r.chance(70) {
+		return g.arrays[0]
+	}
+	return g.arrays[g.r.intn(len(g.arrays))]
+}
+
+// genIndex wraps an integer-valued expression into [0, ArrayLen): with
+// L = ArrayLen, ((e % L) + L) % L is non-negative and below L for any
+// finite e (mini-IR % is math.Mod, truncated toward zero). Integer-pool
+// expressions are bounded far below 2^53, so e is always finite and the
+// index is exact.
+func (g *gen) genIndex(ints map[string]bool) ir.Expr {
+	l := ir.CI(g.shape.ArrayLen)
+	e := g.genIntExpr(ints, 2)
+	inner := &ir.Bin{Op: ir.Mod, L: e, R: l}
+	return &ir.Bin{Op: ir.Mod, L: ir.AddE(inner, l), R: l}
+}
+
+// genIntExpr yields an integer-valued expression built from small constants
+// and integer-pool variables under +, -, * only.
+func (g *gen) genIntExpr(ints map[string]bool, depth int) ir.Expr {
+	if depth <= 0 || g.r.chance(45) {
+		if len(ints) > 0 && g.r.chance(60) {
+			return ir.V(pickFromSet(g.r, ints))
+		}
+		return ir.CI(g.r.between(0, 9))
+	}
+	ops := []ir.BinOp{ir.Add, ir.Add, ir.Sub, ir.Mul}
+	return &ir.Bin{
+		Op: ops[g.r.intn(len(ops))],
+		L:  g.genIntExpr(ints, depth-1),
+		R:  g.genIntExpr(ints, depth-1),
+	}
+}
+
+// genExpr yields a general expression: loads, arithmetic, comparisons,
+// guarded division, unary ops and (rarely) calls. Division and modulus
+// bound the divisor away from zero with 1 + |e|, so no generated program
+// can fault at runtime.
+func (g *gen) genExpr(scope, ints map[string]bool, depth int) ir.Expr {
+	if depth <= 0 || g.r.chance(30) {
+		switch g.r.intn(3) {
+		case 0:
+			if len(scope) > 0 {
+				return ir.V(pickFromSet(g.r, scope))
+			}
+			return ir.CI(g.r.between(-3, 9))
+		case 1:
+			return ir.Ld(g.pickArray(), g.genIndex(ints))
+		default:
+			return ir.CI(g.r.between(-3, 9))
+		}
+	}
+	switch g.r.intn(8) {
+	case 0, 1:
+		ops := []ir.BinOp{ir.Add, ir.Sub, ir.Mul, ir.Min, ir.Max}
+		return &ir.Bin{Op: ops[g.r.intn(len(ops))],
+			L: g.genExpr(scope, ints, depth-1), R: g.genExpr(scope, ints, depth-1)}
+	case 2:
+		return g.genCond(scope, ints)
+	case 3: // guarded division: divisor 1 + |e| ≥ 1
+		return ir.DivE(g.genExpr(scope, ints, depth-1),
+			ir.AddE(ir.C(1), &ir.Un{Op: ir.Abs, X: g.genExpr(scope, ints, depth-1)}))
+	case 4:
+		ops := []ir.UnOp{ir.Neg, ir.Abs, ir.Floor}
+		return &ir.Un{Op: ops[g.r.intn(len(ops))], X: g.genExpr(scope, ints, depth-1)}
+	case 5:
+		if g.cur < len(g.fns)-1 && g.r.chance(g.shape.CallPct) {
+			callee := g.fns[g.r.between(g.cur+1, len(g.fns)-1)]
+			return ir.CallE(callee.name, g.genArgs(ints, len(callee.params))...)
+		}
+		return g.genIntExpr(ints, depth-1)
+	default:
+		return g.genIntExpr(ints, depth-1)
+	}
+}
+
+func (g *gen) genCond(scope, ints map[string]bool) ir.Expr {
+	ops := []ir.BinOp{ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne}
+	return &ir.Bin{Op: ops[g.r.intn(len(ops))],
+		L: g.genExpr(scope, ints, 1), R: g.genExpr(scope, ints, 1)}
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic helpers
+// ---------------------------------------------------------------------------
+
+func copyScope(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// pickFromSet draws one element deterministically: map iteration order is
+// random in Go, so the candidates are sorted before drawing.
+func pickFromSet(r *rng, m map[string]bool) string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	return pickSorted(r, names)
+}
+
+func pickSorted(r *rng, names []string) string {
+	// Insertion sort: the pools are tiny and this avoids importing sort for
+	// the hot path of generation.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names[r.intn(len(names))]
+}

@@ -1,0 +1,77 @@
+package fuzzer
+
+import (
+	"testing"
+
+	"pardetect/internal/interp"
+)
+
+// TestGenerateDeterministic: one seed, one program — byte for byte.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		a := Generate(seed).String()
+		b := Generate(seed).String()
+		if a != b {
+			t.Fatalf("seed %#x: two generations differ", seed)
+		}
+	}
+}
+
+// TestGenerateValid: every generated program passes the IR validator.
+func TestGenerateValid(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		if err := Generate(seed).Validate(); err != nil {
+			t.Fatalf("seed %#x: invalid program: %v", seed, err)
+		}
+	}
+}
+
+// TestGenerateExecutes: generated programs never trip a runtime error —
+// indices are wrapped, divisions guarded, every read scalar defined. The only
+// permitted abort is the deterministic step limit.
+func TestGenerateExecutes(t *testing.T) {
+	limited := 0
+	for seed := uint64(0); seed < 500; seed++ {
+		m, err := interp.New(Generate(seed), interp.Options{MaxSteps: MaxSteps})
+		if err != nil {
+			t.Fatalf("seed %#x: New: %v", seed, err)
+		}
+		_, runErr := m.Run()
+		st := m.Snapshot(runErr)
+		switch {
+		case st.Completed:
+		case st.StepLimited:
+			limited++
+		default:
+			t.Fatalf("seed %#x: runtime error: %v", seed, runErr)
+		}
+	}
+	if limited > 50 {
+		t.Fatalf("%d/500 programs hit the step limit; generator loop bounds are off", limited)
+	}
+}
+
+// TestShapeForSeedMatchesGenerate: the shape reported for a seed is the one
+// generation actually uses (same rng stream prefix).
+func TestShapeForSeedMatchesGenerate(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		s := ShapeForSeed(seed)
+		p := Generate(seed)
+		if len(p.Funcs) > s.Funcs || len(p.Arrays) != s.Arrays {
+			t.Fatalf("seed %#x: program (funcs=%d arrays=%d) exceeds shape %+v",
+				seed, len(p.Funcs), len(p.Arrays), s)
+		}
+	}
+}
+
+// TestSeedBytesRoundTrip: eight-byte corpus entries decode to their seed.
+func TestSeedBytesRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0x83b, ^uint64(0)} {
+		if got := SeedFromBytes(SeedBytes(seed)); got != seed {
+			t.Fatalf("round trip %#x -> %#x", seed, got)
+		}
+	}
+	if SeedFromBytes([]byte("hello")) == SeedFromBytes([]byte("world")) {
+		t.Fatal("hash path collides on trivial inputs")
+	}
+}

@@ -1,0 +1,193 @@
+package fuzzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pardetect/internal/core"
+	"pardetect/internal/ir"
+	"pardetect/internal/obs"
+	"pardetect/internal/patterns"
+	"pardetect/internal/xform"
+)
+
+// checkMetamorphic runs the metamorphic oracle suite: each transform
+// rewrites the generated program without changing its semantics, re-runs
+// the full analysis, and asserts the invariant that transform guarantees
+// (see internal/xform/metamorphic.go for the soundness arguments):
+//
+//   - renumber-lines: full decision log (stage, candidate, verdict, code)
+//     invariant — nothing in the pipeline may depend on absolute line
+//     values;
+//   - swap-independent: full decision log invariant — reordering
+//     address-disjoint adjacent statements must not move any dependence;
+//   - outline-loop-body: loop classes and reduction candidates invariant —
+//     function-level results legitimately change (there is a new function),
+//     but carried-dependence structure must not.
+func checkMetamorphic(res *CheckResult, seed uint64) {
+	base, err := analyzeWithDecisions(Generate(seed))
+	if err != nil {
+		res.skip("metamorphic", "baseline analysis failed: "+err.Error())
+		return
+	}
+	checkRenumber(res, seed, base)
+	checkSwap(res, seed, base)
+	checkOutline(res, seed, base)
+}
+
+// analyzed bundles the comparison material of one analysis.
+type analyzed struct {
+	result    *core.Result
+	decisions []obs.Decision
+}
+
+func analyzeWithDecisions(p *ir.Program) (*analyzed, error) {
+	o := obs.New(p.Name)
+	r, err := core.Analyze(p, core.Options{MaxSteps: MaxSteps, Observer: o})
+	if err != nil {
+		return nil, err
+	}
+	return &analyzed{result: r, decisions: o.Decisions()}, nil
+}
+
+// decisionKeys renders the decision log without the free-text detail field:
+// details legitimately embed line numbers and shares, while (stage,
+// candidate, verdict, code) identify the decision itself. Candidates are
+// built from loop IDs and function names, which every transform preserves.
+func decisionKeys(ds []obs.Decision) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("%s|%s|%v|%s", d.Stage, d.Candidate, d.Accepted, d.Code)
+	}
+	return out
+}
+
+// diffLists reports the first position where two ordered key lists differ.
+func diffLists(a, b []string) string {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("entry %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	return ""
+}
+
+func checkRenumber(res *CheckResult, seed uint64, base *analyzed) {
+	p2, err := xform.RenumberLines(Generate(seed), 1000, 3)
+	if err != nil {
+		res.diverge("renumber-lines", "transform failed on a valid program: "+err.Error())
+		return
+	}
+	compareDecisions(res, "renumber-lines", base, p2)
+}
+
+func checkSwap(res *CheckResult, seed uint64, base *analyzed) {
+	p2, swaps := xform.SwapIndependentStmts(Generate(seed))
+	if swaps == 0 {
+		res.skip("swap-independent", "no provably independent adjacent pair")
+		return
+	}
+	if err := p2.Validate(); err != nil {
+		res.diverge("swap-independent", "swapped program invalid: "+err.Error())
+		return
+	}
+	compareDecisions(res, "swap-independent", base, p2)
+}
+
+func compareDecisions(res *CheckResult, oracle string, base *analyzed, p2 *ir.Program) {
+	got, err := analyzeWithDecisions(p2)
+	if err != nil {
+		res.diverge(oracle, "transformed program failed to analyze: "+err.Error())
+		return
+	}
+	if d := diffLists(decisionKeys(base.decisions), decisionKeys(got.decisions)); d != "" {
+		res.diverge(oracle, "decision log changed: "+d)
+	}
+	if d := diffClasses(base.result.Classes, got.result.Classes); d != "" {
+		res.diverge(oracle, "loop classes changed: "+d)
+	}
+}
+
+// checkOutline outlines the first eligible counted loop. Most programs have
+// one; programs without any (no loops, or every loop fails an eligibility
+// rule) skip the oracle.
+func checkOutline(res *CheckResult, seed uint64, base *analyzed) {
+	p := Generate(seed)
+	var p2 *ir.Program
+	var chosen string
+	for _, l := range ir.ProgramLoops(p) {
+		if !l.Counted {
+			continue
+		}
+		if out, err := xform.OutlineLoopBody(Generate(seed), l.ID); err == nil {
+			p2, chosen = out, l.ID
+			break
+		}
+	}
+	if p2 == nil {
+		res.skip("outline-loop-body", "no eligible counted loop")
+		return
+	}
+	got, err := analyzeWithDecisions(p2)
+	if err != nil {
+		res.diverge("outline-loop-body", fmt.Sprintf("outlined program (loop %s) failed to analyze: %v", chosen, err))
+		return
+	}
+	if d := diffClasses(base.result.Classes, got.result.Classes); d != "" {
+		res.diverge("outline-loop-body", fmt.Sprintf("loop classes changed after outlining %s: %s", chosen, d))
+	}
+	if d := diffReductions(base.result.Reductions, got.result.Reductions); d != "" {
+		res.diverge("outline-loop-body", fmt.Sprintf("reduction candidates changed after outlining %s: %s", chosen, d))
+	}
+}
+
+// diffClasses compares per-loop classifications; loop IDs are preserved by
+// every transform, so the maps must match key for key.
+func diffClasses(a, b map[string]patterns.LoopClass) string {
+	ids := map[string]bool{}
+	for id := range a {
+		ids[id] = true
+	}
+	for id := range b {
+		ids[id] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	var diffs []string
+	for _, id := range sorted {
+		ca, aok := a[id]
+		cb, bok := b[id]
+		if !aok || !bok {
+			diffs = append(diffs, fmt.Sprintf("%s present %v vs %v", id, aok, bok))
+		} else if ca != cb {
+			diffs = append(diffs, fmt.Sprintf("%s %s vs %s", id, ca, cb))
+		}
+	}
+	return strings.Join(diffs, "; ")
+}
+
+// diffReductions compares the Algorithm 3 candidate lists (order-insensitive;
+// the operator field is excluded because inference is disabled here).
+func diffReductions(a, b []patterns.ReductionCandidate) string {
+	key := func(c patterns.ReductionCandidate) string {
+		return fmt.Sprintf("%s:%s:array=%v:line=%d", c.LoopID, c.Name, c.Array, c.Line)
+	}
+	ka := make([]string, len(a))
+	for i, c := range a {
+		ka[i] = key(c)
+	}
+	kb := make([]string, len(b))
+	for i, c := range b {
+		kb[i] = key(c)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return diffLists(ka, kb)
+}

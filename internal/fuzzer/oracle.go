@@ -1,0 +1,188 @@
+package fuzzer
+
+import (
+	"fmt"
+
+	"pardetect/internal/core"
+	"pardetect/internal/farm"
+	"pardetect/internal/interp"
+	"pardetect/internal/obs"
+	"pardetect/internal/pet"
+	"pardetect/internal/report"
+	"pardetect/internal/trace"
+)
+
+// MaxSteps bounds every oracle execution. Generated programs are loop- and
+// call-bounded so almost all finish far below this; the rare program that
+// exceeds it aborts deterministically (interp.ErrMaxSteps), which the
+// execution oracle still compares and the analysis oracles count as a skip.
+const MaxSteps = 2_000_000
+
+// Divergence is one oracle failure: a seed whose program made two
+// configurations that must agree disagree.
+type Divergence struct {
+	Seed   uint64
+	Oracle string
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("seed %#016x oracle %s: %s", d.Seed, d.Oracle, d.Detail)
+}
+
+// CheckResult is the outcome of running every oracle on one seed.
+type CheckResult struct {
+	Seed uint64
+	// Divergences lists every oracle disagreement (empty = clean seed).
+	Divergences []Divergence
+	// Skips names oracles that could not run on this program (e.g. the
+	// analysis hit the step budget) with the reason; a skip is not a
+	// failure, only reduced coverage.
+	Skips []string
+}
+
+func (c *CheckResult) diverge(oracle, detail string) {
+	c.Divergences = append(c.Divergences, Divergence{Seed: c.Seed, Oracle: oracle, Detail: detail})
+}
+
+func (c *CheckResult) skip(oracle, why string) {
+	c.Skips = append(c.Skips, oracle+": "+why)
+}
+
+// CheckSeed generates the program for seed and runs the differential and
+// metamorphic oracle suites on it.
+func CheckSeed(seed uint64) *CheckResult {
+	res := &CheckResult{Seed: seed}
+	p := Generate(seed)
+	if err := p.Validate(); err != nil {
+		res.diverge("generator", "generated program invalid: "+err.Error())
+		return res
+	}
+	checkTracedUntraced(res, seed)
+	checkFarmedSequential(res, seed)
+	checkObserverTee(res, seed)
+	checkMetamorphic(res, seed)
+	return res
+}
+
+// checkTracedUntraced is differential oracle D1: instrumentation must be
+// observation-only. The same program runs once bare and once under the full
+// phase-1 tracer tee (dependence collector + PET builder); final array
+// state, return value and statement count must match bit for bit. The
+// deterministic step-limit abort is comparable too — both runs must stop at
+// the same statement with the same state.
+func checkTracedUntraced(res *CheckResult, seed uint64) {
+	bare := execute(seed, nil)
+	traced := execute(seed, interp.Tee(trace.NewCollector(), pet.NewBuilder()))
+	if !bare.Comparable(traced) {
+		res.skip("traced-vs-untraced", "wall-clock truncation")
+		return
+	}
+	for _, d := range bare.Diff(traced) {
+		res.diverge("traced-vs-untraced", d)
+	}
+}
+
+// execute runs the seed's program (a fresh copy, so concurrent callers
+// never share IR) under the given tracer and snapshots the outcome.
+func execute(seed uint64, tr interp.Tracer) *interp.State {
+	p := Generate(seed)
+	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: MaxSteps})
+	if err != nil {
+		// Generated programs declare no ArrayInit, so New cannot fail; keep
+		// the error visible in the state rather than panicking the oracle.
+		return &interp.State{Program: p.Name, Err: err.Error()}
+	}
+	_, runErr := m.Run()
+	return m.Snapshot(runErr)
+}
+
+// checkFarmedSequential is differential oracle D2: the analysis farm must
+// be a pure scheduler. The program is analysed once sequentially and then
+// several times concurrently on a farm worker pool; every analysis must
+// produce the same result fingerprint (which covers the full dependence
+// profile and the rendered report).
+func checkFarmedSequential(res *CheckResult, seed uint64) {
+	seqRes, seqErr := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps})
+
+	const copies = 3
+	fps := make([]string, copies)
+	errs := make([]error, copies)
+	jobs := make([]farm.Job, copies)
+	for i := range jobs {
+		i := i
+		jobs[i] = farm.Job{
+			Name: fmt.Sprintf("fuzz-%#x-%d", seed, i),
+			Run: func(o *obs.Observer) (*report.AppRun, error) {
+				r, err := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps, Observer: o})
+				if err != nil {
+					errs[i] = err
+					return nil, err
+				}
+				fps[i] = r.Fingerprint()
+				return nil, nil
+			},
+		}
+	}
+	batch := farm.Run(jobs, farm.Options{Jobs: copies})
+	for i, r := range batch.Results {
+		if pe, ok := r.Err.(*farm.PanicError); ok {
+			res.diverge("farmed-vs-sequential", fmt.Sprintf("farmed analysis %d panicked: %v", i, pe.Value))
+			return
+		}
+	}
+
+	if seqErr != nil {
+		// The analysis itself failed (e.g. step budget). The farm must fail
+		// identically; beyond that there is nothing to compare.
+		for i, err := range errs {
+			if err == nil {
+				res.diverge("farmed-vs-sequential",
+					fmt.Sprintf("sequential analysis failed (%v) but farmed copy %d succeeded", seqErr, i))
+				return
+			}
+			if err.Error() != seqErr.Error() {
+				res.diverge("farmed-vs-sequential",
+					fmt.Sprintf("error mismatch: sequential %q vs farmed copy %d %q", seqErr, i, err))
+				return
+			}
+		}
+		res.skip("farmed-vs-sequential", "analysis aborted identically: "+seqErr.Error())
+		return
+	}
+	want := seqRes.Fingerprint()
+	for i, fp := range fps {
+		if errs[i] != nil {
+			res.diverge("farmed-vs-sequential",
+				fmt.Sprintf("sequential analysis succeeded but farmed copy %d failed: %v", i, errs[i]))
+			return
+		}
+		if fp != want {
+			res.diverge("farmed-vs-sequential",
+				fmt.Sprintf("fingerprint mismatch: sequential %s vs farmed copy %d %s", want, i, fp))
+		}
+	}
+}
+
+// checkObserverTee is differential oracle D3: telemetry must be
+// observation-only. Attaching an observer tees a sampling EventTracer into
+// the phase-1 run; the analysis result fingerprint must nevertheless be
+// identical to the unobserved analysis.
+func checkObserverTee(res *CheckResult, seed uint64) {
+	plain, errPlain := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps})
+	observed, errObs := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps, Observer: obs.New("fuzz")})
+	switch {
+	case errPlain != nil && errObs != nil:
+		if errPlain.Error() != errObs.Error() {
+			res.diverge("observer-tee", fmt.Sprintf("error mismatch: %q vs %q", errPlain, errObs))
+			return
+		}
+		res.skip("observer-tee", "analysis aborted identically: "+errPlain.Error())
+	case (errPlain == nil) != (errObs == nil):
+		res.diverge("observer-tee", fmt.Sprintf("one config failed: plain=%v observed=%v", errPlain, errObs))
+	default:
+		if a, b := plain.Fingerprint(), observed.Fingerprint(); a != b {
+			res.diverge("observer-tee", fmt.Sprintf("fingerprint mismatch: plain %s vs observed %s", a, b))
+		}
+	}
+}

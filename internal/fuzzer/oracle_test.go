@@ -1,0 +1,89 @@
+package fuzzer
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// campaignNFromEnv reads the CAMPAIGN_N override (0 = unset).
+func campaignNFromEnv(t *testing.T) int {
+	s := os.Getenv("CAMPAIGN_N")
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("bad CAMPAIGN_N=%q", s)
+	}
+	return n
+}
+
+// regressionSeeds are seeds whose programs once exposed real pipeline bugs;
+// each stays checked forever. 0x83b (and its siblings up to 0xb13) exposed a
+// dep sort in trace.Finish that was not a total order: the same line pair
+// held both a carried and a non-carried RAW instance, and their order — and
+// with it the profile fingerprint — followed Go map iteration order.
+var regressionSeeds = []uint64{
+	0x83b, 0x871, 0x879, 0x914, 0x943, 0x946,
+	0xa0a, 0xa3e, 0xae0, 0xae9, 0xb13,
+}
+
+func TestRegressionSeeds(t *testing.T) {
+	for _, seed := range regressionSeeds {
+		res := CheckSeed(seed)
+		for _, d := range res.Divergences {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestCheckSeedClean spot-checks a contiguous seed range: a healthy tree
+// produces no divergence anywhere.
+func TestCheckSeedClean(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		res := CheckSeed(seed)
+		for _, d := range res.Divergences {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestCampaign is the bounded CI gate. CAMPAIGN_N tunes the size (ci.sh
+// sets 500); the default keeps `go test ./...` fast.
+func TestCampaign(t *testing.T) {
+	n := 60
+	if s := campaignNFromEnv(t); s > 0 {
+		n = s
+	}
+	rep := Campaign(n, 1)
+	t.Logf("\n%s", rep.String())
+	if !rep.Clean() {
+		t.Fatalf("campaign found %d divergences", len(rep.Divergences))
+	}
+	// Guard oracle coverage: the execution and analysis oracles must judge
+	// every program, and the conditional transforms must fire on a healthy
+	// fraction of the space (they skip ineligible programs, but a generator
+	// regression could silently skip everything).
+	for _, o := range []string{"traced-vs-untraced", "farmed-vs-sequential", "observer-tee", "renumber-lines"} {
+		if rep.Checked[o] != n {
+			t.Errorf("oracle %s judged %d/%d programs", o, rep.Checked[o], n)
+		}
+	}
+	for _, o := range []string{"swap-independent", "outline-loop-body"} {
+		if rep.Checked[o]*2 < n {
+			t.Errorf("oracle %s judged only %d/%d programs", o, rep.Checked[o], n)
+		}
+	}
+}
+
+// TestCampaignReportString: the summary names every oracle once.
+func TestCampaignReportString(t *testing.T) {
+	s := Campaign(5, 1).String()
+	for _, o := range oracles {
+		if !strings.Contains(s, o) {
+			t.Errorf("report missing oracle %s:\n%s", o, s)
+		}
+	}
+}

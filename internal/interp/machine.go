@@ -43,6 +43,12 @@ const (
 // (Options.Deadline). Use errors.Is to distinguish it from the step limit.
 var ErrDeadline = errors.New("interp: wall-clock deadline exceeded")
 
+// ErrMaxSteps reports that a run exceeded Options.MaxSteps. Unlike
+// ErrDeadline, a MaxSteps abort is deterministic: two runs of the same
+// program with the same limit stop at exactly the same statement, so
+// truncated states are still comparable (see State.Comparable).
+var ErrMaxSteps = errors.New("interp: step limit exceeded")
+
 // Machine executes one mini-IR program. A Machine is single-use: create,
 // Run, then inspect arrays and the return value.
 type Machine struct {
@@ -196,7 +202,7 @@ func (m *Machine) execStmts(fr *frame, stmts []ir.Stmt) (control, float64, error
 func (m *Machine) execStmt(fr *frame, s ir.Stmt) (control, float64, error) {
 	m.steps++
 	if m.steps > m.opts.MaxSteps {
-		return ctlNext, 0, fmt.Errorf("interp: step limit %d exceeded at line %d", m.opts.MaxSteps, s.Pos())
+		return ctlNext, 0, fmt.Errorf("%w: limit %d at line %d", ErrMaxSteps, m.opts.MaxSteps, s.Pos())
 	}
 	if m.steps%deadlineCheckEvery == 0 && !m.opts.Deadline.IsZero() && time.Now().After(m.opts.Deadline) {
 		return ctlNext, 0, fmt.Errorf("%w after %d steps at line %d", ErrDeadline, m.steps, s.Pos())
@@ -326,7 +332,7 @@ func (m *Machine) execFor(fr *frame, s *ir.For) (control, float64, error) {
 	for v := start; v < end; v += step {
 		m.steps++
 		if m.steps > m.opts.MaxSteps {
-			return ctlNext, 0, fmt.Errorf("interp: step limit %d exceeded in loop %s", m.opts.MaxSteps, s.LoopID)
+			return ctlNext, 0, fmt.Errorf("%w: limit %d in loop %s", ErrMaxSteps, m.opts.MaxSteps, s.LoopID)
 		}
 		m.writeScalar(a, v)
 		if m.tracer != nil {
@@ -356,7 +362,7 @@ func (m *Machine) execWhile(fr *frame, s *ir.While) (control, float64, error) {
 	for iter := int64(0); ; iter++ {
 		m.steps++
 		if m.steps > m.opts.MaxSteps {
-			return ctlNext, 0, fmt.Errorf("interp: step limit %d exceeded in loop %s", m.opts.MaxSteps, s.LoopID)
+			return ctlNext, 0, fmt.Errorf("%w: limit %d in loop %s", ErrMaxSteps, m.opts.MaxSteps, s.LoopID)
 		}
 		c, n, err := m.eval(fr, s.Cond, s.Pos())
 		if err != nil {

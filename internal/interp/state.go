@@ -1,0 +1,121 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// State is an observable snapshot of a finished (or aborted) run: the final
+// contents of every global array, the return value, the executed statement
+// count and how the run ended. It is the unit the differential fuzzing
+// oracle compares — two pipeline configurations that claim not to affect
+// execution must produce byte-for-byte identical States.
+type State struct {
+	// Program is the program name.
+	Program string
+	// Steps is the number of statements executed.
+	Steps int64
+	// Return is the entry function's return value (0 unless Completed).
+	Return float64
+	// Err is the error text of a failed run ("" on success).
+	Err string
+	// Completed is true when the run finished without error.
+	Completed bool
+	// StepLimited is true when the run aborted via Options.MaxSteps
+	// (deterministic truncation — still comparable).
+	StepLimited bool
+	// DeadlineExceeded is true when the run aborted via Options.Deadline
+	// (wall-clock truncation — NOT comparable, see Comparable).
+	DeadlineExceeded bool
+	// Arrays holds the final contents of every global array, keyed by name.
+	Arrays map[string][]float64
+}
+
+// Snapshot captures the machine's observable state after Run returned
+// runErr. Pass the error Run returned (nil on success).
+func (m *Machine) Snapshot(runErr error) *State {
+	st := &State{
+		Program:   m.prog.Name,
+		Steps:     m.steps,
+		Return:    m.ret,
+		Completed: runErr == nil,
+		Arrays:    make(map[string][]float64, len(m.prog.Arrays)),
+	}
+	if runErr != nil {
+		st.Err = runErr.Error()
+		st.StepLimited = errors.Is(runErr, ErrMaxSteps)
+		st.DeadlineExceeded = errors.Is(runErr, ErrDeadline)
+	}
+	for _, a := range m.prog.Arrays {
+		st.Arrays[a.Name] = m.Array(a.Name)
+	}
+	return st
+}
+
+// Comparable reports whether two states of the same program are a fair
+// differential pair. A run truncated by the wall clock (ErrDeadline) stops
+// at a non-deterministic statement, so any divergence from it is noise, not
+// signal; every other outcome — completion, runtime error, or the
+// deterministic MaxSteps truncation — is comparable.
+func (s *State) Comparable(o *State) bool {
+	return !s.DeadlineExceeded && !o.DeadlineExceeded
+}
+
+// Diff compares two states and returns a list of human-readable differences
+// (empty when the states agree). Runs that are not Comparable yield no
+// differences: the caller must not interpret wall-clock truncation as
+// divergence. Float comparison is bitwise (NaN equals NaN): both runs
+// execute the identical statement sequence, so even rounding must agree.
+func (s *State) Diff(o *State) []string {
+	if !s.Comparable(o) {
+		return nil
+	}
+	var diffs []string
+	if s.Program != o.Program {
+		diffs = append(diffs, fmt.Sprintf("program: %q vs %q", s.Program, o.Program))
+	}
+	if s.Steps != o.Steps {
+		diffs = append(diffs, fmt.Sprintf("steps: %d vs %d", s.Steps, o.Steps))
+	}
+	if s.Completed != o.Completed {
+		diffs = append(diffs, fmt.Sprintf("completed: %v (%s) vs %v (%s)", s.Completed, s.Err, o.Completed, o.Err))
+	} else if !s.Completed && s.Err != o.Err {
+		diffs = append(diffs, fmt.Sprintf("error: %q vs %q", s.Err, o.Err))
+	}
+	if s.Completed && o.Completed && math.Float64bits(s.Return) != math.Float64bits(o.Return) {
+		diffs = append(diffs, fmt.Sprintf("return: %v vs %v", s.Return, o.Return))
+	}
+	names := make(map[string]bool, len(s.Arrays))
+	for n := range s.Arrays {
+		names[n] = true
+	}
+	for n := range o.Arrays {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		a, aok := s.Arrays[n]
+		b, bok := o.Arrays[n]
+		if !aok || !bok {
+			diffs = append(diffs, fmt.Sprintf("array %s: present %v vs %v", n, aok, bok))
+			continue
+		}
+		if len(a) != len(b) {
+			diffs = append(diffs, fmt.Sprintf("array %s: length %d vs %d", n, len(a), len(b)))
+			continue
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				diffs = append(diffs, fmt.Sprintf("array %s[%d]: %v vs %v", n, i, a[i], b[i]))
+				break // one differing element per array is enough signal
+			}
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,106 @@
+package ir
+
+// Clone deep-copies a program so transformations never alias the input's
+// statement or expression nodes. The copy is indexed but not re-validated:
+// callers that mutate it (package xform, the fuzzer's metamorphic transforms)
+// validate the final result instead.
+func Clone(p *Program) *Program {
+	out := &Program{Name: p.Name, Entry: p.Entry}
+	for _, a := range p.Arrays {
+		out.Arrays = append(out.Arrays, &ArrayDecl{Name: a.Name, Dims: append([]int(nil), a.Dims...)})
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, &Function{
+			Name:   f.Name,
+			Params: append([]string(nil), f.Params...),
+			Body:   CloneStmts(f.Body),
+			Line:   f.Line,
+		})
+	}
+	out.index()
+	return out
+}
+
+// Reindex rebuilds the name→declaration lookup tables after a caller has
+// added or renamed arrays or functions on a cloned program.
+func (p *Program) Reindex() { p.index() }
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Assign:
+		return &Assign{Line: s.Line, Dst: CloneLValue(s.Dst), Src: CloneExpr(s.Src)}
+	case *For:
+		return &For{
+			Line: s.Line, LoopID: s.LoopID, Var: s.Var,
+			Start: CloneExpr(s.Start), End: CloneExpr(s.End), Step: CloneExpr(s.Step),
+			Body: CloneStmts(s.Body),
+		}
+	case *While:
+		return &While{Line: s.Line, LoopID: s.LoopID, Cond: CloneExpr(s.Cond), Body: CloneStmts(s.Body)}
+	case *If:
+		return &If{Line: s.Line, Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+	case *Return:
+		var v Expr
+		if s.Val != nil {
+			v = CloneExpr(s.Val)
+		}
+		return &Return{Line: s.Line, Val: v}
+	case *Break:
+		return &Break{Line: s.Line}
+	case *ExprStmt:
+		return &ExprStmt{Line: s.Line, X: CloneExpr(s.X)}
+	default:
+		panic("ir: unknown statement type in Clone")
+	}
+}
+
+// CloneLValue deep-copies a storage location.
+func CloneLValue(lv LValue) LValue {
+	switch lv := lv.(type) {
+	case Var:
+		return lv
+	case *Elem:
+		return &Elem{Arr: lv.Arr, Idx: CloneExprs(lv.Idx)}
+	default:
+		panic("ir: unknown lvalue type in Clone")
+	}
+}
+
+// CloneExprs deep-copies an expression list.
+func CloneExprs(xs []Expr) []Expr {
+	out := make([]Expr, len(xs))
+	for i, x := range xs {
+		out[i] = CloneExpr(x)
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(x Expr) Expr {
+	switch x := x.(type) {
+	case Const:
+		return x
+	case Var:
+		return x
+	case *Elem:
+		return &Elem{Arr: x.Arr, Idx: CloneExprs(x.Idx)}
+	case *Bin:
+		return &Bin{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Un:
+		return &Un{Op: x.Op, X: CloneExpr(x.X)}
+	case *Call:
+		return &Call{Fn: x.Fn, Args: CloneExprs(x.Args)}
+	default:
+		panic("ir: unknown expression type in Clone")
+	}
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint returns a deterministic digest of every field of the profile.
+// Two runs of the same program through configurations that must not affect
+// profiling (farmed vs. sequential, with or without a teed sampling tracer)
+// have to produce equal fingerprints; the differential fuzzing oracle
+// compares them. The digest covers the full dependence set, the carried
+// summaries, cross-loop pairs, trip counts, line costs and call counts, so
+// any drift in the profiler surfaces even when the derived pattern report
+// happens to agree.
+func (p *Profile) Fingerprint() string {
+	h := fnv.New64a()
+	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+
+	w("prog=%s runs=%d trunc=%d\n", p.ProgramName, p.Runs, p.SnapshotTruncated)
+	for _, d := range p.Deps {
+		w("dep %s %d->%d %s array=%v carried=%v n=%d\n",
+			d.Kind, d.SrcLine, d.DstLine, d.Name, d.Array, d.Carried, d.Count)
+	}
+	for _, loop := range sortedKeysOf(p.Carried) {
+		for _, g := range p.Carried[loop] {
+			w("carried %s %s array=%v w=%v r=%v maxper=%d dist=[%d,%d] n=%d\n",
+				loop, g.Name, g.Array, g.WriteLines, g.ReadLines, g.MaxPerAddr, g.MinDist, g.MaxDist, g.Count)
+		}
+	}
+	pairs := make([]PairKey, 0, len(p.CrossLoopDeps))
+	for k := range p.CrossLoopDeps {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Writer != pairs[j].Writer {
+			return pairs[i].Writer < pairs[j].Writer
+		}
+		return pairs[i].Reader < pairs[j].Reader
+	})
+	for _, k := range pairs {
+		w("xloop %s->%s n=%d\n", k.Writer, k.Reader, p.CrossLoopDeps[k])
+	}
+	for _, id := range sortedKeysOf(p.LoopTrips) {
+		t := p.LoopTrips[id]
+		w("trips %s iters=%d acts=%d\n", id, t.Iterations, t.Activations)
+	}
+	lines := make([]int, 0, len(p.LineOps))
+	for l := range p.LineOps {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	for _, l := range lines {
+		w("ops %d=%d\n", l, p.LineOps[l])
+	}
+	for _, fn := range sortedKeysOf(p.FuncCalls) {
+		w("calls %s=%d\n", fn, p.FuncCalls[fn])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sortedKeysOf returns the map's string keys in sorted order.
+func sortedKeysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"pardetect/internal/ir"
+)
+
+// buildMixedCarried builds a program whose line pair (write, read) produces
+// both a loop-carried and a loop-independent instance of the same RAW
+// dependence on one array:
+//
+//	w = 0
+//	while w < 4 {            // outer.L1
+//	    a[(w*3) mod n] = -1  // line W
+//	    for i = 1..n {       // inner.L2
+//	        a[i] = a[i-1]+1  // line R reads line W's cell on some iterations
+//	    }
+//	    w = w + 1
+//	}
+//
+// Found by the differential fuzzer (seed 0x83b): the two Dep entries share
+// (kind, src, dst, name, array) and differ only in Carried, so any sort that
+// stops tie-breaking at Name leaves their order to map iteration order.
+func buildMixedCarried(n int) *ir.Program {
+	b := ir.NewBuilder("mixed")
+	b.GlobalArray("a", n)
+	f := b.Function("main")
+	f.Assign("w", ir.C(0))
+	f.While(ir.LtE(ir.V("w"), ir.C(4)), func(k *ir.Block) {
+		idx := &ir.Bin{Op: ir.Mod, L: ir.MulE(ir.V("w"), ir.C(3)), R: ir.CI(n)}
+		k.Store("a", []ir.Expr{idx}, ir.C(-1))
+		k.For("i", ir.C(1), ir.CI(n), func(k2 *ir.Block) {
+			k2.Store("a", []ir.Expr{ir.V("i")}, ir.AddE(ir.Ld("a", ir.SubE(ir.V("i"), ir.C(1))), ir.C(1)))
+		})
+		k.Assign("w", ir.AddE(ir.V("w"), ir.C(1)))
+	})
+	f.Ret(ir.C(0))
+	return b.Build()
+}
+
+// TestFingerprintDeterministic re-collects the same program many times in
+// one process and demands identical fingerprints. Regression for a dep sort
+// that was not a total order: deps differing only in the Carried flag kept
+// map iteration order, so the Deps slice (and everything rendered from it)
+// flapped between runs.
+func TestFingerprintDeterministic(t *testing.T) {
+	p := buildMixedCarried(16)
+	want := profileOf(t, p).Fingerprint()
+	for run := 1; run < 20; run++ {
+		if got := profileOf(t, p).Fingerprint(); got != want {
+			t.Fatalf("run %d: fingerprint %s != first run %s", run, got, want)
+		}
+	}
+}
+
+// TestSortDepsTotalOrder checks the Dep ordering breaks every tie the dep
+// key can produce, including the Array and Carried fields.
+func TestSortDepsTotalOrder(t *testing.T) {
+	a := []Dep{
+		{Kind: RAW, SrcLine: 5, DstLine: 7, Name: "a", Array: true, Carried: true, Count: 3},
+		{Kind: RAW, SrcLine: 5, DstLine: 7, Name: "a", Array: true, Carried: false, Count: 1},
+	}
+	b := []Dep{a[1], a[0]}
+	sortDeps(a)
+	sortDeps(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order depends on input permutation: %+v vs %+v", a[i], b[i])
+		}
+	}
+	if a[0].Carried {
+		t.Fatalf("loop-independent instance must sort first, got %+v", a[0])
+	}
+}
+
+// TestProfileFingerprintSensitivity spot-checks that the fingerprint actually
+// covers the fields the oracles rely on.
+func TestProfileFingerprintSensitivity(t *testing.T) {
+	p := profileOf(t, buildMixedCarried(16))
+	base := p.Fingerprint()
+	p.Deps[0].Count++
+	if p.Fingerprint() == base {
+		t.Fatal("fingerprint ignores dep counts")
+	}
+	p.Deps[0].Count--
+	if p.Fingerprint() != base {
+		t.Fatal("fingerprint not a pure function of the profile")
+	}
+	p.SnapshotTruncated++
+	if p.Fingerprint() == base {
+		t.Fatal("fingerprint ignores snapshot truncation")
+	}
+}

@@ -304,7 +304,16 @@ func sortDeps(deps []Dep) {
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Array != b.Array {
+			return !a.Array
+		}
+		// The same line pair can carry both a loop-carried and a
+		// loop-independent instance of one dependence; without this final
+		// tie-break their relative order would follow map iteration order.
+		return !a.Carried && b.Carried
 	})
 }
 

@@ -3,97 +3,14 @@ package xform
 import "pardetect/internal/ir"
 
 // cloneProgram deep-copies a program so transformations never alias the
-// input's statement nodes.
-func cloneProgram(p *ir.Program) *ir.Program {
-	out := &ir.Program{Name: p.Name, Entry: p.Entry}
-	for _, a := range p.Arrays {
-		out.Arrays = append(out.Arrays, &ir.ArrayDecl{Name: a.Name, Dims: append([]int(nil), a.Dims...)})
-	}
-	for _, f := range p.Funcs {
-		out.Funcs = append(out.Funcs, &ir.Function{
-			Name:   f.Name,
-			Params: append([]string(nil), f.Params...),
-			Body:   cloneStmts(f.Body),
-			Line:   f.Line,
-		})
-	}
-	return out
-}
+// input's statement nodes. The copy machinery lives in package ir (ir.Clone
+// and friends) so other IR consumers — notably the fuzzer's metamorphic
+// transforms — share one definition of a faithful deep copy.
+func cloneProgram(p *ir.Program) *ir.Program { return ir.Clone(p) }
 
-func cloneStmts(stmts []ir.Stmt) []ir.Stmt {
-	out := make([]ir.Stmt, len(stmts))
-	for i, s := range stmts {
-		out[i] = cloneStmt(s)
-	}
-	return out
-}
+func cloneStmts(stmts []ir.Stmt) []ir.Stmt { return ir.CloneStmts(stmts) }
 
-func cloneStmt(s ir.Stmt) ir.Stmt {
-	switch s := s.(type) {
-	case *ir.Assign:
-		return &ir.Assign{Line: s.Line, Dst: cloneLValue(s.Dst), Src: cloneExpr(s.Src)}
-	case *ir.For:
-		return &ir.For{
-			Line: s.Line, LoopID: s.LoopID, Var: s.Var,
-			Start: cloneExpr(s.Start), End: cloneExpr(s.End), Step: cloneExpr(s.Step),
-			Body: cloneStmts(s.Body),
-		}
-	case *ir.While:
-		return &ir.While{Line: s.Line, LoopID: s.LoopID, Cond: cloneExpr(s.Cond), Body: cloneStmts(s.Body)}
-	case *ir.If:
-		return &ir.If{Line: s.Line, Cond: cloneExpr(s.Cond), Then: cloneStmts(s.Then), Else: cloneStmts(s.Else)}
-	case *ir.Return:
-		var v ir.Expr
-		if s.Val != nil {
-			v = cloneExpr(s.Val)
-		}
-		return &ir.Return{Line: s.Line, Val: v}
-	case *ir.Break:
-		return &ir.Break{Line: s.Line}
-	case *ir.ExprStmt:
-		return &ir.ExprStmt{Line: s.Line, X: cloneExpr(s.X)}
-	default:
-		panic("xform: unknown statement type")
-	}
-}
-
-func cloneLValue(lv ir.LValue) ir.LValue {
-	switch lv := lv.(type) {
-	case ir.Var:
-		return lv
-	case *ir.Elem:
-		return &ir.Elem{Arr: lv.Arr, Idx: cloneExprs(lv.Idx)}
-	default:
-		panic("xform: unknown lvalue type")
-	}
-}
-
-func cloneExprs(xs []ir.Expr) []ir.Expr {
-	out := make([]ir.Expr, len(xs))
-	for i, x := range xs {
-		out[i] = cloneExpr(x)
-	}
-	return out
-}
-
-func cloneExpr(x ir.Expr) ir.Expr {
-	switch x := x.(type) {
-	case ir.Const:
-		return x
-	case ir.Var:
-		return x
-	case *ir.Elem:
-		return &ir.Elem{Arr: x.Arr, Idx: cloneExprs(x.Idx)}
-	case *ir.Bin:
-		return &ir.Bin{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R)}
-	case *ir.Un:
-		return &ir.Un{Op: x.Op, X: cloneExpr(x.X)}
-	case *ir.Call:
-		return &ir.Call{Fn: x.Fn, Args: cloneExprs(x.Args)}
-	default:
-		panic("xform: unknown expression type")
-	}
-}
+func cloneExpr(x ir.Expr) ir.Expr { return ir.CloneExpr(x) }
 
 // renameVarStmts clones stmts replacing reads and writes of variable from
 // with variable to.

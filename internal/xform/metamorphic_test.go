@@ -1,0 +1,149 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+)
+
+// buildOutlineable: main with a counted do-all loop whose body is eligible
+// for outlining (one free scalar besides the induction variable).
+func buildOutlineable() (*ir.Program, string) {
+	b := ir.NewBuilder("meta")
+	b.GlobalArray("a", 8)
+	f := b.Function("main")
+	f.Assign("c", ir.C(3))
+	loopID := f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Store("a", []ir.Expr{ir.V("i")}, ir.MulE(ir.V("i"), ir.V("c")))
+	})
+	f.Ret(ir.Ld("a", ir.C(5)))
+	return b.Build(), loopID
+}
+
+func run(t *testing.T, p *ir.Program) *interp.State {
+	t.Helper()
+	m, err := interp.New(p, interp.Options{MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := m.Run()
+	return m.Snapshot(runErr)
+}
+
+// sameBehavior asserts two programs compute the same final state (arrays,
+// return value) — step counts may differ because transforms add statements.
+func sameBehavior(t *testing.T, a, b *ir.Program) {
+	t.Helper()
+	sa, sb := run(t, a), run(t, b)
+	sa.Steps, sb.Steps = 0, 0
+	sa.Program, sb.Program = "", ""
+	for _, d := range sa.Diff(sb) {
+		t.Errorf("behavior changed: %s", d)
+	}
+}
+
+func TestRenumberLines(t *testing.T) {
+	p, _ := buildOutlineable()
+	p2, err := RenumberLines(p, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("renumbered program invalid: %v", err)
+	}
+	for l := range ir.LineIndex(p2) {
+		if l < 1000 || (l-1000)%3 != 0 {
+			t.Errorf("line %d not on the base+3k grid", l)
+		}
+	}
+	sameBehavior(t, p, p2)
+}
+
+func TestSwapIndependentStmts(t *testing.T) {
+	b := ir.NewBuilder("swap")
+	b.GlobalArray("a", 4)
+	b.GlobalArray("b", 4)
+	f := b.Function("main")
+	f.Store("a", []ir.Expr{ir.C(0)}, ir.C(1))
+	f.Store("b", []ir.Expr{ir.C(0)}, ir.C(2))
+	f.Ret(ir.AddE(ir.Ld("a", ir.C(0)), ir.Ld("b", ir.C(0))))
+	p := b.Build()
+
+	p2, swaps := SwapIndependentStmts(p)
+	if swaps != 1 {
+		t.Fatalf("want 1 swap of the disjoint stores, got %d", swaps)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sameBehavior(t, p, p2)
+}
+
+func TestSwapRefusesDependentStmts(t *testing.T) {
+	b := ir.NewBuilder("noswap")
+	f := b.Function("main")
+	f.Assign("x", ir.C(1))
+	f.Assign("y", ir.V("x")) // reads x: must not move above its definition
+	f.Ret(ir.V("y"))
+	if _, swaps := SwapIndependentStmts(b.Build()); swaps != 0 {
+		t.Fatalf("swapped dependent statements (%d swaps)", swaps)
+	}
+}
+
+func TestOutlineLoopBody(t *testing.T) {
+	p, loopID := buildOutlineable()
+	p2, err := OutlineLoopBody(p, loopID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("outlined program invalid: %v", err)
+	}
+	if len(p2.Funcs) != len(p.Funcs)+1 {
+		t.Fatalf("expected one new function, had %d now %d", len(p.Funcs), len(p2.Funcs))
+	}
+	var outlined *ir.Function
+	for _, fn := range p2.Funcs {
+		if strings.HasPrefix(fn.Name, "outlined_") {
+			outlined = fn
+		}
+	}
+	if outlined == nil {
+		t.Fatal("no outlined_* function in the result")
+	}
+	if len(outlined.Params) == 0 || outlined.Params[0] != "i" {
+		t.Fatalf("induction variable must be the first parameter, got %v", outlined.Params)
+	}
+	sameBehavior(t, p, p2)
+}
+
+func TestOutlineRejectsEscapes(t *testing.T) {
+	// Loop whose body breaks out of it: control flow would not survive
+	// extraction into a callee.
+	b := ir.NewBuilder("esc")
+	f := b.Function("main")
+	loopID := f.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.If(ir.GeE(ir.V("i"), ir.C(3)), func(k2 *ir.Block) {
+			k2.Break()
+		})
+		k.Assign("s", ir.V("i"))
+	})
+	f.Ret(ir.C(0))
+	if _, err := OutlineLoopBody(b.Build(), loopID); err == nil {
+		t.Fatal("outlined a loop whose body breaks out of it")
+	}
+
+	// Scalar defined in the body and read after the loop: by-value params
+	// cannot carry it back out.
+	b2 := ir.NewBuilder("live")
+	f2 := b2.Function("main")
+	loop2 := f2.For("i", ir.C(0), ir.C(8), func(k *ir.Block) {
+		k.Assign("s", ir.V("i"))
+	})
+	f2.Ret(ir.V("s"))
+	if _, err := OutlineLoopBody(b2.Build(), loop2); err == nil {
+		t.Fatal("outlined a loop whose body-written scalar is live after it")
+	}
+}

@@ -8,6 +8,12 @@
 # tests run all 19 app analyses concurrently), plus a one-shot BenchmarkFarm
 # smoke run so the batch driver keeps working as a benchmark harness.
 #
+# On top of that: a shuffled test pass (-shuffle=on) to catch test-order
+# dependencies, the golden-table gate (scripts/goldens.sh, byte-diffs the
+# rendered Tables III-V against testdata/goldens/), and a bounded fuzzer
+# campaign (internal/fuzzer, CAMPAIGN_N programs, default 500) whose
+# differential and metamorphic oracles must all agree.
+#
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
 
@@ -30,8 +36,17 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/..."
-go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/...
+echo "==> go test -shuffle=on -count=1 ./...  (order-independence)"
+go test -shuffle=on -count=1 ./...
+
+echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/..."
+go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/...
+
+echo "==> golden tables III-V (scripts/goldens.sh)"
+sh scripts/goldens.sh check
+
+echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
+CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./internal/fuzzer/
 
 echo "==> BenchmarkFarm smoke (1 iteration per pool size)"
 go test -run '^$' -bench '^BenchmarkFarm$' -benchtime 1x .
