@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci stats fuzz fuzz-smoke goldens goldens-update
+.PHONY: build test bench ci stats execbench fuzz fuzz-smoke goldens goldens-update
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,19 @@ ci:
 stats:
 	OBS_OUT=BENCH_obs.json $(GO) test -bench BenchmarkTable3 -benchmem -run '^$$'
 
+# execbench regenerates BENCH_exec.json, the committed engine-comparison
+# baseline (tree vs bytecode, traced vs untraced, plus full per-app
+# analyses) that scripts/benchgate.go gates CI against.
+execbench:
+	EXEC_OUT=BENCH_exec.json $(GO) test -bench 'BenchmarkExec' -benchtime 20x -run '^$$' .
+
 # fuzz hunts for new divergences: each native target runs for FUZZTIME
 # (default 10 minutes) from the committed corpus in
 # internal/fuzzer/testdata/fuzz. Reproduce any find with
 # `pardetect -fuzz-seed <seed>`.
 FUZZTIME ?= 10m
 fuzz:
-	for t in FuzzGenerate FuzzDifferential FuzzMetamorphic; do \
+	for t in FuzzGenerate FuzzDifferential FuzzEngine FuzzMetamorphic; do \
 		$(GO) test ./internal/fuzzer/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 

@@ -7,12 +7,16 @@
 //	benchtab                      # all tables
 //	benchtab -table 3             # one table
 //	benchtab -jobs 8              # farm the app analyses over 8 workers
+//	benchtab -engine bytecode     # run the analyses on the compiled engine
 //	benchtab -curves              # speedup-vs-threads series per benchmark
 //	benchtab -stats-out obs.json  # also write per-app telemetry (JSON)
 //
 // The per-app analyses behind Tables III–V run on the internal/farm worker
 // pool; -jobs sets the pool size (default GOMAXPROCS, 1 = sequential). Farm
 // results keep input order, so the tables are byte-identical at any -jobs.
+// -engine switches the interpreter to the compiled bytecode engine; the
+// engines produce identical profiles, so every table stays byte-identical
+// (scripts/goldens.sh checks both).
 //
 // -stats-out runs every Table III app with pipeline telemetry enabled and
 // writes one pardetect.obs/v1 report per app — headed by the farm's own
@@ -29,6 +33,7 @@ import (
 
 	"pardetect/internal/apps"
 	"pardetect/internal/farm"
+	"pardetect/internal/interp"
 	"pardetect/internal/obs"
 	"pardetect/internal/report"
 )
@@ -36,6 +41,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "print only this table (1..6); 0 prints all")
 	jobs := flag.Int("jobs", 0, "concurrent app analyses (default GOMAXPROCS; 1 = sequential)")
+	engine := flag.String("engine", interp.EngineTree, "interpreter engine for the profiled runs: tree or bytecode")
 	curves := flag.Bool("curves", false, "print the simulated speedup curves")
 	statsOut := flag.String("stats-out", "", "write per-app telemetry reports as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while running")
@@ -54,7 +60,7 @@ func main() {
 	needRuns := *curves || *statsOut != "" || *table == 0 || (*table >= 3 && *table <= 5)
 	var runs []*report.AppRun
 	if needRuns {
-		batch := farm.RunApps(apps.TableIIIOrder, farm.Options{Jobs: *jobs, Observe: *statsOut != ""})
+		batch := farm.RunApps(apps.TableIIIOrder, farm.Options{Jobs: *jobs, Observe: *statsOut != "", Engine: *engine})
 		var err error
 		runs, err = batch.Runs()
 		if err != nil {

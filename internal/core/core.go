@@ -55,6 +55,12 @@ type Options struct {
 	// interp.ErrDeadline. Batch drivers (internal/farm) use this to stop a
 	// wedged analysis from stalling the whole batch.
 	Timeout time.Duration
+	// Engine selects the interpreter execution engine for every profiled
+	// run: interp.EngineTree (the default, also selected by "") or
+	// interp.EngineBytecode (the compiled engine; identical observable
+	// behaviour, substantially faster). An unknown value fails the analysis
+	// with interp's unknown-engine error on the first run.
+	Engine string
 	// InferReductionOperator enables the paper's future-work extension.
 	InferReductionOperator bool
 	// ExtraInputs, when set, profiles the program under these additional
@@ -140,6 +146,15 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 
 	total := o.Start("analyze")
 	defer total.End()
+	if o != nil {
+		// exec.engine records which engine ran the profiled executions:
+		// 0 = tree, 1 = bytecode.
+		var eng int64
+		if opts.Engine == interp.EngineBytecode {
+			eng = 1
+		}
+		o.Add("exec.engine", eng)
+	}
 
 	// Phase 1: dependence profile + PET.
 	sp := o.Start("phase1.profile")
@@ -151,12 +166,13 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 		ev = obs.NewEventTracer(0)
 		tr = interp.Tee(col, pb, ev)
 	}
-	if err := runProgram(p, tr, opts.MaxSteps, deadline); err != nil {
+	if err := runProgram(p, tr, opts.MaxSteps, deadline, opts.Engine); err != nil {
 		return nil, fmt.Errorf("core: phase-1 run: %w", err)
 	}
 	res.Profile = col.Finish(p.Name)
 	res.Tree = pb.Finish()
 	ev.FlushTo(o)
+	o.Add("shadow.pages", col.ShadowPages())
 	sp.End()
 
 	// Merge profiles from additional representative inputs.
@@ -165,10 +181,11 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 		for i, build := range opts.ExtraInputs {
 			p2 := build()
 			col2 := trace.NewCollector()
-			if err := runProgram(p2, col2, opts.MaxSteps, deadline); err != nil {
+			if err := runProgram(p2, col2, opts.MaxSteps, deadline, opts.Engine); err != nil {
 				return nil, fmt.Errorf("core: extra input %d: %w", i, err)
 			}
 			res.Profile.Merge(col2.Finish(p2.Name))
+			o.Add("shadow.pages", col2.ShadowPages())
 		}
 		o.Add("profile.extra_inputs", int64(len(opts.ExtraInputs)))
 		sp.End()
@@ -200,10 +217,11 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 	if len(pairs) > 0 {
 		sp = o.Start("phase2.profile")
 		pp := trace.NewPairProfiler(pairs, 0)
-		if err := runProgram(p, pp, opts.MaxSteps, deadline); err != nil {
+		if err := runProgram(p, pp, opts.MaxSteps, deadline, opts.Engine); err != nil {
 			return nil, fmt.Errorf("core: phase-2 run: %w", err)
 		}
 		pts := pp.Finish()
+		o.Add("shadow.pages", pp.ShadowPages())
 		sp.End()
 		if o != nil {
 			var samples int64
@@ -311,8 +329,8 @@ func recordGraphCounters(o *obs.Observer, g *cu.Graph) {
 	o.Add("cu.edges", edges)
 }
 
-func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64, deadline time.Time) error {
-	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: maxSteps, Deadline: deadline})
+func runProgram(p *ir.Program, tr interp.Tracer, maxSteps int64, deadline time.Time, engine string) error {
+	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: maxSteps, Deadline: deadline, Engine: engine})
 	if err != nil {
 		return err
 	}

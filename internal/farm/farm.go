@@ -47,6 +47,10 @@ type Options struct {
 	// Observe attaches a per-run obs.Observer to every analysis and merges
 	// the per-run reports into the batch RunSet.
 	Observe bool
+	// Engine selects the interpreter execution engine for every farmed
+	// analysis (see core.Options.Engine): "" or interp.EngineTree for the
+	// reference tree walker, interp.EngineBytecode for the compiled engine.
+	Engine string
 }
 
 func (o *Options) fill() {
@@ -82,6 +86,13 @@ type Result struct {
 	Err error
 	// Elapsed is the job's wall time on its worker.
 	Elapsed time.Duration
+	// AllocBytes is the process-wide heap allocation delta
+	// (runtime.MemStats.TotalAlloc) across the job. With Jobs == 1 this is
+	// the job's own allocation volume; with concurrent workers the deltas
+	// of overlapping jobs bleed into each other and the value is only an
+	// upper bound. Recorded so batch telemetry can compare per-task cost
+	// across engines (see Batch.Report).
+	AllocBytes int64
 }
 
 // PanicError wraps a panic recovered from a farmed analysis.
@@ -148,7 +159,12 @@ func runOne(job Job, opts Options) (res Result) {
 	if opts.Observe {
 		o = obs.New(job.Name)
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocStart := ms.TotalAlloc
 	res.Run, res.Err = job.Run(o)
+	runtime.ReadMemStats(&ms)
+	res.AllocBytes = int64(ms.TotalAlloc - allocStart)
 	if opts.Observe {
 		res.Report = o.Snapshot()
 	}
@@ -163,7 +179,7 @@ func RunApps(names []string, opts Options) *Batch {
 	for i, name := range names {
 		name := name
 		jobs[i] = Job{Name: name, Run: func(o *obs.Observer) (*report.AppRun, error) {
-			return report.RunAppTimeout(name, o, opts.Timeout)
+			return report.RunAppEngine(name, o, opts.Timeout, opts.Engine)
 		}}
 	}
 	return Run(jobs, opts)
@@ -194,13 +210,24 @@ func (b *Batch) Errs() []Result {
 }
 
 // Report summarises the batch itself as one telemetry report labelled
-// "farm": worker count, job totals, error/panic/timeout counts and wall
-// time, in the same schema as per-run reports.
+// "farm": worker count, job totals, error/panic/timeout counts, wall time
+// and per-task cost, in the same schema as per-run reports.
+//
+// Per-task counters (farm.task.<name>.ns / .alloc_bytes) record each job's
+// worker wall time and allocation delta. Note that on a machine without
+// spare cores — or whenever Jobs exceeds the hardware parallelism — worker
+// wall time is inflated by time-slicing: the busy_ns sum then grows well
+// beyond the Jobs=1 total while batch wall time barely moves (see
+// EXPERIMENTS.md, BENCH_farm). The per-task numbers make that visible
+// per job instead of only in the aggregate.
 func (b *Batch) Report() obs.Report {
 	var errs, panics, timeouts int64
 	var busy time.Duration
+	counters := obs.Counters{}
 	for _, r := range b.Results {
 		busy += r.Elapsed
+		counters["farm.task."+r.Name+".ns"] = r.Elapsed.Nanoseconds()
+		counters["farm.task."+r.Name+".alloc_bytes"] = r.AllocBytes
 		if r.Err == nil {
 			continue
 		}
@@ -213,19 +240,18 @@ func (b *Batch) Report() obs.Report {
 			timeouts++
 		}
 	}
+	counters["farm.jobs"] = int64(b.Jobs)
+	counters["farm.tasks"] = int64(len(b.Results))
+	counters["farm.errors"] = errs
+	counters["farm.panics"] = panics
+	counters["farm.timeouts"] = timeouts
+	counters["farm.busy_ns"] = busy.Nanoseconds()
+	counters["farm.wall_ns"] = b.Wall.Nanoseconds()
 	return obs.Report{
-		Schema: obs.Schema,
-		Label:  "farm",
-		WallNS: b.Wall.Nanoseconds(),
-		Counters: obs.Counters{
-			"farm.jobs":     int64(b.Jobs),
-			"farm.tasks":    int64(len(b.Results)),
-			"farm.errors":   errs,
-			"farm.panics":   panics,
-			"farm.timeouts": timeouts,
-			"farm.busy_ns":  busy.Nanoseconds(),
-			"farm.wall_ns":  b.Wall.Nanoseconds(),
-		},
+		Schema:   obs.Schema,
+		Label:    "farm",
+		WallNS:   b.Wall.Nanoseconds(),
+		Counters: counters,
 	}
 }
 

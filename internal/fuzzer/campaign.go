@@ -21,6 +21,7 @@ type Report struct {
 // oracles is the fixed oracle roster, for reporting.
 var oracles = []string{
 	"traced-vs-untraced",
+	"engine-parity",
 	"farmed-vs-sequential",
 	"observer-tee",
 	"metamorphic",

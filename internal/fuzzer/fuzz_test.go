@@ -55,6 +55,24 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
+// FuzzEngine: the compiled bytecode engine must be observationally
+// identical to the tree walker — untraced state, traced profile fingerprint
+// and full analysis result fingerprint (oracle D4).
+func FuzzEngine(f *testing.F) {
+	f.Add([]byte("pardetect"))
+	for _, seed := range regressionSeeds {
+		f.Add(SeedBytes(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seed := SeedFromBytes(data)
+		res := &CheckResult{Seed: seed}
+		checkEngineParity(res, seed)
+		for _, d := range res.Divergences {
+			t.Errorf("%s", d)
+		}
+	})
+}
+
 // FuzzMetamorphic: semantics-preserving rewrites must not move detection
 // decisions.
 func FuzzMetamorphic(f *testing.F) {

@@ -59,6 +59,7 @@ func CheckSeed(seed uint64) *CheckResult {
 		return res
 	}
 	checkTracedUntraced(res, seed)
+	checkEngineParity(res, seed)
 	checkFarmedSequential(res, seed)
 	checkObserverTee(res, seed)
 	checkMetamorphic(res, seed)
@@ -86,8 +87,13 @@ func checkTracedUntraced(res *CheckResult, seed uint64) {
 // execute runs the seed's program (a fresh copy, so concurrent callers
 // never share IR) under the given tracer and snapshots the outcome.
 func execute(seed uint64, tr interp.Tracer) *interp.State {
+	return executeEngine(seed, tr, "")
+}
+
+// executeEngine is execute on an explicit interpreter engine.
+func executeEngine(seed uint64, tr interp.Tracer, engine string) *interp.State {
 	p := Generate(seed)
-	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: MaxSteps})
+	m, err := interp.New(p, interp.Options{Tracer: tr, MaxSteps: MaxSteps, Engine: engine})
 	if err != nil {
 		// Generated programs declare no ArrayInit, so New cannot fail; keep
 		// the error visible in the state rather than panicking the oracle.
@@ -95,6 +101,68 @@ func execute(seed uint64, tr interp.Tracer) *interp.State {
 	}
 	_, runErr := m.Run()
 	return m.Snapshot(runErr)
+}
+
+// checkEngineParity is differential oracle D4: the compiled bytecode engine
+// must be observationally identical to the reference tree walker. Three
+// layers are compared on the same program: the untraced execution state
+// (bitwise, via interp.State.Diff — covering return value, final arrays,
+// statement count and the abort error of step-limited runs), the phase-1
+// profile fingerprint of a traced run (covering the entire event stream as
+// the dependence profiler observes it), and the full analysis result
+// fingerprint (covering every downstream detection decision).
+func checkEngineParity(res *CheckResult, seed uint64) {
+	tree := executeEngine(seed, nil, interp.EngineTree)
+	byc := executeEngine(seed, nil, interp.EngineBytecode)
+	if !tree.Comparable(byc) {
+		res.skip("engine-parity", "wall-clock truncation")
+		return
+	}
+	for _, d := range tree.Diff(byc) {
+		res.diverge("engine-parity", "untraced state: "+d)
+	}
+
+	// Traced runs: even a step-limited run leaves a valid partial profile,
+	// and both engines must abort with the same error after the same events.
+	tfp, terr := profileEngine(seed, interp.EngineTree)
+	bfp, berr := profileEngine(seed, interp.EngineBytecode)
+	switch {
+	case (terr == nil) != (berr == nil) || (terr != nil && terr.Error() != berr.Error()):
+		res.diverge("engine-parity", fmt.Sprintf("traced run error mismatch: tree %v vs bytecode %v", terr, berr))
+	case tfp != bfp:
+		res.diverge("engine-parity", fmt.Sprintf("profile fingerprint mismatch: tree %s vs bytecode %s", tfp, bfp))
+	}
+
+	// Full analysis (phase 1 + phase 2 + detection).
+	ta, terrA := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps})
+	ba, berrA := core.Analyze(Generate(seed), core.Options{MaxSteps: MaxSteps, Engine: interp.EngineBytecode})
+	switch {
+	case terrA != nil && berrA != nil:
+		if terrA.Error() != berrA.Error() {
+			res.diverge("engine-parity", fmt.Sprintf("analysis error mismatch: tree %q vs bytecode %q", terrA, berrA))
+			return
+		}
+		res.skip("engine-parity", "analysis aborted identically: "+terrA.Error())
+	case (terrA == nil) != (berrA == nil):
+		res.diverge("engine-parity", fmt.Sprintf("one engine's analysis failed: tree=%v bytecode=%v", terrA, berrA))
+	default:
+		if a, b := ta.Fingerprint(), ba.Fingerprint(); a != b {
+			res.diverge("engine-parity", fmt.Sprintf("result fingerprint mismatch: tree %s vs bytecode %s", a, b))
+		}
+	}
+}
+
+// profileEngine runs the seed's program under a phase-1 dependence collector
+// on the given engine and returns the profile fingerprint and the run error.
+func profileEngine(seed uint64, engine string) (string, error) {
+	p := Generate(seed)
+	col := trace.NewCollector()
+	m, err := interp.New(p, interp.Options{Tracer: col, MaxSteps: MaxSteps, Engine: engine})
+	if err != nil {
+		return "", err
+	}
+	_, runErr := m.Run()
+	return col.Finish(p.Name).Fingerprint(), runErr
 }
 
 // checkFarmedSequential is differential oracle D2: the analysis farm must

@@ -28,12 +28,32 @@ type Options struct {
 	// ArrayInit seeds the named global arrays before execution. Each slice
 	// must match the declared size exactly. Arrays not listed start zeroed.
 	ArrayInit map[string][]float64
+	// Engine selects the execution engine: EngineTree (the default, also
+	// selected by "") walks the AST and is the reference implementation;
+	// EngineBytecode compiles the program to closure-threaded code at New
+	// and batches tracer events. The two engines are observationally
+	// identical — same results, states, step counts, errors and event
+	// stream — except for the numeric values of scalar addresses, which
+	// are only aliasing identities.
+	Engine string
 }
+
+// Execution engine names for Options.Engine.
+const (
+	EngineTree     = "tree"
+	EngineBytecode = "bytecode"
+)
+
+// ScalarBase is the lowest scalar-slot address. Array elements live in
+// [1, ScalarBase); scalar variable slots are allocated densely from
+// ScalarBase up. The split lets consumers (trace's paged shadow memory)
+// index both regions directly instead of hashing addresses.
+const ScalarBase = Addr(1) << 40
 
 const (
 	defaultMaxSteps = 200_000_000
 	defaultMaxDepth = 10_000
-	scalarBase      = Addr(1) << 40
+	scalarBase      = ScalarBase
 	// deadlineCheckEvery is the statement stride between wall-clock polls;
 	// a power of two so the check compiles to a mask test on the hot path.
 	deadlineCheckEvery = 1 << 14
@@ -63,6 +83,13 @@ type Machine struct {
 	steps     int64
 	depth     int
 	induction []Addr // addresses of live For induction variables
+
+	// Bytecode engine state (Options.Engine == EngineBytecode): the lowered
+	// program and its vm. The tree-walking fields above stay authoritative
+	// for results — Run copies the vm's step count and return value back so
+	// Steps, Return and Snapshot are engine-agnostic.
+	code *compiled
+	vm   *vm
 
 	ran bool
 	ret float64
@@ -95,6 +122,14 @@ func New(prog *ir.Program, opts Options) (*Machine, error) {
 		}
 		copy(m.arrayMem[m.arrayBase[name]-1:], data)
 	}
+	switch opts.Engine {
+	case "", EngineTree:
+	case EngineBytecode:
+		m.code = compile(prog, m.arrayBase)
+		m.vm = newVM(m.code, m)
+	default:
+		return nil, fmt.Errorf("interp: unknown engine %q", opts.Engine)
+	}
 	return m, nil
 }
 
@@ -107,6 +142,15 @@ func (m *Machine) Run() (float64, error) {
 	entry := m.prog.EntryFunc()
 	if entry == nil {
 		return 0, fmt.Errorf("interp: program %s has no entry function", m.prog.Name)
+	}
+	if m.vm != nil {
+		v, err := m.vm.run(m.code.entry)
+		m.steps = m.vm.steps
+		if err != nil {
+			return 0, err
+		}
+		m.ret = v
+		return v, nil
 	}
 	v, err := m.call(entry, nil, 0)
 	if err != nil {
@@ -548,7 +592,7 @@ func applyBin(op ir.BinOp, l, r float64, line int) (float64, error) {
 		if r == 0 {
 			return 0, fmt.Errorf("interp: modulus by zero (line %d)", line)
 		}
-		return math.Mod(l, r), nil
+		return fmod(l, r), nil
 	case ir.Lt:
 		return b2f(l < r), nil
 	case ir.Le:
@@ -572,4 +616,20 @@ func applyBin(op ir.BinOp, l, r float64, line int) (float64, error) {
 	default:
 		return 0, fmt.Errorf("interp: unknown binary op %v (line %d)", op, line)
 	}
+}
+
+// fmod is math.Mod with a fast path for the dominant case of integral
+// operands: for integers exactly representable in a float64 the remainder
+// following the dividend's sign is exactly what both math.Mod and Go's
+// integer % compute, so the results are bit-identical and the float
+// decomposition (frexp/ldexp) that makes math.Mod expensive is skipped.
+func fmod(l, r float64) float64 {
+	const exact = 1 << 53
+	if l > -exact && l < exact && r > -exact && r < exact {
+		li, ri := int64(l), int64(r)
+		if float64(li) == l && float64(ri) == r {
+			return float64(li % ri)
+		}
+	}
+	return math.Mod(l, r)
 }

@@ -202,6 +202,8 @@ type Builder struct {
 	stack []*Node
 }
 
+var _ interp.BatchTracer = (*Builder)(nil)
+
 // NewBuilder returns an empty PET builder.
 func NewBuilder() *Builder {
 	r := &Node{Kind: Root, Name: "program"}
@@ -260,6 +262,32 @@ func (b *Builder) Count(n int64, line int) { b.top().Self += n }
 func (b *Builder) pop() {
 	if len(b.stack) > 1 {
 		b.stack = b.stack[:len(b.stack)-1]
+	}
+}
+
+// TraceBatch implements interp.BatchTracer. The tree's shape comes from the
+// control events only; loads and stores — the overwhelming bulk of a batch —
+// are skipped here without the per-event interface call ReplayBatch would
+// make.
+func (b *Builder) TraceBatch(names []string, events []interp.Event) {
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case interp.EvCount:
+			b.top().Self += int64(e.A)
+		case interp.EvLoopEnter:
+			b.enterChild(Loop, names[e.Name], int(e.Line))
+		case interp.EvLoopIter:
+			if t := b.top(); t.Kind == Loop && t.Name == names[e.Name] {
+				t.Iterations++
+			}
+		case interp.EvLoopExit:
+			b.pop()
+		case interp.EvCallEnter:
+			b.CallEnter(names[e.Name], int(e.Line))
+		case interp.EvCallExit:
+			b.pop()
+		}
 	}
 }
 

@@ -45,6 +45,14 @@ func RunAppObserved(name string, o *obs.Observer) (*AppRun, error) {
 // (internal/farm) use the deadline so one wedged analysis cannot stall a
 // whole batch.
 func RunAppTimeout(name string, o *obs.Observer, timeout time.Duration) (*AppRun, error) {
+	return RunAppEngine(name, o, timeout, "")
+}
+
+// RunAppEngine is RunAppTimeout with an explicit interpreter engine for the
+// profiled executions ("" or interp.EngineTree for the reference tree
+// walker, interp.EngineBytecode for the compiled engine). Both engines
+// produce identical profiles and results; see core.Options.Engine.
+func RunAppEngine(name string, o *obs.Observer, timeout time.Duration, engine string) (*AppRun, error) {
 	app := apps.Get(name)
 	if app == nil {
 		return nil, fmt.Errorf("report: unknown app %q", name)
@@ -53,6 +61,7 @@ func RunAppTimeout(name string, o *obs.Observer, timeout time.Duration) (*AppRun
 		InferReductionOperator: true,
 		Observer:               o,
 		Timeout:                timeout,
+		Engine:                 engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", name, err)

@@ -1,10 +1,26 @@
 package trace
 
 import (
+	"math"
 	"sort"
 
 	"pardetect/internal/interp"
 )
+
+// toLine32 narrows a source line to the int32 every internal line table
+// (shadow entries, dependence keys, call frames, operation counts) is keyed
+// on. It is the single int→int32 conversion point for trace: mini-IR lines
+// are small positive ints, but a corrupt or adversarial line must saturate
+// deterministically rather than silently alias a valid one.
+func toLine32(line int) int32 {
+	if line > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if line < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(line)
+}
 
 // Collector is the phase-1 profiler. Attach it as the tracer of an
 // interp.Machine, run the program, then call Finish to obtain the Profile.
@@ -30,16 +46,44 @@ type Collector struct {
 	// maxSnapDepth and was truncated (Profile.SnapshotTruncated).
 	snapTrunc int64
 
-	lastWrite map[interp.Addr]writeInfo
-	lastRead  map[interp.Addr]readInfo
+	// lastWrite/lastRead are direct-indexed paged shadow tables (shadow.go)
+	// over the interpreter's dense address space — the profiler's hot path.
+	lastWrite pagedShadow[writeInfo]
+	lastRead  pagedShadow[readInfo]
 
 	deps    map[depKey]int64
 	carried map[carrKey]*carrAgg
 	cross   map[crossKey]int64
 	trips   map[uint32]*TripStat
 
-	lineOps   map[int]int64
+	// depCache is a direct-mapped write-back cache in front of deps: loop
+	// bodies emit the same few dependence keys millions of times, so almost
+	// every increment hits a slot and skips the map entirely. Evicted and
+	// resident counts are flushed into deps by flushDeps (Finish).
+	depCache [depCacheSize]depSlot
+	// lastDep points at the slot the previous dep() call used (nil before
+	// the first): array sweeps hit one key for a whole loop, and the memo
+	// skips the hash on those runs.
+	lastDep *depSlot
+	// crossCache plays the same role for the cross map.
+	crossCache [crossCacheSize]crossSlot
+	// lastCarr memoizes the most recent carried-group lookup: consecutive
+	// carried events overwhelmingly hit the same (loop, symbol) group.
+	lastCarrKey carrKey
+	lastCarr    *carrAgg
+
+	// lineOps counts operations per source line, direct-indexed by line
+	// (statement lines are small and dense); lines outside [0, maxDenseLine)
+	// overflow into lineOpsOv.
+	lineOps   []int64
+	lineOpsOv map[int32]int64
 	funcCalls map[string]int64
+	// batchLoop/batchSym memoize the translation from a batching engine's
+	// name table (interp.Event.Name) to this collector's interners. The
+	// engine's table is append-only across a run, so the memo extends
+	// monotonically and is valid for every later batch.
+	batchLoop []uint32
+	batchSym  []uint32
 	// callFrames tracks live calls for cost absorption: when a callee
 	// returns, its accumulated cost is charged to the call-site line —
 	// unless the callee is recursive (still live further down the stack),
@@ -53,7 +97,7 @@ type Collector struct {
 
 type callFrame struct {
 	fn       string
-	callLine int
+	callLine int32
 	total    int64
 }
 
@@ -130,6 +174,67 @@ type depKey struct {
 	carried  bool
 }
 
+const (
+	// depCacheSize slots cover the working set of distinct dependence keys
+	// of every benchmark with room to spare; collisions only cost a map
+	// flush, never correctness.
+	depCacheSize = 512
+	// maxDenseLine bounds the direct-indexed line-ops table.
+	maxDenseLine   = 1 << 16
+	crossCacheSize = 64
+)
+
+type crossSlot struct {
+	key   crossKey
+	count int64 // 0 = empty slot
+}
+
+type depSlot struct {
+	key   depKey
+	count int64 // 0 = empty slot
+}
+
+// dep counts one occurrence of k through the direct-mapped cache.
+func (c *Collector) dep(k depKey) {
+	// Consecutive events repeat the same key throughout an array sweep;
+	// one pointer to the previous slot skips the hash for that run.
+	if s := c.lastDep; s != nil && s.count != 0 && s.key == k {
+		s.count++
+		return
+	}
+	h := uint64(uint32(k.src))<<32 | uint64(uint32(k.dst))
+	h ^= uint64(k.name)<<7 ^ uint64(k.kind)<<2
+	if k.array {
+		h ^= 1 << 62
+	}
+	if k.carried {
+		h ^= 1 << 61
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	s := &c.depCache[h&(depCacheSize-1)]
+	c.lastDep = s
+	if s.key == k && s.count != 0 {
+		s.count++
+		return
+	}
+	if s.count != 0 {
+		c.deps[s.key] += s.count
+	}
+	s.key, s.count = k, 1
+}
+
+// flushDeps spills the cache residue into the deps map.
+func (c *Collector) flushDeps() {
+	for i := range c.depCache {
+		if s := &c.depCache[i]; s.count != 0 {
+			c.deps[s.key] += s.count
+			s.count = 0
+		}
+	}
+}
+
 type carrKey struct {
 	loop  uint32
 	name  uint32 // interned symbol name
@@ -140,14 +245,49 @@ type crossKey struct {
 	writer, reader uint32
 }
 
+// crossDep counts a cross-loop edge through a direct-mapped write-back
+// cache (same scheme as dep): the same few writer/reader pairs repeat for
+// every flowing address.
+func (c *Collector) crossDep(k crossKey) {
+	h := (uint64(k.writer)<<32 | uint64(k.reader)) * 0x9e3779b97f4a7c15
+	s := &c.crossCache[(h>>52)&(crossCacheSize-1)]
+	if s.key == k && s.count != 0 {
+		s.count++
+		return
+	}
+	if s.count != 0 {
+		c.cross[s.key] += s.count
+	}
+	s.key, s.count = k, 1
+}
+
+// flushCross spills the cache residue into the cross map.
+func (c *Collector) flushCross() {
+	for i := range c.crossCache {
+		if s := &c.crossCache[i]; s.count != 0 {
+			c.cross[s.key] += s.count
+			s.count = 0
+		}
+	}
+}
+
 type carrAgg struct {
 	writeLines map[int32]struct{}
 	readLines  map[int32]struct{}
 	perAddr    map[interp.Addr]*addrCount
-	maxPerAddr int64
-	minDist    int64
-	maxDist    int64
-	count      int64
+	// lastAddr/lastAC memoize the most recent perAddr lookup (reduction
+	// scalars hit one address for an entire loop).
+	lastAddr interp.Addr
+	lastAC   *addrCount
+	// lastW/lastR memoize the most recent line-set inserts: a carried
+	// dependence usually repeats the same write/read line pair for millions
+	// of events, and the map assigns dominated recordCarried.
+	lastW, lastR int32
+	linesOK      bool
+	maxPerAddr   int64
+	minDist      int64
+	maxDist      int64
+	count        int64
 }
 
 type addrCount struct {
@@ -160,21 +300,30 @@ func NewCollector() *Collector {
 	return &Collector{
 		in:        newInterner(),
 		syms:      newInterner(),
-		lastWrite: make(map[interp.Addr]writeInfo),
-		lastRead:  make(map[interp.Addr]readInfo),
+		lastWrite: newPagedShadow[writeInfo](),
+		lastRead:  newPagedShadow[readInfo](),
 		deps:      make(map[depKey]int64),
 		carried:   make(map[carrKey]*carrAgg),
 		cross:     make(map[crossKey]int64),
 		trips:     make(map[uint32]*TripStat),
-		lineOps:   make(map[int]int64),
+		lineOpsOv: make(map[int32]int64),
 		funcCalls: make(map[string]int64),
 	}
 }
 
+// ShadowPages reports how many shadow pages the run materialized (the
+// obs counter shadow.pages).
+func (c *Collector) ShadowPages() int64 {
+	return c.lastWrite.pages + c.lastRead.pages
+}
+
 // LoopEnter implements interp.Tracer.
 func (c *Collector) LoopEnter(loopID string, line int) {
+	c.loopEnter(c.in.idx(loopID))
+}
+
+func (c *Collector) loopEnter(id uint32) {
 	c.nextAct++
-	id := c.in.idx(loopID)
 	c.loops = append(c.loops, liveLoop{id: id, act: c.nextAct, iter: -1})
 	c.trip(id).Activations++
 }
@@ -187,7 +336,11 @@ func (c *Collector) LoopEnter(loopID string, line int) {
 // iteration advance to the wrong loop and corrupt carried/cross-loop
 // classification.
 func (c *Collector) LoopIter(loopID string, iter int64) {
-	i := unwindTo(c.loops, c.in.idx(loopID))
+	c.loopIter(c.in.idx(loopID), iter)
+}
+
+func (c *Collector) loopIter(id uint32, iter int64) {
+	i := unwindTo(c.loops, id)
 	if i < 0 {
 		return
 	}
@@ -200,7 +353,11 @@ func (c *Collector) LoopIter(loopID string, iter int64) {
 // pops) the innermost frame matching loopID; an exit for a loop that is not
 // live is dropped rather than popping an unrelated frame.
 func (c *Collector) LoopExit(loopID string) {
-	if i := unwindTo(c.loops, c.in.idx(loopID)); i >= 0 {
+	c.loopExit(c.in.idx(loopID))
+}
+
+func (c *Collector) loopExit(id uint32) {
+	if i := unwindTo(c.loops, id); i >= 0 {
 		c.loops = c.loops[:i]
 	}
 }
@@ -218,17 +375,25 @@ func unwindTo(loops []liveLoop, id uint32) int {
 
 // CallEnter implements interp.Tracer.
 func (c *Collector) CallEnter(fn string, line int) {
+	c.callEnter(fn, toLine32(line))
+}
+
+func (c *Collector) callEnter(fn string, line int32) {
 	c.funcCalls[fn]++
 	c.callFrames = append(c.callFrames, callFrame{fn: fn, callLine: line})
 	depth := int32(0)
 	if c.curCall != nil {
 		depth = c.curCall.depth + 1
 	}
-	c.curCall = &callNode{parent: c.curCall, line: int32(line), depth: depth}
+	c.curCall = &callNode{parent: c.curCall, line: line, depth: depth}
 }
 
 // CallExit implements interp.Tracer.
 func (c *Collector) CallExit(fn string) {
+	c.callExit()
+}
+
+func (c *Collector) callExit() {
 	n := len(c.callFrames)
 	if n == 0 {
 		return
@@ -244,7 +409,7 @@ func (c *Collector) CallExit(fn string) {
 		}
 	}
 	if !recursive && top.callLine > 0 {
-		c.lineOps[top.callLine] += top.total
+		c.addLine(top.callLine, top.total)
 	}
 	if n > 0 {
 		c.callFrames[n-1].total += top.total
@@ -256,10 +421,32 @@ func (c *Collector) CallExit(fn string) {
 
 // Count implements interp.Tracer.
 func (c *Collector) Count(n int64, line int) {
-	c.lineOps[line] += n
+	c.count(n, toLine32(line))
+}
+
+func (c *Collector) count(n int64, line int32) {
+	c.addLine(line, n)
 	if k := len(c.callFrames); k > 0 {
 		c.callFrames[k-1].total += n
 	}
+}
+
+// addLine accumulates n operations on line: direct-indexed for the dense
+// small-line common case, map overflow for the rest (negative lines
+// included — uint32 conversion maps them above maxDenseLine).
+func (c *Collector) addLine(line int32, n int64) {
+	if uint32(line) < uint32(len(c.lineOps)) {
+		c.lineOps[line] += n
+		return
+	}
+	if uint32(line) < maxDenseLine {
+		nl := make([]int64, int(line)+1, 2*(int(line)+1))
+		copy(nl, c.lineOps)
+		c.lineOps = nl
+		c.lineOps[line] += n
+		return
+	}
+	c.lineOpsOv[line] += n
 }
 
 func (c *Collector) trip(id uint32) *TripStat {
@@ -283,17 +470,34 @@ func (c *Collector) snap() stackVec {
 // last write of addr, classifies it as loop-carried and/or cross-loop, and
 // updates the read shadow.
 func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
-	name := c.syms.idx(ref.Name)
-	if w, ok := c.lastWrite[addr]; ok {
-		cur := c.snap()
-		cp := commonPrefix(w.stack, cur)
+	c.load(addr, c.syms.idx(ref.Name), ref.Array, toLine32(line))
+}
+
+func (c *Collector) load(addr interp.Addr, name uint32, array bool, line int32) {
+	if w := c.lastWrite.get(addr); w != nil {
+		// The read side compares against the live stack directly (truncated
+		// like a snapshot would be) instead of copying it into a stackVec:
+		// loads outnumber stores and the copy was measurable.
+		live := c.loops
+		if len(live) > maxSnapDepth {
+			c.snapTrunc++
+			live = live[:maxSnapDepth]
+		}
+		n := int(w.stack.n)
+		if len(live) < n {
+			n = len(live)
+		}
+		cp := 0
+		for cp < n && w.stack.e[cp].id == live[cp].id && w.stack.e[cp].act == live[cp].act {
+			cp++
+		}
 		// Loop-carried: every commonly live loop activation whose
 		// iteration advanced between write and read carries this RAW.
 		carried := false
 		for i := 0; i < cp; i++ {
-			if dist := cur.e[i].iter - w.stack.e[i].iter; dist > 0 {
+			if dist := live[i].iter - w.stack.e[i].iter; dist > 0 {
 				carried = true
-				c.recordCarried(cur.e[i].id, cur.e[i].act, addr, w, line, dist)
+				c.recordCarried(live[i].id, live[i].act, addr, w, line, dist)
 			}
 		}
 		// Attribute the dependence at the frame level: accesses in the
@@ -304,54 +508,101 @@ func (c *Collector) Load(addr interp.Addr, ref interp.Ref, line int) {
 		// into one region's dependence set would fabricate edges between
 		// unrelated statements of recursive functions.
 		if w.call == c.curCall {
-			c.deps[depKey{RAW, w.line, int32(line), name, ref.Array, carried}]++
-		} else if wl, rl, ok := divergeLines(w.call, c.curCall, w.line, int32(line)); ok {
-			c.deps[depKey{RAW, wl, rl, name, ref.Array, carried}]++
+			c.dep(depKey{RAW, w.line, line, name, array, carried})
+		} else if wl, rl, ok := divergeLines(w.call, c.curCall, w.line, line); ok {
+			c.dep(depKey{RAW, wl, rl, name, array, carried})
 		}
 		// Cross-loop: after the common live prefix, a write-side loop that
 		// has since exited feeding a distinct read-side loop is a
 		// candidate multi-loop pipeline edge.
-		if cp < int(w.stack.n) && cp < int(cur.n) && w.stack.e[cp].id != cur.e[cp].id {
-			c.cross[crossKey{writer: w.stack.e[cp].id, reader: cur.e[cp].id}]++
+		if cp < int(w.stack.n) && cp < len(live) && w.stack.e[cp].id != live[cp].id {
+			c.crossDep(crossKey{writer: w.stack.e[cp].id, reader: live[cp].id})
 		}
 	}
-	c.lastRead[addr] = readInfo{line: int32(line), array: ref.Array, name: name}
+	*c.lastRead.put(addr) = readInfo{line: line, array: array, name: name}
 }
 
 // Store implements interp.Tracer: it records WAR/WAW dependences and updates
 // the write shadow.
 func (c *Collector) Store(addr interp.Addr, ref interp.Ref, line int) {
-	name := c.syms.idx(ref.Name)
-	if r, ok := c.lastRead[addr]; ok {
-		c.deps[depKey{WAR, r.line, int32(line), name, ref.Array, false}]++
+	c.store(addr, c.syms.idx(ref.Name), ref.Array, toLine32(line))
+}
+
+func (c *Collector) store(addr interp.Addr, name uint32, array bool, line int32) {
+	if r := c.lastRead.get(addr); r != nil {
+		c.dep(depKey{WAR, r.line, line, name, array, false})
 	}
-	if w, ok := c.lastWrite[addr]; ok {
-		c.deps[depKey{WAW, w.line, int32(line), name, ref.Array, false}]++
+	if w := c.lastWrite.get(addr); w != nil {
+		c.dep(depKey{WAW, w.line, line, name, array, false})
 	}
-	c.lastWrite[addr] = writeInfo{
-		line:  int32(line),
-		array: ref.Array,
-		name:  name,
-		stack: c.snap(),
-		call:  c.curCall,
+	// Fill the shadow entry in place: a writeInfo is dominated by its
+	// stackVec and the by-value construction copied it twice.
+	e := c.lastWrite.put(addr)
+	e.line, e.array, e.name, e.call = line, array, name, c.curCall
+	live := c.loops
+	if len(live) > maxSnapDepth {
+		c.snapTrunc++
+		live = live[:maxSnapDepth]
+	}
+	for i := range live {
+		e.stack.e[i] = stackEnt{id: live[i].id, act: live[i].act, iter: live[i].iter}
+	}
+	e.stack.n = int8(len(live))
+}
+
+// TraceBatch implements interp.BatchTracer: the compiled engine hands whole
+// event runs over at once, and symbol/loop interning happens once per name
+// per run (via the memo) instead of once per event.
+func (c *Collector) TraceBatch(names []string, events []interp.Event) {
+	for i := len(c.batchLoop); i < len(names); i++ {
+		c.batchLoop = append(c.batchLoop, c.in.idx(names[i]))
+		c.batchSym = append(c.batchSym, c.syms.idx(names[i]))
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case interp.EvLoad:
+			c.load(interp.Addr(e.A), c.batchSym[e.Name], e.Array, e.Line)
+		case interp.EvStore:
+			c.store(interp.Addr(e.A), c.batchSym[e.Name], e.Array, e.Line)
+		case interp.EvLoopEnter:
+			c.loopEnter(c.batchLoop[e.Name])
+		case interp.EvLoopIter:
+			c.loopIter(c.batchLoop[e.Name], int64(e.A))
+		case interp.EvLoopExit:
+			c.loopExit(c.batchLoop[e.Name])
+		case interp.EvCallEnter:
+			c.callEnter(names[e.Name], e.Line)
+		case interp.EvCallExit:
+			c.callExit()
+		case interp.EvCount:
+			c.count(int64(e.A), e.Line)
+		}
 	}
 }
 
-func (c *Collector) recordCarried(loop, act uint32, addr interp.Addr, w writeInfo, readLine int, dist int64) {
+func (c *Collector) recordCarried(loop, act uint32, addr interp.Addr, w *writeInfo, readLine int32, dist int64) {
 	k := carrKey{loop: loop, name: w.name, array: w.array}
-	a := c.carried[k]
-	if a == nil {
-		a = &carrAgg{
-			writeLines: make(map[int32]struct{}),
-			readLines:  make(map[int32]struct{}),
-			perAddr:    make(map[interp.Addr]*addrCount),
-			minDist:    dist,
-			maxDist:    dist,
+	a := c.lastCarr
+	if a == nil || c.lastCarrKey != k {
+		a = c.carried[k]
+		if a == nil {
+			a = &carrAgg{
+				writeLines: make(map[int32]struct{}),
+				readLines:  make(map[int32]struct{}),
+				perAddr:    make(map[interp.Addr]*addrCount),
+				minDist:    dist,
+				maxDist:    dist,
+			}
+			c.carried[k] = a
 		}
-		c.carried[k] = a
+		c.lastCarrKey, c.lastCarr = k, a
 	}
-	a.writeLines[w.line] = struct{}{}
-	a.readLines[int32(readLine)] = struct{}{}
+	if !a.linesOK || a.lastW != w.line || a.lastR != readLine {
+		a.writeLines[w.line] = struct{}{}
+		a.readLines[readLine] = struct{}{}
+		a.lastW, a.lastR, a.linesOK = w.line, readLine, true
+	}
 	if dist < a.minDist {
 		a.minDist = dist
 	}
@@ -359,10 +610,19 @@ func (c *Collector) recordCarried(loop, act uint32, addr interp.Addr, w writeInf
 		a.maxDist = dist
 	}
 	a.count++
-	ac := a.perAddr[addr]
-	if ac == nil || ac.act != act {
+	ac := a.lastAC
+	if ac == nil || a.lastAddr != addr {
+		ac = a.perAddr[addr]
+		if ac == nil {
+			ac = &addrCount{act: act}
+			a.perAddr[addr] = ac
+		}
+		a.lastAddr, a.lastAC = addr, ac
+	}
+	if ac.act != act {
 		ac = &addrCount{act: act}
 		a.perAddr[addr] = ac
+		a.lastAC = ac
 	}
 	ac.count++
 	if ac.count > a.maxPerAddr {
@@ -381,6 +641,8 @@ func (c *Collector) Finish(programName string) *Profile {
 		LoopTrips:         make(map[string]TripStat),
 		SnapshotTruncated: c.snapTrunc,
 	}
+	c.flushDeps()
+	c.flushCross()
 	for k, n := range c.deps {
 		p.Deps = append(p.Deps, Dep{
 			Kind:    k.kind,
@@ -419,8 +681,20 @@ func (c *Collector) Finish(programName string) *Profile {
 	for id, t := range c.trips {
 		p.LoopTrips[c.in.name(id)] = *t
 	}
-	p.LineOps = c.lineOps
+	p.LineOps = make(map[int]int64, len(c.lineOps)+len(c.lineOpsOv))
+	for line, n := range c.lineOps {
+		if n != 0 {
+			p.LineOps[line] = n
+		}
+	}
+	for line, n := range c.lineOpsOv {
+		p.LineOps[int(line)] = n
+	}
 	p.FuncCalls = c.funcCalls
+	// Invalidate the shadow tables (O(1) epoch bump): a buggy reuse after
+	// Finish records no stale dependences against this run's accesses.
+	c.lastWrite.reset()
+	c.lastRead.reset()
 	return p
 }
 

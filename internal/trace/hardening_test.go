@@ -100,24 +100,38 @@ func TestPairStoreFastPathVersionOnly(t *testing.T) {
 	const addr = interp.Addr(7)
 
 	// A store with no candidate writer loop live (here: inside an unrelated
-	// loop) must take the fast path: a version-only shadow entry, no stack
-	// snapshot.
+	// loop) must take the fast path. On an address no candidate writer ever
+	// stored to, it leaves no shadow entry at all — absent and version-only
+	// entries are indistinguishable to load, and not materializing the
+	// entry keeps non-candidate code regions from allocating pages.
 	p.LoopEnter("other", 1)
 	p.LoopIter("other", 0)
 	p.Store(addr, ref, 2)
-	if w := p.lastWrite[addr]; w.stack.n != 0 || w.version == 0 {
-		t.Fatalf("fast-path shadow entry = %+v, want version-only with empty stack", w)
+	if w := p.lastWrite.get(addr); w != nil {
+		t.Fatalf("fast-path store materialized shadow entry %+v, want none", w)
 	}
 	p.LoopExit("other")
 
-	// The version-only entry still invalidates: a read in the reader loop
-	// finds no writer frame in the empty stack and records nothing.
-	p.LoopEnter("r", 3)
+	// A candidate write followed by a non-candidate store of the same
+	// address must invalidate in place: the entry loses its stack (so no
+	// pair can match) but keeps a fresh version.
+	p.LoopEnter("w", 3)
+	p.LoopIter("w", 0)
+	p.Store(addr, ref, 4)
+	p.LoopExit("w")
+	p.Store(addr, ref, 5)
+	if w := p.lastWrite.get(addr); w == nil || w.stack.n != 0 || w.version == 0 {
+		t.Fatalf("invalidating store left entry %+v, want version-only with empty stack", w)
+	}
+
+	// The invalidated entry records nothing: a read in the reader loop
+	// finds no writer frame in the empty stack.
+	p.LoopEnter("r", 6)
 	p.LoopIter("r", 0)
-	p.Load(addr, ref, 4)
+	p.Load(addr, ref, 7)
 	p.LoopExit("r")
 	if pts := p.Finish(); len(pts.Points[key]) != 0 {
-		t.Fatalf("recorded %d points from a version-only write", len(pts.Points[key]))
+		t.Fatalf("recorded %d points from an invalidated write", len(pts.Points[key]))
 	}
 }
 

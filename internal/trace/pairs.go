@@ -29,8 +29,25 @@ type PairProfiler struct {
 	readers map[uint32][]int // reader loop idx -> indices into aggs
 	aggs    []*pairAgg
 
-	lastWrite map[interp.Addr]pairWrite
+	// lastWrite is a direct-indexed paged shadow table (shadow.go).
+	lastWrite pagedShadow[pairWrite]
 	version   uint64
+
+	// batchLoop memoizes engine name-table indices to interned loop IDs for
+	// TraceBatch (symbol names are irrelevant here: Load/Store only use the
+	// address).
+	batchLoop []uint32
+
+	// Read-side cache. The live loop stack only changes on loop events, so
+	// the stack snapshot and the list of frames matching a candidate reader
+	// loop are recomputed lazily on the first load after a stack mutation
+	// rather than on every load. liveReaders mirrors liveWriters: while no
+	// candidate reader loop is live, Load returns before touching shadow
+	// memory at all.
+	liveReaders int
+	curDirty    bool
+	curSnap     stackVec
+	curMatch    []readerMatch
 
 	// MaxPoints caps the number of samples per pair (0 = default 2^20).
 	maxPoints int
@@ -40,13 +57,30 @@ type PairProfiler struct {
 type pairWrite struct {
 	stack   stackVec
 	version uint64
+	// recorded is the first-read filter for this write: bit i set means
+	// aggregator i has already sampled this write version at this address.
+	// A new store assigns the whole entry, clearing the mask. Aggregators
+	// beyond 64 (never seen in practice — pairs come from hotspot loops)
+	// fall back to the per-agg recorded shadow.
+	recorded uint64
+}
+
+// readerMatch is one cached hit of the current stack against the candidate
+// reader loops: the snapshot frame (for the read iteration number i_y) and
+// the aggregators interested in that loop.
+type readerMatch struct {
+	frame int
+	aggs  []int
 }
 
 type pairAgg struct {
 	key       PairKey
 	writerIdx uint32
 	readerIdx uint32
-	recorded  map[interp.Addr]uint64 // address -> last recorded write version
+	// recorded holds, per address, the last write version this pair sampled
+	// (the first-read filter). Direct-indexed like the write shadow: write
+	// versions start at 1, so a live entry is never zero.
+	recorded  pagedShadow[uint64]
 	points    []IterPair
 	truncated bool
 }
@@ -68,7 +102,7 @@ func NewPairProfiler(pairs []PairKey, maxPoints int) *PairProfiler {
 		in:        newInterner(),
 		writers:   make(map[uint32][]int),
 		readers:   make(map[uint32][]int),
-		lastWrite: make(map[interp.Addr]pairWrite),
+		lastWrite: newPagedShadow[pairWrite](),
 		maxPoints: maxPoints,
 	}
 	for _, k := range pairs {
@@ -76,7 +110,7 @@ func NewPairProfiler(pairs []PairKey, maxPoints int) *PairProfiler {
 			key:       k,
 			writerIdx: p.in.idx(k.Writer),
 			readerIdx: p.in.idx(k.Reader),
-			recorded:  make(map[interp.Addr]uint64),
+			recorded:  newPagedShadow[uint64](),
 		}
 		i := len(p.aggs)
 		p.aggs = append(p.aggs, a)
@@ -86,14 +120,25 @@ func NewPairProfiler(pairs []PairKey, maxPoints int) *PairProfiler {
 	return p
 }
 
+// ShadowPages reports how many shadow pages the run materialized (the
+// obs counter shadow.pages).
+func (p *PairProfiler) ShadowPages() int64 { return p.lastWrite.pages }
+
 // LoopEnter implements interp.Tracer.
 func (p *PairProfiler) LoopEnter(loopID string, line int) {
+	p.loopEnter(p.in.idx(loopID))
+}
+
+func (p *PairProfiler) loopEnter(id uint32) {
 	p.nextAct++
-	id := p.in.idx(loopID)
 	p.loops = append(p.loops, liveLoop{id: id, act: p.nextAct, iter: -1})
 	if _, ok := p.writers[id]; ok {
 		p.liveWriters++
 	}
+	if _, ok := p.readers[id]; ok {
+		p.liveReaders++
+	}
+	p.curDirty = true
 }
 
 // LoopIter implements interp.Tracer. Like the Collector, the event is
@@ -101,31 +146,45 @@ func (p *PairProfiler) LoopEnter(loopID string, line int) {
 // without exit events) are unwound first, and an iteration event for a loop
 // that is not live is dropped.
 func (p *PairProfiler) LoopIter(loopID string, iter int64) {
-	i := unwindTo(p.loops, p.in.idx(loopID))
+	p.loopIter(p.in.idx(loopID), iter)
+}
+
+func (p *PairProfiler) loopIter(id uint32, iter int64) {
+	i := unwindTo(p.loops, id)
 	if i < 0 {
 		return
 	}
 	p.popTo(i + 1)
 	p.loops[i].iter = iter
+	p.curDirty = true
 }
 
 // LoopExit implements interp.Tracer. The exit unwinds to (and pops) the
 // innermost frame matching loopID; an exit for a loop that is not live is
 // dropped.
 func (p *PairProfiler) LoopExit(loopID string) {
-	if i := unwindTo(p.loops, p.in.idx(loopID)); i >= 0 {
+	p.loopExit(p.in.idx(loopID))
+}
+
+func (p *PairProfiler) loopExit(id uint32) {
+	if i := unwindTo(p.loops, id); i >= 0 {
 		p.popTo(i)
 	}
 }
 
-// popTo truncates the live stack to n frames, keeping liveWriters in step.
+// popTo truncates the live stack to n frames, keeping liveWriters and
+// liveReaders in step.
 func (p *PairProfiler) popTo(n int) {
 	for i := n; i < len(p.loops); i++ {
 		if _, ok := p.writers[p.loops[i].id]; ok {
 			p.liveWriters--
 		}
+		if _, ok := p.readers[p.loops[i].id]; ok {
+			p.liveReaders--
+		}
 	}
 	p.loops = p.loops[:n]
+	p.curDirty = true
 }
 
 // Store implements interp.Tracer. Only stores made while some candidate
@@ -136,57 +195,128 @@ func (p *PairProfiler) popTo(n int) {
 // empty stack, which no candidate pair can match — keeping the hot path of
 // non-candidate code regions cheap.
 func (p *PairProfiler) Store(addr interp.Addr, ref interp.Ref, line int) {
+	p.store(addr)
+}
+
+func (p *PairProfiler) store(addr interp.Addr) {
 	p.version++
+	// Fill the entry in place: a pairWrite is dominated by its stackVec and
+	// the by-value construction copied it twice.
 	if p.liveWriters == 0 {
-		p.lastWrite[addr] = pairWrite{version: p.version}
+		// Invalidation-only store: an absent entry and a version-only entry
+		// are indistinguishable to load (neither matches any pair), so only
+		// existing entries are touched — a page never holds an address no
+		// candidate writer stored to.
+		if e := p.lastWrite.get(addr); e != nil {
+			e.version = p.version
+			e.recorded = 0
+			e.stack.n = 0
+		}
 		return
 	}
-	if len(p.loops) > maxSnapDepth {
+	e := p.lastWrite.put(addr)
+	e.version = p.version
+	e.recorded = 0
+	live := p.loops
+	if len(live) > maxSnapDepth {
 		p.snapTrunc++
+		live = live[:maxSnapDepth]
 	}
-	p.lastWrite[addr] = pairWrite{stack: snapshot(p.loops), version: p.version}
+	for i := range live {
+		e.stack.e[i] = stackEnt{id: live[i].id, act: live[i].act, iter: live[i].iter}
+	}
+	e.stack.n = int8(len(live))
 }
 
 // Load implements interp.Tracer: record (i_x, i_y) samples for all candidate
 // pairs matching this read.
 func (p *PairProfiler) Load(addr interp.Addr, ref interp.Ref, line int) {
-	w, ok := p.lastWrite[addr]
-	if !ok {
+	p.load(addr)
+}
+
+func (p *PairProfiler) load(addr interp.Addr) {
+	if p.liveReaders == 0 {
+		return // no candidate reader loop live: nothing can record
+	}
+	if p.curDirty {
+		if len(p.loops) > maxSnapDepth {
+			p.snapTrunc++
+		}
+		p.curSnap = snapshot(p.loops)
+		p.curMatch = p.curMatch[:0]
+		for ri := 0; ri < int(p.curSnap.n); ri++ {
+			if aggIdxs, ok := p.readers[p.curSnap.e[ri].id]; ok {
+				p.curMatch = append(p.curMatch, readerMatch{frame: ri, aggs: aggIdxs})
+			}
+		}
+		p.curDirty = false
+	}
+	if len(p.curMatch) == 0 {
+		return // live readers were all truncated off the snapshot
+	}
+	w := p.lastWrite.get(addr)
+	if w == nil {
 		return
 	}
-	if len(p.loops) > maxSnapDepth {
-		p.snapTrunc++
-	}
-	cur := snapshot(p.loops)
 	// A pair matches when the writer loop appears in the write-time stack,
 	// the reader loop appears in the current stack, and the writer's
 	// activation is no longer live (the write's loop has finished — the
 	// dependence really crosses loops).
-	for ri := 0; ri < int(cur.n); ri++ {
-		aggIdxs, ok := p.readers[cur.e[ri].id]
-		if !ok {
-			continue
-		}
-		for _, ai := range aggIdxs {
+	for _, m := range p.curMatch {
+		y := p.curSnap.e[m.frame].iter
+		for _, ai := range m.aggs {
 			a := p.aggs[ai]
 			wi := findLoop(w.stack, a.writerIdx)
 			if wi < 0 {
 				continue
 			}
-			if liveAct(cur, a.writerIdx, w.stack.e[wi].act) {
+			if liveAct(p.curSnap, a.writerIdx, w.stack.e[wi].act) {
 				continue // same activation still live: intra-loop, not cross-loop
 			}
 			if !p.allReads {
-				if a.recorded[addr] == w.version {
-					continue // not the first read of this write
+				if ai < 64 {
+					bit := uint64(1) << ai
+					if w.recorded&bit != 0 {
+						continue // not the first read of this write
+					}
+					w.recorded |= bit
+				} else {
+					if r := a.recorded.get(addr); r != nil && *r == w.version {
+						continue
+					}
+					*a.recorded.put(addr) = w.version
 				}
-				a.recorded[addr] = w.version
 			}
 			if len(a.points) >= p.maxPoints {
 				a.truncated = true
 				continue
 			}
-			a.points = append(a.points, IterPair{X: w.stack.e[wi].iter, Y: cur.e[ri].iter})
+			a.points = append(a.points, IterPair{X: w.stack.e[wi].iter, Y: y})
+		}
+	}
+}
+
+// TraceBatch implements interp.BatchTracer. Only the loop events need name
+// translation (memoized against the engine's append-only table); loads and
+// stores are address-only here. Call and count events are ignored, as in the
+// embedded NopTracer.
+func (p *PairProfiler) TraceBatch(names []string, events []interp.Event) {
+	for i := len(p.batchLoop); i < len(names); i++ {
+		p.batchLoop = append(p.batchLoop, p.in.idx(names[i]))
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case interp.EvLoad:
+			p.load(interp.Addr(e.A))
+		case interp.EvStore:
+			p.store(interp.Addr(e.A))
+		case interp.EvLoopEnter:
+			p.loopEnter(p.batchLoop[e.Name])
+		case interp.EvLoopIter:
+			p.loopIter(p.batchLoop[e.Name], int64(e.A))
+		case interp.EvLoopExit:
+			p.loopExit(p.batchLoop[e.Name])
 		}
 	}
 }
@@ -211,6 +341,7 @@ func liveAct(v stackVec, id uint32, act uint32) bool {
 
 // Finish returns the recorded samples. The profiler must not be reused.
 func (p *PairProfiler) Finish() *PairPoints {
+	p.lastWrite.reset()
 	out := &PairPoints{
 		Points:            make(map[PairKey][]IterPair, len(p.aggs)),
 		Truncated:         make(map[PairKey]bool),

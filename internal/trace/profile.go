@@ -339,4 +339,7 @@ type PairPoints struct {
 	SnapshotTruncated int64
 }
 
-var _ interp.Tracer = (*Collector)(nil)
+var (
+	_ interp.BatchTracer = (*Collector)(nil)
+	_ interp.BatchTracer = (*PairProfiler)(nil)
+)

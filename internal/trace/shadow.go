@@ -1,0 +1,105 @@
+package trace
+
+import "pardetect/internal/interp"
+
+// Paged shadow memory. The interpreter lays its address space out densely —
+// array elements in [1, interp.ScalarBase), scalar slots from
+// interp.ScalarBase up, both allocated contiguously from the bottom of their
+// region — so shadow state can be direct-indexed instead of hashed: an
+// address splits into a page number and an offset, pages are allocated
+// lazily on first write, and a per-entry epoch stamp distinguishes live
+// entries from never-written (or invalidated) ones without ever zeroing a
+// page. This replaces the profiler's former map[interp.Addr] shadow tables,
+// whose hashing and bucket chasing dominated the phase-1 hot path.
+
+const (
+	// shadowPageShift sizes a page at 256 entries. Pages are allocated
+	// (and zeroed) per profiler instance, and one analysis builds several
+	// profilers, so page size is a direct per-analysis cost: with the
+	// heavyweight entry types (writeInfo, pairWrite — ~128 bytes each) a
+	// 1024-entry page was ~139 KiB zeroed to hold a few dozen live scalar
+	// slots. 256 entries keeps the dense array regions to a handful of
+	// pages while cutting the sparse-region waste 4x.
+	shadowPageShift = 8
+	shadowPageSize  = 1 << shadowPageShift
+	shadowPageMask  = shadowPageSize - 1
+)
+
+// shadowPage holds one page of entries plus their epoch stamps. An entry is
+// live only when its stamp equals the owning table's current epoch, so a
+// freshly allocated (zeroed) page is all-empty and bumping the epoch
+// invalidates every page in O(1).
+type shadowPage[T any] struct {
+	ver [shadowPageSize]uint32
+	val [shadowPageSize]T
+}
+
+// pagedShadow is a two-region paged shadow table over the interpreter's
+// address space.
+type pagedShadow[T any] struct {
+	arrays  []*shadowPage[T] // region [1, ScalarBase), indexed by addr
+	scalars []*shadowPage[T] // region [ScalarBase, ∞), indexed by addr-ScalarBase
+	epoch   uint32
+	pages   int64
+}
+
+func newPagedShadow[T any]() pagedShadow[T] {
+	// Epoch starts at 1 so the zero stamps of fresh pages read as empty.
+	return pagedShadow[T]{epoch: 1}
+}
+
+// reset invalidates every entry in O(1) by bumping the epoch; the pages (and
+// their allocations) are kept for reuse.
+func (s *pagedShadow[T]) reset() { s.epoch++ }
+
+// get returns the live entry for addr, or nil when none has been recorded
+// since the last reset. The pointer stays valid until the next reset.
+func (s *pagedShadow[T]) get(addr interp.Addr) *T {
+	pages, i := s.arrays, uint64(addr)
+	if addr >= interp.ScalarBase {
+		pages, i = s.scalars, uint64(addr-interp.ScalarBase)
+	}
+	pi := i >> shadowPageShift
+	if pi >= uint64(len(pages)) {
+		return nil
+	}
+	pg := pages[pi]
+	if pg == nil || pg.ver[i&shadowPageMask] != s.epoch {
+		return nil
+	}
+	return &pg.val[i&shadowPageMask]
+}
+
+// put stamps addr live and returns its entry for the caller to fill. The
+// entry holds whatever a previous epoch left there, so callers must assign
+// the full value.
+func (s *pagedShadow[T]) put(addr interp.Addr) *T {
+	pagesp, i := &s.arrays, uint64(addr)
+	if addr >= interp.ScalarBase {
+		pagesp, i = &s.scalars, uint64(addr-interp.ScalarBase)
+	}
+	pi := i >> shadowPageShift
+	if pi >= uint64(len(*pagesp)) {
+		need := int(pi) + 1
+		if cap(*pagesp) >= need {
+			*pagesp = (*pagesp)[:need]
+		} else {
+			c := 2 * cap(*pagesp)
+			if c < need {
+				c = need
+			}
+			np := make([]*shadowPage[T], need, c)
+			copy(np, *pagesp)
+			*pagesp = np
+		}
+	}
+	pg := (*pagesp)[pi]
+	if pg == nil {
+		pg = &shadowPage[T]{}
+		(*pagesp)[pi] = pg
+		s.pages++
+	}
+	off := i & shadowPageMask
+	pg.ver[off] = s.epoch
+	return &pg.val[off]
+}

@@ -10,9 +10,13 @@
 #
 # On top of that: a shuffled test pass (-shuffle=on) to catch test-order
 # dependencies, the golden-table gate (scripts/goldens.sh, byte-diffs the
-# rendered Tables III-V against testdata/goldens/), and a bounded fuzzer
-# campaign (internal/fuzzer, CAMPAIGN_N programs, default 500) whose
-# differential and metamorphic oracles must all agree.
+# rendered Tables III-V against testdata/goldens/ under BOTH interpreter
+# engines), a bounded fuzzer campaign (internal/fuzzer, CAMPAIGN_N
+# programs, default 500) whose differential — including the bytecode
+# engine-parity oracle — and metamorphic oracles must all agree, and an
+# execution-engine benchmark smoke (BenchmarkExec into BENCH_exec.fresh.json,
+# gated by scripts/benchgate.go against the committed BENCH_exec.json:
+# a >20% geomean regression of the bytecode engine fails the build).
 #
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
@@ -42,7 +46,7 @@ go test -shuffle=on -count=1 ./...
 echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/..."
 go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/...
 
-echo "==> golden tables III-V (scripts/goldens.sh)"
+echo "==> golden tables III-V under both engines (scripts/goldens.sh)"
 sh scripts/goldens.sh check
 
 echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
@@ -50,5 +54,9 @@ CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./inte
 
 echo "==> BenchmarkFarm smoke (1 iteration per pool size)"
 go test -run '^$' -bench '^BenchmarkFarm$' -benchtime 1x .
+
+echo "==> execution-engine benchmark gate (BenchmarkExec vs committed BENCH_exec.json)"
+EXEC_OUT=BENCH_exec.fresh.json go test -run '^$' -bench '^BenchmarkExec$' -benchtime "${EXECBENCH_TIME:-20x}" .
+go run scripts/benchgate.go -baseline BENCH_exec.json -fresh BENCH_exec.fresh.json
 
 echo "ci: all checks passed"
