@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci stats execbench fuzz fuzz-smoke goldens goldens-update
+.PHONY: build test bench ci serve servesmoke stats execbench fuzz fuzz-smoke goldens goldens-update
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,15 @@ bench:
 # over the scheduler and telemetry packages.
 ci:
 	sh scripts/ci.sh
+
+# serve runs the pardetectd analysis service on its default address
+# (localhost:7070); see README "The analysis service". servesmoke runs the
+# end-to-end service smoke that CI runs.
+serve:
+	$(GO) run ./cmd/pardetectd
+
+servesmoke:
+	$(GO) run scripts/servesmoke.go
 
 # stats regenerates BENCH_obs.json, the committed per-phase telemetry
 # baseline for the Table III benchmark apps.

@@ -47,6 +47,14 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address while running")
 	flag.Parse()
 
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	*engine = eng
+
 	if *debugAddr != "" {
 		addr, stop, err := obs.ServeDebug(*debugAddr, nil)
 		if err != nil {

@@ -72,6 +72,14 @@ func main() {
 		}
 	})
 
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pardetect: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	*engine = eng
+
 	if fuzzSeedSet {
 		os.Exit(replaySeed(*fuzzSeed))
 	}

@@ -1,0 +1,100 @@
+// Command pardetectd serves the pattern-detection pipeline as a long-running
+// HTTP service (internal/server): the same core.Analyze → report pipeline
+// the pardetect CLI runs, behind a content-addressed result cache,
+// singleflight deduplication, bounded admission with backpressure and
+// graceful shutdown.
+//
+// Usage:
+//
+//	pardetectd [-addr localhost:7070] [-workers 8] [-queue 64] [-cache 512]
+//	           [-timeout 2m] [-engine bytecode]
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness + pool/cache gauges
+//	GET  /apps                         registered benchmarks (JSON)
+//	GET  /ir?app=NAME                  a benchmark's program as wire IR
+//	GET  /analyze?app=NAME             analyse a registered benchmark
+//	POST /analyze                      analyse a POSTed wire-IR program
+//	GET  /debug/{obs,vars,pprof/...}   telemetry surface
+//
+// /analyze accepts engine=tree|bytecode, timeout=DURATION, format=text|json
+// and cache=use|skip. The text body is byte-identical to the pardetect CLI
+// output for the same program. The bound address is printed to stderr
+// (useful with ":0"); SIGINT/SIGTERM drain in-flight analyses before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pardetect/internal/interp"
+	"pardetect/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "listen address (\":0\" picks a free port; the bound address is printed to stderr)")
+	workers := flag.Int("workers", 0, "concurrent analyses (default GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the workers; a full queue answers 429")
+	cacheEntries := flag.Int("cache", 512, "content-addressed result cache entries (LRU)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request analysis deadline (0 = none; requests may lower it)")
+	engine := flag.String("engine", interp.EngineTree, "default interpreter engine: tree or bytecode")
+	drain := flag.Duration("drain", time.Minute, "shutdown grace period for in-flight analyses")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pardetectd [flags]   (pardetectd takes no arguments)")
+		os.Exit(2)
+	}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Options{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		DefaultEngine:  eng,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pardetectd: listening on http://%s/ (engine %s, %d workers, queue %d)\n",
+		ln.Addr(), eng, srv.Workers(), *queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "pardetectd: %v: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pardetectd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "pardetectd: drained, exiting")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pardetectd: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

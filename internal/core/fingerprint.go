@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+
+	"pardetect/internal/ir"
 )
 
 // Fingerprint returns a deterministic digest of the full analysis output:
@@ -20,5 +22,23 @@ func (r *Result) Fingerprint() string {
 	for _, hs := range r.Hotspots {
 		fmt.Fprintf(h, "hotspot %s %s share=%.6f\n", hs.Node.Kind, hs.Node.Name, hs.Share)
 	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ProgramFingerprint returns a deterministic digest of a program's content:
+// its canonical pretty-printed form, which covers every analysis-relevant
+// property (arrays and dimensions, functions, statements with line numbers
+// and loop IDs, the entry point). Two programs with equal fingerprints are
+// statically identical, and the analysis is a pure function of the program
+// and its options — so the fingerprint is the content address under which
+// pardetectd caches analysis results: a registered app requested by name and
+// the same program POSTed as IR hash to the same key and share one cache
+// entry.
+func ProgramFingerprint(p *ir.Program) string {
+	h := fnv.New64a()
+	// String() covers name, arrays and function bodies; the entry point is
+	// not part of the printed form, so hash it explicitly.
+	fmt.Fprintf(h, "entry:%s\n", p.Entry)
+	fmt.Fprintf(h, "%s", p.String())
 	return fmt.Sprintf("%016x", h.Sum64())
 }

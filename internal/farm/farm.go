@@ -19,7 +19,10 @@
 //   - per-run obs.Observer telemetry, merged into one batch report
 //     (an obs.RunSet headed by the farm's own counters).
 //
-// cmd/benchtab (-jobs) and cmd/pardetect (-all) are the front-ends.
+// cmd/benchtab (-jobs) and cmd/pardetect (-all) are the batch front-ends;
+// the pardetectd service (internal/server) reuses the same execution path —
+// panic recovery, deadline, telemetry — through the long-lived Pool, which
+// serves one-off jobs over time behind a bounded admission queue.
 package farm
 
 import (
@@ -28,6 +31,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pardetect/internal/interp"
@@ -51,6 +55,11 @@ type Options struct {
 	// analysis (see core.Options.Engine): "" or interp.EngineTree for the
 	// reference tree walker, interp.EngineBytecode for the compiled engine.
 	Engine string
+	// Queue bounds the number of admitted-but-not-yet-running jobs a Pool
+	// holds beyond the Jobs running ones (the admission queue of a serving
+	// workload; see Pool). 0 admits a job only when a worker is free to take
+	// it immediately. Batch Run ignores it.
+	Queue int
 }
 
 func (o *Options) fill() {
@@ -59,6 +68,9 @@ func (o *Options) fill() {
 	}
 	if o.Timeout < 0 {
 		o.Timeout = 0
+	}
+	if o.Queue < 0 {
+		o.Queue = 0
 	}
 }
 
@@ -170,6 +182,97 @@ func runOne(job Job, opts Options) (res Result) {
 	}
 	return res
 }
+
+// Pool is the long-lived form of Run: a fixed worker pool serving one-off
+// jobs submitted over time, built for serving workloads (pardetectd). Each
+// job runs through the same runOne path as a batch job — panic recovery into
+// *PanicError, optional per-run telemetry, the Options.Timeout wall-clock
+// deadline — but results are delivered per job instead of per batch.
+//
+// Admission is bounded: the pool holds at most Options.Queue jobs waiting
+// beyond the Options.Jobs running ones. TrySubmit never blocks; when every
+// worker is busy and the queue is full it reports false and the caller
+// applies backpressure (the server answers 429 with Retry-After).
+type Pool struct {
+	opts  Options
+	tasks chan poolTask
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	running atomic.Int64
+	done    atomic.Int64
+}
+
+type poolTask struct {
+	job   Job
+	reply chan Result
+}
+
+// NewPool starts Options.Jobs workers and returns the pool.
+func NewPool(opts Options) *Pool {
+	opts.fill()
+	p := &Pool{opts: opts, tasks: make(chan poolTask, opts.Queue)}
+	for w := 0; w < opts.Jobs; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				p.running.Add(1)
+				res := runOne(t.job, p.opts)
+				p.running.Add(-1)
+				p.done.Add(1)
+				t.reply <- res
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers a job to the pool without blocking. On admission it
+// returns a channel that will receive exactly one Result (buffered, so an
+// abandoned caller never blocks a worker); when every worker is busy and the
+// queue is full, or the pool is closed, it reports false.
+func (p *Pool) TrySubmit(job Job) (<-chan Result, bool) {
+	reply := make(chan Result, 1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	select {
+	case p.tasks <- poolTask{job: job, reply: reply}:
+		return reply, true
+	default:
+		return nil, false
+	}
+}
+
+// Close stops admission and drains the pool: every admitted job — queued or
+// running — completes and delivers its result before Close returns. Close is
+// idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Queued returns the number of admitted jobs not yet picked up by a worker.
+func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Running returns the number of jobs currently executing on workers.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Completed returns the number of jobs finished since the pool started.
+func (p *Pool) Completed() int64 { return p.done.Load() }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.opts.Jobs }
 
 // RunApps farms the named registered benchmark apps (the report.RunApp
 // pipeline: full analysis plus speedup simulation) and returns their results

@@ -209,3 +209,120 @@ func TestFarmSummariesMatchSequential(t *testing.T) {
 		}
 	}
 }
+
+// blockingJob returns a Job that signals started and then blocks until
+// release is closed, for exercising pool admission deterministically.
+func blockingJob(name string, started chan<- string, release <-chan struct{}) Job {
+	return Job{Name: name, Run: func(o *obs.Observer) (*report.AppRun, error) {
+		if started != nil {
+			started <- name
+		}
+		<-release
+		return &report.AppRun{}, nil
+	}}
+}
+
+func TestPoolServesAndDrains(t *testing.T) {
+	p := NewPool(Options{Jobs: 2, Queue: 6})
+	var replies []<-chan Result
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("job-%d", i)
+		ch, ok := p.TrySubmit(Job{Name: name, Run: func(o *obs.Observer) (*report.AppRun, error) {
+			return &report.AppRun{}, nil
+		}})
+		if !ok {
+			t.Fatalf("submit %d rejected (queue 6 must admit 6)", i)
+		}
+		replies = append(replies, ch)
+	}
+	for i, ch := range replies {
+		r := <-ch
+		if r.Err != nil || r.Run == nil {
+			t.Fatalf("job %d: err=%v run=%v", i, r.Err, r.Run)
+		}
+		if want := fmt.Sprintf("job-%d", i); r.Name != want {
+			t.Fatalf("job %d: name %q, want %q", i, r.Name, want)
+		}
+	}
+	p.Close()
+	if p.Completed() != 6 {
+		t.Fatalf("completed = %d, want 6", p.Completed())
+	}
+	if _, ok := p.TrySubmit(Job{Name: "late"}); ok {
+		t.Fatal("closed pool admitted a job")
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolBackpressure pins the admission bound: with every worker busy and
+// the queue full, TrySubmit reports false instead of blocking; freeing a
+// worker re-opens admission.
+func TestPoolBackpressure(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	released := false
+	releaseAll := func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	}
+	p := NewPool(Options{Jobs: 1, Queue: 1})
+	defer p.Close()
+	defer releaseAll() // unblock workers before the deferred Close drains
+
+	occupy, ok := p.TrySubmit(blockingJob("occupy", started, release))
+	if !ok {
+		t.Fatal("first job rejected by idle pool")
+	}
+	<-started // the worker is now provably busy
+	queued, ok := p.TrySubmit(blockingJob("queued", nil, release))
+	if !ok {
+		t.Fatal("queue slot rejected")
+	}
+	if _, ok := p.TrySubmit(blockingJob("overflow", nil, release)); ok {
+		t.Fatal("full pool admitted a third job")
+	}
+	if p.Queued() != 1 || p.Running() != 1 {
+		t.Fatalf("queued=%d running=%d, want 1/1", p.Queued(), p.Running())
+	}
+	releaseAll()
+	if r := <-occupy; r.Err != nil {
+		t.Fatalf("occupy: %v", r.Err)
+	}
+	if r := <-queued; r.Err != nil {
+		t.Fatalf("queued: %v", r.Err)
+	}
+	if _, ok := p.TrySubmit(Job{Name: "after", Run: func(o *obs.Observer) (*report.AppRun, error) {
+		return &report.AppRun{}, nil
+	}}); !ok {
+		t.Fatal("drained pool rejected a new job")
+	}
+}
+
+// Pool jobs keep Run's guarantees: panics become *PanicError results and the
+// wall-clock deadline surfaces as interp.ErrDeadline.
+func TestPoolPanicAndDeadline(t *testing.T) {
+	p := NewPool(Options{Jobs: 1, Queue: 2, Timeout: time.Nanosecond})
+	defer p.Close()
+	ch, ok := p.TrySubmit(Job{Name: "panicky", Run: func(o *obs.Observer) (*report.AppRun, error) {
+		panic("pool-panic")
+	}})
+	if !ok {
+		t.Fatal("panicky rejected")
+	}
+	r := <-ch
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) || pe.Value != "pool-panic" {
+		t.Fatalf("err = %v, want PanicError(pool-panic)", r.Err)
+	}
+	ch, ok = p.TrySubmit(Job{Name: "slow", Run: func(o *obs.Observer) (*report.AppRun, error) {
+		return report.RunAppTimeout("correlation", o, p.opts.Timeout)
+	}})
+	if !ok {
+		t.Fatal("slow rejected")
+	}
+	if r := <-ch; r.Err == nil || !errors.Is(r.Err, interp.ErrDeadline) {
+		t.Fatalf("err = %v, want interp.ErrDeadline", r.Err)
+	}
+}

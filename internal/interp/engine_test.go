@@ -259,3 +259,24 @@ func TestEngineUnknown(t *testing.T) {
 		t.Fatalf("want unknown-engine error, got %v", err)
 	}
 }
+
+func TestParseEngine(t *testing.T) {
+	for _, c := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", interp.EngineTree, true},
+		{"tree", interp.EngineTree, true},
+		{"bytecode", interp.EngineBytecode, true},
+		{"Tree", "", false},
+		{"jit", "", false},
+	} {
+		got, err := interp.ParseEngine(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseEngine(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseEngine(%q) accepted, want error", c.in)
+		}
+	}
+}

@@ -44,6 +44,21 @@ const (
 	EngineBytecode = "bytecode"
 )
 
+// ParseEngine validates an engine name arriving from the outside — a command
+// line flag or a service request parameter — and returns its canonical form
+// ("" selects the default tree engine). Front-ends share it so an unknown
+// engine is rejected at the edge, as a usage error or a 400 response, instead
+// of surfacing from deep inside the first profiled run.
+func ParseEngine(name string) (string, error) {
+	switch name {
+	case "", EngineTree:
+		return EngineTree, nil
+	case EngineBytecode:
+		return EngineBytecode, nil
+	}
+	return "", fmt.Errorf("interp: unknown engine %q (valid: %s, %s)", name, EngineTree, EngineBytecode)
+}
+
 // ScalarBase is the lowest scalar-slot address. Array elements live in
 // [1, ScalarBase); scalar variable slots are allocated densely from
 // ScalarBase up. The split lets consumers (trace's paged shadow memory)

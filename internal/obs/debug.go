@@ -7,20 +7,13 @@ import (
 	"net/http/pprof"
 )
 
-// ServeDebug starts an HTTP server on addr exposing the Go debug surface —
-// /debug/pprof/* (net/http/pprof) and /debug/vars (expvar) — plus
-// /debug/obs, which returns the observer's current Snapshot as JSON. The
-// handlers are registered on a private mux, not http.DefaultServeMux, so
-// repeated servers (tests, multiple runs) do not collide.
-//
-// It returns the bound address (useful with a ":0" addr) and a shutdown
-// function. The observer may be nil; /debug/obs then serves an empty report.
-func ServeDebug(addr string, o *Observer) (net.Addr, func() error, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	mux := http.NewServeMux()
+// RegisterDebug mounts the Go debug surface on a mux — /debug/pprof/*
+// (net/http/pprof) and /debug/vars (expvar) — plus /debug/obs, which returns
+// the observer's current Snapshot as JSON. The observer may be nil; then
+// /debug/obs serves an empty report. Callers pass a private mux, not
+// http.DefaultServeMux, so repeated servers (tests, multiple runs) do not
+// collide; pardetectd mounts the same surface next to its service endpoints.
+func RegisterDebug(mux *http.ServeMux, o *Observer) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -36,6 +29,20 @@ func ServeDebug(addr string, o *Observer) (net.Addr, func() error, error) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(data)
 	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the RegisterDebug
+// surface on a private mux.
+//
+// It returns the bound address (useful with a ":0" addr) and a shutdown
+// function. The observer may be nil; /debug/obs then serves an empty report.
+func ServeDebug(addr string, o *Observer) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, o)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return ln.Addr(), srv.Close, nil

@@ -18,6 +18,11 @@ import (
 // DoAll runs fn(i) for i in [0, n) on the given number of goroutines using
 // contiguous chunks (the SPMD structure for a do-all loop). threads < 1 is
 // treated as 1. It blocks until all iterations complete.
+//
+// A panic in fn does not kill the process from a worker goroutine: the first
+// panic value is captured, the remaining workers finish their chunks, and the
+// panic is re-raised on the caller's goroutine (the recovery stack trace then
+// points at DoAll's caller, not the dead worker).
 func DoAll(n, threads int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -35,6 +40,8 @@ func DoAll(n, threads int, fn func(i int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	chunk := (n + threads - 1) / threads
 	for t := 0; t < threads; t++ {
 		lo := t * chunk
@@ -48,12 +55,20 @@ func DoAll(n, threads int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Reduce computes identity ⊕ fn(0) ⊕ … ⊕ fn(n-1) with per-thread partial
@@ -203,13 +218,31 @@ func RunTasks(threads int, tasks []Task) {
 // x = (y - b) / a). Stage X iterations run in order on one goroutine (or in
 // parallel with xThreads when the writer loop is do-all); Y iterations run
 // on yThreads goroutines, each blocking on the X watermark.
+// A panic in stageX must not strand stageY waiters in cond.Wait forever (the
+// dead writer would never advance the watermark): the writer goroutine
+// recovers the panic, poisons the watermark so every waiter is released, and
+// Pipeline re-raises the panic on the caller's goroutine after the stage-Y
+// loop unwinds. Reader iterations released by the poisoning skip their stageY
+// call — their input was never produced. Pipeline always joins the writer
+// before returning, so stageX cannot outlive the call. A panic in stageY
+// propagates to the caller through DoAll's own recovery and wins over a
+// concurrent stageX panic.
 func Pipeline(nx, ny int, need func(j int) int, xThreads, yThreads int, stageX func(i int), stageY func(j int)) {
 	if nx <= 0 {
 		DoAll(ny, yThreads, stageY)
 		return
 	}
 	w := newWatermark()
+	var xPanic any
+	xDone := make(chan struct{})
 	go func() {
+		defer close(xDone)
+		defer func() {
+			if r := recover(); r != nil {
+				xPanic = r
+				w.poison()
+			}
+		}()
 		if xThreads > 1 {
 			// Do-all writer: process in chunks, advancing the watermark
 			// in order after each chunk completes.
@@ -234,11 +267,15 @@ func Pipeline(nx, ny int, need func(j int) int, xThreads, yThreads int, stageX f
 		if n >= nx {
 			n = nx - 1
 		}
-		if n >= 0 {
-			w.wait(int64(n))
+		if n >= 0 && !w.wait(int64(n)) {
+			return // stage X died before producing iteration n
 		}
 		stageY(j)
 	})
+	<-xDone
+	if xPanic != nil {
+		panic(xPanic)
+	}
 }
 
 // NeedFromCoefficients converts the fitted regression coefficients of
@@ -264,10 +301,13 @@ func NeedFromCoefficients(a, b float64) func(j int) int {
 }
 
 // watermark is a monotonically increasing iteration counter with waiters.
+// Poisoning it releases every waiter, present and future, without advancing
+// the counter — the writer died and the missing iterations will never come.
 type watermark struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	val  int64
+	dead bool
 }
 
 func newWatermark() *watermark {
@@ -285,10 +325,20 @@ func (w *watermark) advance(v int64) {
 	w.mu.Unlock()
 }
 
-func (w *watermark) wait(v int64) {
+func (w *watermark) poison() {
 	w.mu.Lock()
-	for w.val < v {
+	w.dead = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// wait blocks until the watermark reaches v and reports whether it did;
+// false means the watermark was poisoned before iteration v was produced.
+func (w *watermark) wait(v int64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.val < v && !w.dead {
 		w.cond.Wait()
 	}
-	w.mu.Unlock()
+	return w.val >= v
 }

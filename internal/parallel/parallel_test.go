@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestDoAllCoversAllIterations(t *testing.T) {
@@ -260,5 +261,101 @@ func TestQuickReduceSum(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// mustPanic runs fn with a bounded watchdog and returns the recovered panic
+// value; it fails the test if fn returns without panicking. The watchdog turns
+// the pre-fix behaviour of the panicking-stage bug — stage-Y waiters blocked
+// in cond.Wait forever — into a test failure instead of a suite timeout.
+func mustPanic(t *testing.T, name string, fn func()) (val any) {
+	t.Helper()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		fn()
+	}()
+	select {
+	case val = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: hung instead of panicking", name)
+	}
+	if val == nil {
+		t.Fatalf("%s: returned without panicking", name)
+	}
+	return val
+}
+
+func TestDoAllPanicPropagatesToCaller(t *testing.T) {
+	var ran atomic.Int32
+	v := mustPanic(t, "DoAll", func() {
+		DoAll(100, 4, func(i int) {
+			ran.Add(1)
+			if i == 17 {
+				panic("boom-17")
+			}
+		})
+	})
+	if v != "boom-17" {
+		t.Fatalf("panic value = %v, want boom-17", v)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+// Regression test for the stage-panic hang: a panicking stageX worker used to
+// leave the watermark frozen, so every stageY waiter blocked in cond.Wait
+// forever. Now the panic poisons the watermark (waiters are released, the
+// unproduced iterations are skipped) and re-surfaces on the Pipeline caller.
+func TestPipelineStageXPanicReleasesWaiters(t *testing.T) {
+	for _, xThreads := range []int{1, 4} {
+		const n = 200
+		var yRan atomic.Int32
+		v := mustPanic(t, "Pipeline", func() {
+			Pipeline(n, n, func(j int) int { return j }, xThreads, 4,
+				func(i int) {
+					if i == 100 {
+						panic("stage-x-died")
+					}
+				},
+				func(j int) { yRan.Add(1) })
+		})
+		if v != "stage-x-died" {
+			t.Fatalf("xThreads=%d: panic value = %v, want stage-x-died", xThreads, v)
+		}
+		if got := yRan.Load(); got >= n {
+			t.Fatalf("xThreads=%d: all %d reader iterations ran despite the dead writer", xThreads, got)
+		}
+	}
+}
+
+func TestPipelineStageYPanicPropagates(t *testing.T) {
+	v := mustPanic(t, "Pipeline", func() {
+		Pipeline(50, 50, func(j int) int { return j }, 1, 4,
+			func(i int) {},
+			func(j int) {
+				if j == 25 {
+					panic("stage-y-died")
+				}
+			})
+	})
+	if v != "stage-y-died" {
+		t.Fatalf("panic value = %v, want stage-y-died", v)
+	}
+}
+
+// After a poisoned pipeline, a fresh Pipeline over the same shapes must work
+// normally (no shared state between calls).
+func TestPipelineUsableAfterPanic(t *testing.T) {
+	mustPanic(t, "Pipeline", func() {
+		Pipeline(10, 10, func(j int) int { return j }, 1, 2,
+			func(i int) { panic("once") }, func(j int) {})
+	})
+	var sum atomic.Int64
+	Pipeline(100, 100, func(j int) int { return j }, 1, 4,
+		func(i int) {}, func(j int) { sum.Add(int64(j)) })
+	if sum.Load() != 4950 {
+		t.Fatalf("post-panic pipeline sum = %d, want 4950", sum.Load())
 	}
 }

@@ -148,11 +148,17 @@ func Sweep(build func(threads int) []Node, counts []int, spawn float64) []Point 
 }
 
 // Best returns the sweep point with the highest speedup; among equal
-// speedups the smallest thread count wins (the number the paper reports).
+// speedups (within a 1e-9 tolerance) the smallest thread count wins (the
+// number the paper reports). The tie-break holds for any input order, so a
+// shuffled or descending sweep picks the same point as an ascending one.
 func Best(points []Point) Point {
 	best := Point{Threads: 1, Speedup: 0}
 	for _, p := range points {
-		if p.Speedup > best.Speedup+1e-9 {
+		switch {
+		case p.Speedup > best.Speedup+1e-9:
+			best = p
+		case p.Speedup > best.Speedup-1e-9 && p.Threads < best.Threads:
+			// Equal speedup, fewer threads.
 			best = p
 		}
 	}

@@ -196,6 +196,31 @@ func TestBestPicksSmallestThreadsOnTies(t *testing.T) {
 	}
 }
 
+// The documented tie-break — among equal speedups the smallest thread count
+// wins — must hold for any input order, not just ascending sweeps: the
+// winning point may appear after a larger-thread point with the same speedup.
+func TestBestTieBreakOrderIndependent(t *testing.T) {
+	cases := []struct {
+		name        string
+		pts         []Point
+		wantThreads int
+	}{
+		{"ascending", []Point{{2, 3}, {4, 3}, {8, 3}}, 2},
+		{"descending", []Point{{8, 3}, {4, 3}, {2, 3}}, 2},
+		{"shuffled", []Point{{16, 3}, {2, 3}, {8, 3}, {4, 3}}, 2},
+		{"tie within epsilon", []Point{{8, 3.0000000000004}, {4, 3}}, 4},
+		{"higher beats fewer threads", []Point{{32, 5}, {2, 3}}, 32},
+		{"late strict winner", []Point{{2, 3}, {16, 4}}, 16},
+		{"single", []Point{{4, 2}}, 4},
+		{"empty", nil, 1},
+	}
+	for _, c := range cases {
+		if best := Best(c.pts); best.Threads != c.wantThreads {
+			t.Errorf("%s: best = %+v, want %d threads", c.name, best, c.wantThreads)
+		}
+	}
+}
+
 func TestSortedCopy(t *testing.T) {
 	pts := []Point{{Threads: 8}, {Threads: 1}, {Threads: 4}}
 	sorted := SortedCopy(pts)

@@ -1,0 +1,49 @@
+package server
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent calls with the same key
+// collapse onto one execution of fn; the joiners block until the leader
+// finishes and share its return values. The standard library has no
+// singleflight and this repository takes no external dependencies, so the
+// ~40 lines live here.
+//
+// Unlike a cache, a flight entry exists only while the leader runs: results
+// are not retained, so errors are never sticky — the next request after a
+// failed flight starts a fresh one.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *cacheEntry
+	err  error
+}
+
+// do executes fn under key, collapsing concurrent duplicates. joined reports
+// whether this call rode along on another caller's execution instead of
+// running fn itself (the server counts those as dedup joins).
+func (g *flightGroup) do(key string, fn func() (*cacheEntry, error)) (val *cacheEntry, err error, joined bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,536 @@
+// Package server implements pardetectd, the long-running analysis service:
+// the same core.Analyze → report pipeline the pardetect CLI runs, served
+// over HTTP for registered benchmark apps and for mini-IR programs POSTed
+// as JSON, with the production behaviors a serving workload needs layered
+// on top of the analysis farm:
+//
+//   - a content-addressed result cache keyed by the program's content
+//     fingerprint (core.ProgramFingerprint): a repeated request re-analyses
+//     nothing and returns the byte-identical rendered report;
+//   - singleflight deduplication: identical requests arriving while the
+//     first is still being analysed join its flight instead of queueing a
+//     duplicate analysis;
+//   - bounded admission (farm.Pool): at most Workers analyses run and Queue
+//     wait; beyond that the server answers 429 with a Retry-After estimate
+//     instead of accepting unbounded work;
+//   - per-request wall-clock deadlines threaded into core.Options.Timeout;
+//     an exceeded deadline surfaces as interp.ErrDeadline and a 504;
+//   - per-request engine selection (tree or bytecode) with responses
+//     byte-identical across engines, like the CLI;
+//   - graceful shutdown that stops admission and drains in-flight analyses.
+//
+// Telemetry flows through internal/obs: every decision the admission path
+// takes — hit, miss, join, reject, timeout, panic — is a counter on the
+// service observer, exported on /debug/obs, /debug/vars (expvar) and the
+// /healthz body.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/core"
+	"pardetect/internal/farm"
+	"pardetect/internal/interp"
+	"pardetect/internal/ir"
+	"pardetect/internal/obs"
+	"pardetect/internal/report"
+)
+
+// Options configures the service.
+type Options struct {
+	// Workers is the number of concurrent analyses (farm.Pool workers);
+	// values < 1 select GOMAXPROCS.
+	Workers int
+	// Queue bounds the admitted-but-not-running analyses beyond Workers; a
+	// full queue answers 429. Zero admits work only onto an idle worker
+	// (pardetectd's flag default is 64; negative values are clamped to 0).
+	Queue int
+	// CacheEntries bounds the content-addressed result cache (LRU);
+	// values < 1 select the default of 512.
+	CacheEntries int
+	// DefaultTimeout is the per-request analysis deadline applied when the
+	// request carries no timeout parameter; 0 means no deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the timeout a request may ask for; values <= 0 select
+	// the default of 10 minutes.
+	MaxTimeout time.Duration
+	// DefaultEngine is the interpreter engine used when the request carries
+	// no engine parameter ("" selects the tree engine).
+	DefaultEngine string
+	// MaxBodyBytes bounds a POSTed IR program; values < 1 select 8 MiB.
+	MaxBodyBytes int64
+	// Observer receives the service counters; nil creates a fresh observer
+	// labelled "pardetectd" (exposed via Server.Observer).
+	Observer *obs.Observer
+}
+
+func (o *Options) fill() error {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue < 0 {
+		o.Queue = 0
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 512
+	}
+	if o.DefaultTimeout < 0 {
+		o.DefaultTimeout = 0
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.MaxBodyBytes < 1 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	eng, err := interp.ParseEngine(o.DefaultEngine)
+	if err != nil {
+		return err
+	}
+	o.DefaultEngine = eng
+	if o.Observer == nil {
+		o.Observer = obs.New("pardetectd")
+	}
+	return nil
+}
+
+// Server is the pardetectd HTTP service.
+type Server struct {
+	opts    Options
+	obs     *obs.Observer
+	pool    *farm.Pool
+	cache   *cache
+	flight  flightGroup
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	start   time.Time
+	closing atomic.Bool
+	// gate tracks analysis-bearing requests for the non-embedded drain path
+	// (tests mounting Handler on their own listener): handlers hold a read
+	// lock while working, Shutdown takes the write lock to wait them out.
+	gate sync.RWMutex
+}
+
+// New builds a server and starts its worker pool. The returned server is
+// ready to serve via Serve or Handler.
+func New(opts Options) (*Server, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		obs:   opts.Observer,
+		pool:  farm.NewPool(farm.Options{Jobs: opts.Workers, Queue: opts.Queue}),
+		cache: newCache(opts.CacheEntries),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/apps", s.handleApps)
+	s.mux.HandleFunc("/ir", s.handleIR)
+	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	obs.RegisterDebug(s.mux, s.obs)
+	s.httpSrv = &http.Server{Handler: s.mux}
+	publishExpvar(s)
+	return s, nil
+}
+
+// activeServer backs the process-wide "pardetectd" expvar: expvar.Publish
+// panics on re-registration, so the variable is registered once and reads
+// whichever server was created last (tests create many; the daemon one).
+var (
+	activeServer atomic.Pointer[Server]
+	expvarOnce   sync.Once
+)
+
+func publishExpvar(s *Server) {
+	activeServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("pardetectd", expvar.Func(func() any {
+			cur := activeServer.Load()
+			if cur == nil {
+				return nil
+			}
+			return cur.obs.Snapshot().Counters
+		}))
+	})
+}
+
+// Observer returns the service telemetry observer.
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Workers returns the size of the analysis worker pool.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Handler returns the service's HTTP handler (service endpoints plus the
+// /debug surface).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It blocks, returning
+// http.ErrServerClosed after a clean shutdown like net/http.Server.Serve.
+func (s *Server) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// Shutdown drains the service: new work is rejected with 503, in-flight
+// requests (including their queued analyses) run to completion, and the
+// worker pool is closed. It honors ctx the way net/http.Server.Shutdown
+// does. Safe to call whether or not Serve was used.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	// Wait out handlers running outside the embedded http.Server (tests
+	// mounting Handler on their own server), then drain the pool.
+	s.gate.Lock()
+	s.gate.Unlock() //nolint:staticcheck // empty critical section is the drain barrier
+	s.pool.Close()
+	return err
+}
+
+// --- request plumbing ------------------------------------------------------
+
+// analyzeParams are the validated per-request knobs.
+type analyzeParams struct {
+	engine  string
+	timeout time.Duration
+	format  string // "text" | "json"
+	skip    bool   // cache=skip: bypass cache and singleflight
+}
+
+func (s *Server) parseParams(r *http.Request) (analyzeParams, error) {
+	q := r.URL.Query()
+	p := analyzeParams{engine: s.opts.DefaultEngine, timeout: s.opts.DefaultTimeout, format: "text"}
+	if v := q.Get("engine"); v != "" {
+		eng, err := interp.ParseEngine(v)
+		if err != nil {
+			return p, err
+		}
+		p.engine = eng
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return p, fmt.Errorf("bad timeout %q: %v", v, err)
+		}
+		if d < 0 {
+			return p, fmt.Errorf("bad timeout %q: negative", v)
+		}
+		p.timeout = d
+	}
+	if p.timeout > s.opts.MaxTimeout {
+		p.timeout = s.opts.MaxTimeout
+	}
+	switch v := q.Get("format"); v {
+	case "", "text":
+	case "json":
+		p.format = "json"
+	default:
+		return p, fmt.Errorf("bad format %q (valid: text, json)", v)
+	}
+	switch v := q.Get("cache"); v {
+	case "", "use":
+	case "skip":
+		p.skip = true
+	default:
+		return p, fmt.Errorf("bad cache %q (valid: use, skip)", v)
+	}
+	return p, nil
+}
+
+// jsonError writes a JSON error body with the given status.
+func (s *Server) jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) clientError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.obs.Add("server.bad_requests", 1)
+	s.jsonError(w, status, format, args...)
+}
+
+// --- endpoints -------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.obs.Add("server.http.healthz.requests", 1)
+	status := "ok"
+	code := http.StatusOK
+	if s.closing.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        status,
+		"uptime_ns":     time.Since(s.start).Nanoseconds(),
+		"workers":       s.pool.Workers(),
+		"queued":        s.pool.Queued(),
+		"running":       s.pool.Running(),
+		"completed":     s.pool.Completed(),
+		"cache_entries": s.cache.len(),
+	})
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	s.obs.Add("server.http.apps.requests", 1)
+	type appInfo struct {
+		Name    string `json:"name"`
+		Suite   string `json:"suite"`
+		Pattern string `json:"pattern"`
+	}
+	var out []appInfo
+	for _, a := range apps.All() {
+		out = append(out, appInfo{Name: a.Name, Suite: a.Suite, Pattern: a.Expect.Pattern})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleIR serves a registered app's program in the wire encoding, so a
+// client can fetch, modify and POST it back to /analyze.
+func (s *Server) handleIR(w http.ResponseWriter, r *http.Request) {
+	s.obs.Add("server.http.ir.requests", 1)
+	name := r.URL.Query().Get("app")
+	app := apps.Get(name)
+	if app == nil {
+		s.clientError(w, http.StatusNotFound, "unknown app %q (see /apps)", name)
+		return
+	}
+	data, err := EncodeProgram(app.Build())
+	if err != nil {
+		s.obs.Add("server.errors", 1)
+		s.jsonError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// errBusy marks an admission rejection (full queue) inside the flight.
+var errBusy = errors.New("server: admission queue full")
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.obs.Add("server.http.analyze.requests", 1)
+	defer func() { s.obs.Add("server.http.analyze.ns", time.Since(t0).Nanoseconds()) }()
+
+	if s.closing.Load() {
+		s.obs.Add("server.rejects", 1)
+		s.jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+
+	params, err := s.parseParams(r)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var prog *ir.Program
+	var appName string // non-empty when analysing a registered app
+	switch r.Method {
+	case http.MethodGet:
+		name := r.URL.Query().Get("app")
+		app := apps.Get(name)
+		if app == nil {
+			s.clientError(w, http.StatusNotFound, "unknown app %q (see /apps)", name)
+			return
+		}
+		appName = name
+		prog = app.Build()
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+		if err != nil {
+			s.clientError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		prog, err = DecodeProgram(body)
+		if err != nil {
+			s.clientError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		s.clientError(w, http.StatusMethodNotAllowed, "use GET ?app=... or POST an IR program")
+		return
+	}
+
+	// The content address: requests for the same program — by name or by
+	// POSTed IR — share one cache entry and one flight, across engines
+	// (the engines are observationally identical).
+	key := core.ProgramFingerprint(prog)
+
+	if !params.skip {
+		if e, ok := s.cache.get(key); ok {
+			s.obs.Add("server.cache.hits", 1)
+			s.respond(w, params, e, "hit")
+			return
+		}
+	}
+
+	run := func() (*cacheEntry, error) {
+		return s.analyze(prog, appName, params, key)
+	}
+	var entry *cacheEntry
+	var joined bool
+	var verdict string
+	if params.skip {
+		s.obs.Add("server.cache.bypass", 1)
+		entry, err = run()
+		verdict = "bypass"
+	} else {
+		entry, err, joined = s.flight.do(key, func() (*cacheEntry, error) {
+			s.obs.Add("server.cache.misses", 1)
+			e, err := run()
+			if err == nil {
+				s.cache.put(e)
+			}
+			return e, err
+		})
+		verdict = "miss"
+		if joined {
+			s.obs.Add("server.dedup.joins", 1)
+			verdict = "join"
+		}
+	}
+	if err != nil {
+		s.analysisError(w, err)
+		return
+	}
+	s.respond(w, params, entry, verdict)
+}
+
+// analyze runs one analysis on the worker pool and renders the cache entry.
+// It blocks until a worker delivers the result; admission overflow surfaces
+// as errBusy.
+func (s *Server) analyze(prog *ir.Program, appName string, params analyzeParams, key string) (*cacheEntry, error) {
+	job := farm.Job{Name: prog.Name, Run: func(o *obs.Observer) (*report.AppRun, error) {
+		if appName != "" {
+			// The full CLI pipeline for registered apps: analysis plus the
+			// schedule sweep behind Table III's speedup column.
+			return report.RunAppEngine(appName, o, params.timeout, params.engine)
+		}
+		res, err := core.Analyze(prog, core.Options{
+			InferReductionOperator: true,
+			Timeout:                params.timeout,
+			Engine:                 params.engine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &report.AppRun{Result: res}, nil
+	}}
+	reply, ok := s.pool.TrySubmit(job)
+	if !ok {
+		return nil, errBusy
+	}
+	t0 := time.Now()
+	r := <-reply
+	s.obs.Add("server.analyses", 1)
+	s.obs.Add("server.analysis_ns", time.Since(t0).Nanoseconds())
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	res := r.Run.Result
+	e := &cacheEntry{
+		key:         key,
+		Text:        []byte(res.Summary()),
+		Fingerprint: res.Fingerprint(),
+		Program:     prog.Name,
+		Headline:    res.Headline,
+	}
+	if r.Run.Sweep != nil {
+		e.BestThreads = r.Run.Best.Threads
+		e.BestSpeedup = r.Run.Best.Speedup
+	}
+	return e, nil
+}
+
+// analysisError maps an analysis failure onto the HTTP surface: a full
+// queue is 429 with a Retry-After estimate, an exceeded deadline is 504, a
+// recovered panic is 500, and a runtime failure of a valid program (step
+// limit, out-of-bounds access) is 422.
+func (s *Server) analysisError(w http.ResponseWriter, err error) {
+	var pe *farm.PanicError
+	switch {
+	case errors.Is(err, errBusy):
+		s.obs.Add("server.rejects", 1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		s.jsonError(w, http.StatusTooManyRequests, "analysis queue full (%d running, %d queued)",
+			s.pool.Running(), s.pool.Queued())
+	case errors.Is(err, interp.ErrDeadline):
+		s.obs.Add("server.timeouts", 1)
+		s.jsonError(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.As(err, &pe):
+		s.obs.Add("server.panics", 1)
+		s.jsonError(w, http.StatusInternalServerError, "analysis panicked: %v", pe.Value)
+	default:
+		s.obs.Add("server.errors", 1)
+		s.jsonError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+// retryAfterSeconds estimates when a queue slot will free up: the mean
+// analysis time so far, scaled by queue depth over workers, clamped to
+// [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int64 {
+	n := s.obs.Counter("server.analyses")
+	if n == 0 {
+		return 1
+	}
+	avg := s.obs.Counter("server.analysis_ns") / n
+	est := avg * int64(s.pool.Queued()+1) / int64(s.pool.Workers()) / int64(time.Second)
+	if est < 1 {
+		return 1
+	}
+	if est > 60 {
+		return 60
+	}
+	return est
+}
+
+// analyzeResponse is the format=json envelope.
+type analyzeResponse struct {
+	Program     string  `json:"program"`
+	Headline    string  `json:"headline"`
+	Fingerprint string  `json:"fingerprint"`
+	Cache       string  `json:"cache"`
+	BestThreads int     `json:"best_threads,omitempty"`
+	BestSpeedup float64 `json:"best_speedup,omitempty"`
+	Summary     string  `json:"summary"`
+}
+
+// respond renders a completed analysis. The text body is the rendered
+// Summary — byte-identical to the pardetect CLI output for the same program,
+// whether the entry was computed by this request or served from cache.
+func (s *Server) respond(w http.ResponseWriter, params analyzeParams, e *cacheEntry, verdict string) {
+	w.Header().Set("X-Pardetect-Cache", verdict)
+	w.Header().Set("X-Pardetect-Fingerprint", e.Fingerprint)
+	if params.format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(analyzeResponse{
+			Program:     e.Program,
+			Headline:    e.Headline,
+			Fingerprint: e.Fingerprint,
+			Cache:       verdict,
+			BestThreads: e.BestThreads,
+			BestSpeedup: e.BestSpeedup,
+			Summary:     string(e.Text),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(e.Text)
+}

@@ -4,9 +4,12 @@
 # Runs the same checks the tier-1 acceptance uses, plus formatting, vet and
 # a race-detector pass over the concurrency-sensitive packages (the parallel
 # schedulers, the telemetry observer — which takes events from tracer
-# callbacks while debug endpoints snapshot it — and the analysis farm, whose
-# tests run all 19 app analyses concurrently), plus a one-shot BenchmarkFarm
-# smoke run so the batch driver keeps working as a benchmark harness.
+# callbacks while debug endpoints snapshot it — the analysis farm, whose
+# tests run all 19 app analyses concurrently, and the pardetectd service),
+# plus a one-shot BenchmarkFarm smoke run so the batch driver keeps working
+# as a benchmark harness, and a pardetectd end-to-end smoke
+# (scripts/servesmoke.go: cached + uncached request, backpressure probe,
+# /healthz, clean SIGTERM drain against the real binary).
 #
 # On top of that: a shuffled test pass (-shuffle=on) to catch test-order
 # dependencies, the golden-table gate (scripts/goldens.sh, byte-diffs the
@@ -43,11 +46,14 @@ go test ./...
 echo "==> go test -shuffle=on -count=1 ./...  (order-independence)"
 go test -shuffle=on -count=1 ./...
 
-echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/..."
-go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/...
+echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/..."
+go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/...
 
 echo "==> golden tables III-V under both engines (scripts/goldens.sh)"
 sh scripts/goldens.sh check
+
+echo "==> pardetectd service smoke (scripts/servesmoke.go)"
+go run scripts/servesmoke.go
 
 echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
 CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./internal/fuzzer/

@@ -1,0 +1,235 @@
+//go:build ignore
+
+// servesmoke is the CI smoke test for the pardetectd analysis service
+// (cmd/pardetectd): it builds the real binary, starts it on an ephemeral
+// port, and exercises the service behaviors end to end over HTTP —
+// liveness, an uncached and a cached analysis (counter-verified via the
+// X-Pardetect-Cache header and byte-compared bodies), admission
+// backpressure (429 + Retry-After while the single worker is occupied),
+// and a clean SIGTERM drain. The in-process test suite covers the same
+// behaviors white-box; this script proves the shipped binary wires them
+// together.
+//
+// Usage: go run scripts/servesmoke.go   (from the repository root; ci.sh
+// runs it after the golden gate)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// slowWire is a valid wire-IR program (see internal/server's codec) whose
+// analysis interprets ~1.6M loop iterations: long enough for the smoke to
+// observe it occupying the worker. Kept as a literal so the smoke exercises
+// the POST surface exactly as an external client would.
+const slowWire = `{"name":"smoke-slow","entry":"main","arrays":[{"name":"a","dims":[64]}],"funcs":[{"name":"main","line":1,"body":[{"kind":"for","line":2,"loop_id":"main.L1","var":"i","start":{"kind":"const"},"end":{"kind":"const","v":1300},"step":{"kind":"const","v":1},"body":[{"kind":"for","line":3,"loop_id":"main.L2","var":"j","start":{"kind":"const"},"end":{"kind":"const","v":1300},"step":{"kind":"const","v":1},"body":[{"kind":"assign","line":4,"dst":{"kind":"elem","arr":"a","idx":[{"kind":"bin","op":"%","l":{"kind":"var","name":"j"},"r":{"kind":"const","v":64}}]},"src":{"kind":"bin","op":"+","l":{"kind":"elem","arr":"a","idx":[{"kind":"bin","op":"%","l":{"kind":"var","name":"j"},"r":{"kind":"const","v":64}}]},"r":{"kind":"const","v":1}}}]}]},{"kind":"return","line":5,"val":{"kind":"elem","arr":"a","idx":[{"kind":"const"}]}}]}]}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "pardetectd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pardetectd")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build pardetectd: %v", err)
+	}
+
+	// One worker, zero queue: the backpressure probe below is deterministic.
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "0")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start pardetectd: %v", err)
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon prints its bound address to stderr; keep draining the pipe
+	// afterwards so the process never blocks on it, and keep the full log
+	// for the final drain check.
+	log := &logBuf{}
+	lines := bufio.NewScanner(stderr)
+	addrRe := regexp.MustCompile(`listening on http://([^/]+)/`)
+	base := ""
+	for lines.Scan() {
+		log.add(lines.Text())
+		if m := addrRe.FindStringSubmatch(lines.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		return fmt.Errorf("no listening address on stderr:\n%s", log.String())
+	}
+	logDone := make(chan struct{})
+	go func() {
+		defer close(logDone)
+		for lines.Scan() {
+			log.add(lines.Text())
+		}
+	}()
+	fmt.Printf("servesmoke: daemon at %s\n", base)
+
+	if err := probe(base); err != nil {
+		return err
+	}
+
+	// Clean shutdown: SIGTERM must drain and exit 0. Drain stderr to EOF
+	// before Wait — Wait closes the pipe and would race the log reader.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-logDone:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := daemon.Wait(); err != nil {
+		return fmt.Errorf("daemon exit after SIGTERM: %v\nlog:\n%s", err, log.String())
+	}
+	if !strings.Contains(log.String(), "drained") {
+		return fmt.Errorf("daemon log missing drain message:\n%s", log.String())
+	}
+	fmt.Println("servesmoke: drained cleanly on SIGTERM")
+	return nil
+}
+
+// logBuf accumulates daemon stderr lines; the drain goroutine writes while
+// error paths read, so access is locked.
+type logBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *logBuf) add(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.b.WriteString(line)
+	l.b.WriteByte('\n')
+}
+
+func (l *logBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func probe(base string) error {
+	// Liveness.
+	status, _, body, err := get(base + "/healthz")
+	if err != nil || status != 200 || !strings.Contains(string(body), `"status":"ok"`) {
+		return fmt.Errorf("healthz: status %d err %v body %s", status, err, body)
+	}
+	fmt.Println("servesmoke: healthz ok")
+
+	// Uncached then cached analysis of a registered app.
+	status, h1, b1, err := get(base + "/analyze?app=bicg")
+	if err != nil || status != 200 {
+		return fmt.Errorf("analyze bicg: status %d err %v body %s", status, err, b1)
+	}
+	if v := h1.Get("X-Pardetect-Cache"); v != "miss" {
+		return fmt.Errorf("first analyze: X-Pardetect-Cache %q, want miss", v)
+	}
+	status, h2, b2, err := get(base + "/analyze?app=bicg")
+	if err != nil || status != 200 {
+		return fmt.Errorf("analyze bicg again: status %d err %v", status, err)
+	}
+	if v := h2.Get("X-Pardetect-Cache"); v != "hit" {
+		return fmt.Errorf("second analyze: X-Pardetect-Cache %q, want hit", v)
+	}
+	if !bytes.Equal(b1, b2) {
+		return fmt.Errorf("cache hit body differs from the miss body")
+	}
+	fmt.Println("servesmoke: cache miss then counter-verified hit, identical bodies")
+
+	// Backpressure: occupy the single worker with a slow POSTed program,
+	// then a request that needs a worker must bounce with 429.
+	occupied := make(chan error, 1)
+	go func() {
+		status, _, body, err := post(base+"/analyze?cache=skip", []byte(slowWire))
+		if err == nil && status != 200 {
+			err = fmt.Errorf("status %d: %s", status, body)
+		}
+		occupied <- err
+	}()
+	if err := waitRunning(base, 1); err != nil {
+		return err
+	}
+	status, h3, body, err := get(base + "/analyze?app=2mm&cache=skip")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusTooManyRequests {
+		return fmt.Errorf("backpressure probe: status %d, want 429 (body %s)", status, body)
+	}
+	if h3.Get("Retry-After") == "" {
+		return fmt.Errorf("429 without Retry-After")
+	}
+	if err := <-occupied; err != nil {
+		return fmt.Errorf("occupying analysis: %v", err)
+	}
+	fmt.Println("servesmoke: full queue answered 429 with Retry-After")
+	return nil
+}
+
+// waitRunning polls /healthz until the running gauge reaches n.
+func waitRunning(base string, n int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	want := fmt.Sprintf(`"running":%d`, n)
+	for time.Now().Before(deadline) {
+		_, _, body, err := get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		if strings.Contains(string(body), want) {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("worker never reached running=%d", n)
+}
+
+func get(url string) (int, http.Header, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, body, err
+}
+
+func post(url string, data []byte) (int, http.Header, []byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, body, err
+}
