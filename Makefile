@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci serve servesmoke stats execbench fuzz fuzz-smoke goldens goldens-update
+.PHONY: build test bench ci serve servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,12 @@ serve:
 
 servesmoke:
 	$(GO) run scripts/servesmoke.go
+
+# servebench regenerates BENCH_serve.json, the committed serving baseline
+# (fuzzer-driven load against an in-process pardetectd; throughput, latency
+# quantiles, hit/reject rates) that scripts/servegate.go gates CI against.
+servebench:
+	$(GO) run ./cmd/servebench -dur 3s -c 4 -out BENCH_serve.json
 
 # stats regenerates BENCH_obs.json, the committed per-phase telemetry
 # baseline for the Table III benchmark apps.

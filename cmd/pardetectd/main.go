@@ -7,7 +7,7 @@
 // Usage:
 //
 //	pardetectd [-addr localhost:7070] [-workers 8] [-queue 64] [-cache 512]
-//	           [-timeout 2m] [-engine bytecode]
+//	           [-timeout 2m] [-engine bytecode] [-access-log PATH] [-slow 8]
 //
 // Endpoints:
 //
@@ -16,6 +16,11 @@
 //	GET  /ir?app=NAME                  a benchmark's program as wire IR
 //	GET  /analyze?app=NAME             analyse a registered benchmark
 //	POST /analyze                      analyse a POSTed wire-IR program
+//	GET  /metrics                      Prometheus text exposition (latency
+//	                                   histograms by endpoint × outcome)
+//	GET  /debug/metrics                the same registry as JSON with p50/p99
+//	GET  /debug/slow                   the K slowest requests with their full
+//	                                   span tree and decision log
 //	GET  /debug/{obs,vars,pprof/...}   telemetry surface
 //
 // /analyze accepts engine=tree|bytecode, timeout=DURATION, format=text|json
@@ -28,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -46,6 +52,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request analysis deadline (0 = none; requests may lower it)")
 	engine := flag.String("engine", interp.EngineTree, "default interpreter engine: tree or bytecode")
 	drain := flag.Duration("drain", time.Minute, "shutdown grace period for in-flight analyses")
+	accessLog := flag.String("access-log", "", "write one JSON access-log line per request to this file (\"-\" = stderr)")
+	slow := flag.Int("slow", 8, "slow-request samples kept for /debug/slow (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pardetectd [flags]   (pardetectd takes no arguments)")
@@ -58,12 +66,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	var logw io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logw = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		logw = f
+	}
+	slowK := *slow
+	if slowK <= 0 {
+		slowK = -1 // Options.SlowSamples: negative disables, zero means default
+	}
+
 	srv, err := server.New(server.Options{
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
 		DefaultEngine:  eng,
+		AccessLog:      logw,
+		SlowSamples:    slowK,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)

@@ -1,0 +1,314 @@
+// Command servebench load-tests pardetectd (internal/server) with the
+// fuzzer's seeded program generator and publishes a BENCH_serve.json
+// (schema pardetect.serve/v1) summarising serving behavior: throughput,
+// client-observed latency quantiles, hit/reject rates and an outcome
+// breakdown, plus a /metrics scrape of the server under test.
+//
+// Usage:
+//
+//	servebench [-addr http://host:port] [-c 4] [-dur 3s] [-programs 16]
+//	           [-hitpct 50] [-seed 1] [-engine tree] [-workers 0]
+//	           [-queue 64] [-out BENCH_serve.json]
+//
+// With no -addr (the default) an in-process server is started on a loopback
+// port and drained afterwards, so the benchmark is self-contained; -addr
+// points it at an already-running pardetectd instead (-engine/-workers/
+// -queue then only shape the in-process default and are ignored).
+//
+// Traffic model: -programs seeds are generated up front and replayed so the
+// content-addressed cache can serve them (after each program's first visit,
+// a hit or a singleflight join); with probability 1-hitpct/100 a request
+// instead POSTs a never-repeated fresh seed, forcing a miss. Outcomes are
+// read back from the response (X-Pardetect-Outcome, X-Pardetect-Cache,
+// status), the same classification the server's own /metrics uses.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pardetect/internal/fuzzer"
+	"pardetect/internal/interp"
+	"pardetect/internal/obs/metrics"
+	"pardetect/internal/server"
+)
+
+// Schema identifies the BENCH_serve.json layout.
+const Schema = "pardetect.serve/v1"
+
+type config struct {
+	Addr        string `json:"addr,omitempty"`
+	Concurrency int    `json:"concurrency"`
+	DurationNS  int64  `json:"duration_ns"`
+	Programs    int    `json:"programs"`
+	HitPct      int    `json:"hit_pct"`
+	Seed        uint64 `json:"seed"`
+	Engine      string `json:"engine,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	Queue       int    `json:"queue"`
+}
+
+type latency struct {
+	P50    int64 `json:"p50"`
+	P90    int64 `json:"p90"`
+	P99    int64 `json:"p99"`
+	MeanNS int64 `json:"mean_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+type serverSide struct {
+	// HistogramBucketLines counts populated _bucket lines in the /metrics
+	// scrape — the gate's "histograms actually recorded something" check.
+	HistogramBucketLines int   `json:"histogram_bucket_lines"`
+	ScrapeBytes          int   `json:"scrape_bytes"`
+	CacheHits            int64 `json:"cache_hits"`
+	CacheMisses          int64 `json:"cache_misses"`
+	CacheJoins           int64 `json:"cache_joins"`
+}
+
+type result struct {
+	Schema        string           `json:"schema"`
+	Config        config           `json:"config"`
+	Requests      int64            `json:"requests"`
+	Errors        int64            `json:"errors"`
+	ElapsedNS     int64            `json:"elapsed_ns"`
+	ThroughputRPS float64          `json:"throughput_rps"`
+	LatencyNS     latency          `json:"latency_ns"`
+	HitRate       float64          `json:"hit_rate"`
+	RejectRate    float64          `json:"reject_rate"`
+	Outcomes      map[string]int64 `json:"outcomes"`
+	Server        serverSide       `json:"server"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running pardetectd (empty: start one in-process)")
+	c := flag.Int("c", 4, "concurrent client connections")
+	dur := flag.Duration("dur", 3*time.Second, "load duration")
+	programs := flag.Int("programs", 16, "replayed program pool size (cacheable traffic)")
+	hitpct := flag.Int("hitpct", 50, "percent of requests drawn from the replayed pool (0-100)")
+	seed := flag.Uint64("seed", 1, "base seed for the fuzzer program generator")
+	engine := flag.String("engine", interp.EngineTree, "in-process server engine: tree or bytecode")
+	workers := flag.Int("workers", 0, "in-process server workers (default GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "in-process server admission queue")
+	out := flag.String("out", "-", "output path for the JSON result (\"-\" = stdout)")
+	flag.Parse()
+	if *c < 1 || *programs < 1 || *hitpct < 0 || *hitpct > 100 || *dur <= 0 {
+		fmt.Fprintln(os.Stderr, "servebench: -c and -programs must be >= 1, -hitpct in [0,100], -dur > 0")
+		os.Exit(2)
+	}
+
+	base := *addr
+	var shutdown func()
+	if base == "" {
+		srv, err := server.New(server.Options{
+			Workers:       *workers,
+			Queue:         *queue,
+			DefaultEngine: *engine,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		shutdown = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}
+		fmt.Fprintf(os.Stderr, "servebench: in-process server on %s (engine %s, %d workers, queue %d)\n",
+			base, *engine, srv.Workers(), *queue)
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	// The replayed pool: encoded once, POSTed repeatedly.
+	pool := make([][]byte, *programs)
+	for i := range pool {
+		wire, err := server.EncodeProgram(fuzzer.Generate(*seed + uint64(i)))
+		if err != nil {
+			fatal(fmt.Errorf("encoding pool program %d: %w", i, err))
+		}
+		pool[i] = wire
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *c * 2,
+		MaxIdleConnsPerHost: *c * 2,
+	}}
+
+	var (
+		lat      = metrics.NewRegistry().Histogram("servebench_latency_ns", "client-observed /analyze latency")
+		maxNS    atomic.Int64
+		errs     atomic.Int64
+		fresh    atomic.Uint64
+		outcomes sync.Map // outcome string → *atomic.Int64
+	)
+	count := func(oc string) {
+		v, _ := outcomes.LoadOrStore(oc, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	freshBase := *seed + uint64(*programs) // never overlaps the pool seeds
+
+	start := time.Now()
+	deadline := start.Add(*dur)
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(*seed)*1315423911 + int64(w)))
+			for time.Now().Before(deadline) {
+				var body []byte
+				if rng.Intn(100) < *hitpct {
+					body = pool[rng.Intn(len(pool))]
+				} else {
+					wire, err := server.EncodeProgram(fuzzer.Generate(freshBase + fresh.Add(1)))
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					body = wire
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/analyze?format=json", "application/json", strings.NewReader(string(body)))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0).Nanoseconds()
+				lat.Observe(d)
+				for prev := maxNS.Load(); d > prev && !maxNS.CompareAndSwap(prev, d); prev = maxNS.Load() {
+				}
+				count(classify(resp))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	srvSide := scrape(client, base)
+	if shutdown != nil {
+		shutdown()
+	}
+
+	res := result{
+		Schema: Schema,
+		Config: config{
+			Addr: *addr, Concurrency: *c, DurationNS: dur.Nanoseconds(),
+			Programs: *programs, HitPct: *hitpct, Seed: *seed,
+			Engine: *engine, Workers: *workers, Queue: *queue,
+		},
+		Requests:  lat.Count(),
+		Errors:    errs.Load(),
+		ElapsedNS: elapsed.Nanoseconds(),
+		LatencyNS: latency{
+			P50: lat.Quantile(0.50), P90: lat.Quantile(0.90), P99: lat.Quantile(0.99),
+			MeanNS: lat.Mean(), MaxNS: maxNS.Load(),
+		},
+		Outcomes: map[string]int64{},
+		Server:   srvSide,
+	}
+	outcomes.Range(func(k, v any) bool {
+		res.Outcomes[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	if res.Requests > 0 {
+		res.ThroughputRPS = float64(res.Requests) / elapsed.Seconds()
+		res.HitRate = float64(res.Outcomes["hit"]+res.Outcomes["join"]) / float64(res.Requests)
+		res.RejectRate = float64(res.Outcomes["reject"]) / float64(res.Requests)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: %d requests in %v (%.1f rps, p50 %v, p99 %v, hit %.0f%%, reject %.0f%%)\n",
+		res.Requests, elapsed.Round(time.Millisecond), res.ThroughputRPS,
+		time.Duration(res.LatencyNS.P50), time.Duration(res.LatencyNS.P99),
+		res.HitRate*100, res.RejectRate*100)
+}
+
+// classify maps a response to its outcome the same way the server's own
+// middleware does: explicit outcome header, then cache verdict, then status.
+func classify(resp *http.Response) string {
+	if v := resp.Header.Get("X-Pardetect-Outcome"); v != "" {
+		return v
+	}
+	if v := resp.Header.Get("X-Pardetect-Cache"); v != "" {
+		return v
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return "reject"
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return "timeout"
+	case resp.StatusCode >= 400:
+		return "error"
+	}
+	return "ok"
+}
+
+// scrape pulls GET /metrics and summarises the server-side view: populated
+// histogram bucket lines plus the cache counters.
+func scrape(client *http.Client, base string) serverSide {
+	var s serverSide
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: /metrics scrape failed: %v\n", err)
+		return s
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		s.ScrapeBytes += len(line) + 1
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, "_bucket{") && !strings.Contains(line, `le="+Inf"`) {
+			s.HistogramBucketLines++
+		}
+		for _, c := range []struct {
+			name string
+			dst  *int64
+		}{
+			{"server.cache.hits", &s.CacheHits},
+			{"server.cache.misses", &s.CacheMisses},
+			{"server.dedup.joins", &s.CacheJoins},
+		} {
+			if strings.HasPrefix(line, `pardetect_obs_counter{name="`+c.name+`"}`) {
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", c.dst)
+			}
+		}
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+	os.Exit(1)
+}

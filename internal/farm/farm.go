@@ -105,6 +105,11 @@ type Result struct {
 	// upper bound. Recorded so batch telemetry can compare per-task cost
 	// across engines (see Batch.Report).
 	AllocBytes int64
+	// Wait is the time the job spent admitted but not yet running: from
+	// Pool.TrySubmit to worker pickup. Always zero for batch Run jobs, which
+	// are handed straight to workers. The serving layer feeds it into the
+	// queue-wait histogram behind pardetectd's /metrics.
+	Wait time.Duration
 }
 
 // PanicError wraps a panic recovered from a farmed analysis.
@@ -208,6 +213,7 @@ type Pool struct {
 type poolTask struct {
 	job   Job
 	reply chan Result
+	enq   time.Time // admission instant; worker pickup minus enq = queue wait
 }
 
 // NewPool starts Options.Jobs workers and returns the pool.
@@ -219,8 +225,10 @@ func NewPool(opts Options) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range p.tasks {
+				wait := time.Since(t.enq)
 				p.running.Add(1)
 				res := runOne(t.job, p.opts)
+				res.Wait = wait
 				p.running.Add(-1)
 				p.done.Add(1)
 				t.reply <- res
@@ -242,7 +250,7 @@ func (p *Pool) TrySubmit(job Job) (<-chan Result, bool) {
 		return nil, false
 	}
 	select {
-	case p.tasks <- poolTask{job: job, reply: reply}:
+	case p.tasks <- poolTask{job: job, reply: reply, enq: time.Now()}:
 		return reply, true
 	default:
 		return nil, false
@@ -323,6 +331,13 @@ func (b *Batch) Errs() []Result {
 // beyond the Jobs=1 total while batch wall time barely moves (see
 // EXPERIMENTS.md, BENCH_farm). The per-task numbers make that visible
 // per job instead of only in the aggregate.
+//
+// Two invariants hold at any pool size and are pinned by tests: farm.busy_ns
+// is exactly the sum of the per-task ns counters (sum-consistency), and —
+// because at most Jobs tasks run concurrently and every task's span lies
+// inside the batch's — farm.busy_ns ≤ farm.wall_ns × Jobs. A violation of
+// the second bound would mean a task's clock ran outside its worker slot,
+// i.e. a measurement bug, not scheduler time-slicing.
 func (b *Batch) Report() obs.Report {
 	var errs, panics, timeouts int64
 	var busy time.Duration

@@ -326,3 +326,80 @@ func TestPoolPanicAndDeadline(t *testing.T) {
 		t.Fatalf("err = %v, want interp.ErrDeadline", r.Err)
 	}
 }
+
+// TestBusyNsInvariants pins the BENCH_farm busy_ns accounting (the jobs=4
+// "anomaly" investigated in EXPERIMENTS.md): at any pool size the per-task
+// ns counters must be non-negative, sum exactly to farm.busy_ns, and the
+// busy sum must never exceed wall × jobs — at most Jobs tasks run at once
+// and every task's measured span lies inside the batch's wall span, so a
+// violation would be a measurement bug (a task clock running outside its
+// worker slot), not scheduler time-slicing.
+func TestBusyNsInvariants(t *testing.T) {
+	names := []string{"bicg", "fib", "gesummv", "mvt", "2mm"}
+	for _, jobs := range []int{1, 2, 4} {
+		batch := RunApps(names, Options{Jobs: jobs})
+		if errs := batch.Errs(); len(errs) != 0 {
+			t.Fatalf("jobs=%d: %s: %v", jobs, errs[0].Name, errs[0].Err)
+		}
+		rep := batch.Report()
+		busy := rep.Counters["farm.busy_ns"]
+		wall := rep.Counters["farm.wall_ns"]
+		var taskSum int64
+		for _, name := range names {
+			ns := rep.Counters["farm.task."+name+".ns"]
+			if ns < 0 {
+				t.Fatalf("jobs=%d: farm.task.%s.ns = %d, want >= 0", jobs, name, ns)
+			}
+			taskSum += ns
+		}
+		if taskSum != busy {
+			t.Fatalf("jobs=%d: per-task ns sum %d != farm.busy_ns %d (sum-consistency)", jobs, taskSum, busy)
+		}
+		if busy > wall*int64(jobs) {
+			t.Fatalf("jobs=%d: busy_ns %d > wall_ns %d × jobs (occupancy bound violated)", jobs, busy, wall)
+		}
+	}
+}
+
+// TestPoolRecordsQueueWait pins the queue-wait instrumentation behind the
+// serving layer's breakdown histograms: a job that sat in the admission
+// queue behind a busy worker reports a Wait covering that time; a job
+// admitted onto an idle worker reports (near-)zero.
+func TestPoolRecordsQueueWait(t *testing.T) {
+	p := NewPool(Options{Jobs: 1, Queue: 1})
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	ch1, ok := p.TrySubmit(Job{Name: "holder", Run: func(o *obs.Observer) (*report.AppRun, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}})
+	if !ok {
+		t.Fatal("holder rejected")
+	}
+	<-started
+	ch2, ok := p.TrySubmit(Job{Name: "waiter", Run: func(o *obs.Observer) (*report.AppRun, error) {
+		return nil, nil
+	}})
+	if !ok {
+		t.Fatal("waiter rejected")
+	}
+	const hold = 50 * time.Millisecond
+	time.Sleep(hold)
+	close(release)
+	if r := <-ch1; r.Err != nil {
+		t.Fatalf("holder: %v", r.Err)
+	}
+	r2 := <-ch2
+	if r2.Err != nil {
+		t.Fatalf("waiter: %v", r2.Err)
+	}
+	if r2.Wait < hold/2 {
+		t.Fatalf("waiter Wait = %v, want >= %v (sat behind the holder)", r2.Wait, hold/2)
+	}
+	if r2.Wait > 30*time.Second {
+		t.Fatalf("waiter Wait = %v, implausibly large", r2.Wait)
+	}
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pardetect/internal/obs/metrics"
+)
+
+// The serving-layer metric surface. Every HTTP request lands in exactly one
+// latency histogram series, split endpoint × outcome; the /analyze pipeline
+// additionally records its three-phase breakdown (queue wait on the
+// admission queue, analysis on the worker, serialization of the response).
+// All series are created up front at Server construction — the request path
+// does one map lookup on a read-only table and then lock-free atomic
+// recording (see internal/obs/metrics).
+
+// endpoints normalised from request paths; "other" catches the rest.
+var endpoints = []string{"analyze", "healthz", "apps", "ir", "metrics", "debug", "other"}
+
+// analyzeOutcomes are the /analyze verdicts: the cache verdicts respond()
+// reports, the error classes analysisError maps, client errors, the drain
+// rejection, plus a defensive catch-all.
+var analyzeOutcomes = []string{
+	"hit", "miss", "join", "bypass",
+	"reject", "timeout", "panic", "error", "bad_request", "drain", "other",
+}
+
+// simpleOutcomes classify every non-analyze endpoint by status class.
+var simpleOutcomes = []string{"ok", "error", "other"}
+
+// serverMetrics bundles the registry and the pre-resolved hot-path series.
+type serverMetrics struct {
+	reg *metrics.Registry
+	// req maps "endpoint\x00outcome" to the request-duration histogram.
+	req map[string]*metrics.Histogram
+	// The /analyze phase breakdown.
+	queueWait *metrics.Histogram
+	analysis  *metrics.Histogram
+	serialize *metrics.Histogram
+}
+
+const reqHistName = "pardetect_http_request_duration_ns"
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{reg: reg, req: make(map[string]*metrics.Histogram)}
+	const reqHelp = "HTTP request latency by endpoint and outcome (nanoseconds)."
+	for _, ep := range endpoints {
+		outcomes := simpleOutcomes
+		if ep == "analyze" {
+			outcomes = analyzeOutcomes
+		}
+		for _, oc := range outcomes {
+			m.req[ep+"\x00"+oc] = reg.Histogram(reqHistName, reqHelp,
+				metrics.Label{Name: "endpoint", Value: ep},
+				metrics.Label{Name: "outcome", Value: oc})
+		}
+	}
+	m.queueWait = reg.Histogram("pardetect_analyze_queue_wait_ns",
+		"Time an admitted analysis waited for a worker (nanoseconds).")
+	m.analysis = reg.Histogram("pardetect_analyze_analysis_ns",
+		"Time an analysis spent executing on its worker (nanoseconds).")
+	m.serialize = reg.Histogram("pardetect_analyze_serialize_ns",
+		"Time spent rendering and writing an /analyze response (nanoseconds).")
+
+	reg.GaugeFunc("pardetect_queue_depth", "Admitted analyses waiting for a worker.",
+		func() int64 { return int64(s.pool.Queued()) })
+	reg.GaugeFunc("pardetect_running", "Analyses currently executing.",
+		func() int64 { return s.pool.Running() })
+	reg.GaugeFunc("pardetect_workers", "Analysis worker pool size.",
+		func() int64 { return int64(s.pool.Workers()) })
+	reg.GaugeFunc("pardetect_cache_entries", "Entries in the content-addressed result cache.",
+		func() int64 { return int64(s.cache.len()) })
+	reg.GaugeFunc("pardetect_uptime_ns", "Nanoseconds since the server started.",
+		func() int64 { return time.Since(s.start).Nanoseconds() })
+	reg.GaugeFunc("pardetect_draining", "1 while the server is shutting down.",
+		func() int64 {
+			if s.closing.Load() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// requestHist resolves the histogram for one request; unknown combinations
+// fall back to the endpoint's "other" series so nothing is ever dropped.
+func (m *serverMetrics) requestHist(endpoint, outcome string) *metrics.Histogram {
+	if h, ok := m.req[endpoint+"\x00"+outcome]; ok {
+		return h
+	}
+	return m.req[endpoint+"\x00other"]
+}
+
+// endpointOf normalises a request path to its metrics endpoint label.
+func endpointOf(path string) string {
+	switch path {
+	case "/analyze":
+		return "analyze"
+	case "/healthz":
+		return "healthz"
+	case "/apps":
+		return "apps"
+	case "/ir":
+		return "ir"
+	case "/metrics":
+		return "metrics"
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return "debug"
+	}
+	return "other"
+}
+
+// outcomeHeader is set by the handlers on non-cache-verdict terminations
+// (rejects, timeouts, panics, client errors) so the middleware and the
+// slow-request sampler classify the request without re-deriving it from the
+// status code. It is also visible to clients, which is deliberate: it names
+// the server's verdict the way X-Pardetect-Cache names the cache's.
+const outcomeHeader = "X-Pardetect-Outcome"
+
+// outcomeOf classifies a finished request. The /analyze endpoint prefers
+// the explicit outcome header, then the cache verdict header, then the
+// status class; every other endpoint is ok/error by status.
+func outcomeOf(endpoint string, hdr http.Header, status int) string {
+	if endpoint == "analyze" {
+		if v := hdr.Get(outcomeHeader); v != "" {
+			return v
+		}
+		if v := hdr.Get("X-Pardetect-Cache"); v != "" {
+			return v
+		}
+		switch {
+		case status == http.StatusServiceUnavailable:
+			return "drain"
+		case status >= 400 && status < 500:
+			return "bad_request"
+		case status >= 500:
+			return "error"
+		default:
+			return "other"
+		}
+	}
+	if status < 400 {
+		return "ok"
+	}
+	return "error"
+}
+
+// obsWriter captures status and byte count for the middleware.
+type obsWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *obsWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *obsWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush lets streaming handlers (pprof) keep working through the wrapper.
+func (w *obsWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessRecord is one structured access-log line (JSON, one object per
+// line), written when Options.AccessLog is set.
+type accessRecord struct {
+	Time     string `json:"t"`
+	ID       string `json:"id"`
+	Remote   string `json:"remote,omitempty"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Query    string `json:"query,omitempty"`
+	Status   int    `json:"status"`
+	Endpoint string `json:"endpoint"`
+	Outcome  string `json:"outcome"`
+	DurNS    int64  `json:"dur_ns"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// instrument is the middleware in front of every endpoint: it assigns the
+// request ID, times the request, resolves endpoint × outcome, and feeds the
+// histogram, the obs counters (the same measured duration feeds both, so
+// /metrics count/sum and the server.http.* counters agree exactly) and the
+// access log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" || len(id) > 64 {
+			id = s.runID + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		}
+		ow := &obsWriter{ResponseWriter: w}
+		ow.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(ow, r)
+		if ow.status == 0 {
+			ow.status = http.StatusOK
+		}
+
+		d := time.Since(t0)
+		ep := endpointOf(r.URL.Path)
+		oc := outcomeOf(ep, ow.Header(), ow.status)
+		s.m.requestHist(ep, oc).Observe(d.Nanoseconds())
+		s.obs.Add("server.http."+ep+".requests", 1)
+		s.obs.Add("server.http."+ep+".ns", d.Nanoseconds())
+
+		if s.opts.AccessLog != nil {
+			line, err := json.Marshal(accessRecord{
+				Time:     t0.UTC().Format(time.RFC3339Nano),
+				ID:       id,
+				Remote:   r.RemoteAddr,
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Query:    r.URL.RawQuery,
+				Status:   ow.status,
+				Endpoint: ep,
+				Outcome:  oc,
+				DurNS:    d.Nanoseconds(),
+				Bytes:    ow.bytes,
+			})
+			if err == nil {
+				s.logMu.Lock()
+				s.opts.AccessLog.Write(append(line, '\n'))
+				s.logMu.Unlock()
+			}
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: every registry
+// family (request histograms, breakdown histograms, pool/cache gauges)
+// followed by the flat obs counters as one labeled family, so everything
+// /debug/obs counts is also scrapeable.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var sb strings.Builder
+	if err := s.m.reg.WriteProm(&sb); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	counters := s.obs.Snapshot().Counters
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sb.WriteString("# HELP pardetect_obs_counter Flat service counters (see /debug/obs).\n")
+	sb.WriteString("# TYPE pardetect_obs_counter untyped\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "pardetect_obs_counter{name=%q} %d\n", k, counters[k])
+	}
+	w.Write([]byte(sb.String()))
+}
+
+// handleDebugMetrics serves the registry as JSON (histograms with exact
+// count/sum, derived p50/p90/p99 and populated buckets) — the
+// machine-readable twin of /metrics, next to /debug/obs.
+func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.m.reg.Snapshot())
+}
+
+// buildVersion renders the binary's build identity once: module version
+// plus VCS revision when the build recorded them, the Go version always.
+var buildVersion = sync.OnceValue(func() string {
+	version := "(devel)"
+	var rev string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				rev = kv.Value[:12]
+			}
+		}
+	}
+	if rev != "" {
+		version += "+" + rev
+	}
+	return version + " " + runtime.Version()
+})

@@ -35,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"pardetect/internal/interp"
 	"pardetect/internal/ir"
 	"pardetect/internal/obs"
+	"pardetect/internal/obs/metrics"
 	"pardetect/internal/report"
 )
 
@@ -74,6 +76,14 @@ type Options struct {
 	// Observer receives the service counters; nil creates a fresh observer
 	// labelled "pardetectd" (exposed via Server.Observer).
 	Observer *obs.Observer
+	// AccessLog, when non-nil, receives one structured JSON line per request
+	// (request ID, endpoint, outcome, status, duration, bytes).
+	AccessLog io.Writer
+	// SlowSamples is the size K of the slow-request sample dumped on
+	// /debug/slow: the K slowest /analyze requests with their full span
+	// tree and decision log. Values < 1 select the default of 8; negative
+	// values disable the sampler.
+	SlowSamples int
 }
 
 func (o *Options) fill() error {
@@ -95,6 +105,12 @@ func (o *Options) fill() error {
 	if o.MaxBodyBytes < 1 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.SlowSamples == 0 {
+		o.SlowSamples = 8
+	}
+	if o.SlowSamples < 0 {
+		o.SlowSamples = 0
+	}
 	eng, err := interp.ParseEngine(o.DefaultEngine)
 	if err != nil {
 		return err
@@ -114,8 +130,14 @@ type Server struct {
 	cache   *cache
 	flight  flightGroup
 	mux     *http.ServeMux
+	h       http.Handler // mux wrapped in the instrument middleware
+	m       *serverMetrics
+	slow    *slowSampler
 	httpSrv *http.Server
 	start   time.Time
+	runID   string // base-36 start stamp prefixing generated request IDs
+	reqSeq  atomic.Int64
+	logMu   sync.Mutex // serialises AccessLog writes
 	closing atomic.Bool
 	// gate tracks analysis-bearing requests for the non-embedded drain path
 	// (tests mounting Handler on their own listener): handlers hold a read
@@ -137,12 +159,19 @@ func New(opts Options) (*Server, error) {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	s.runID = strconv.FormatInt(s.start.UnixNano(), 36)
+	s.m = newServerMetrics(s)
+	s.slow = newSlowSampler(opts.SlowSamples)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/apps", s.handleApps)
 	s.mux.HandleFunc("/ir", s.handleIR)
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/metrics", s.handleDebugMetrics)
+	s.mux.HandleFunc("/debug/slow", s.handleSlow)
 	obs.RegisterDebug(s.mux, s.obs)
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.h = s.instrument(s.mux)
+	s.httpSrv = &http.Server{Handler: s.h}
 	publishExpvar(s)
 	return s, nil
 }
@@ -175,8 +204,12 @@ func (s *Server) Observer() *obs.Observer { return s.obs }
 func (s *Server) Workers() int { return s.pool.Workers() }
 
 // Handler returns the service's HTTP handler (service endpoints plus the
-// /debug surface).
-func (s *Server) Handler() http.Handler { return s.mux }
+// /metrics and /debug surfaces), wrapped in the telemetry middleware.
+func (s *Server) Handler() http.Handler { return s.h }
+
+// Metrics returns the serving-layer metrics registry (the series behind
+// GET /metrics), for embedding callers that want direct reads.
+func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
 
 // Serve accepts connections on ln until Shutdown. It blocks, returning
 // http.ErrServerClosed after a clean shutdown like net/http.Server.Serve.
@@ -256,23 +289,34 @@ func (s *Server) jsonError(w http.ResponseWriter, status int, format string, arg
 
 func (s *Server) clientError(w http.ResponseWriter, status int, format string, args ...any) {
 	s.obs.Add("server.bad_requests", 1)
+	w.Header().Set(outcomeHeader, "bad_request")
 	s.jsonError(w, status, format, args...)
 }
 
 // --- endpoints -------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.obs.Add("server.http.healthz.requests", 1)
 	status := "ok"
 	code := http.StatusOK
-	if s.closing.Load() {
+	draining := s.closing.Load()
+	if draining {
 		status = "draining"
 		code = http.StatusServiceUnavailable
+	}
+	// format=text keeps the bare-probe contract: a plain "ok" body and the
+	// status code, nothing a shell health check has to parse.
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(code)
+		io.WriteString(w, status+"\n")
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":        status,
+		"draining":      draining,
+		"version":       buildVersion(),
 		"uptime_ns":     time.Since(s.start).Nanoseconds(),
 		"workers":       s.pool.Workers(),
 		"queued":        s.pool.Queued(),
@@ -283,7 +327,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
-	s.obs.Add("server.http.apps.requests", 1)
 	type appInfo struct {
 		Name    string `json:"name"`
 		Suite   string `json:"suite"`
@@ -300,7 +343,6 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 // handleIR serves a registered app's program in the wire encoding, so a
 // client can fetch, modify and POST it back to /analyze.
 func (s *Server) handleIR(w http.ResponseWriter, r *http.Request) {
-	s.obs.Add("server.http.ir.requests", 1)
 	name := r.URL.Query().Get("app")
 	app := apps.Get(name)
 	if app == nil {
@@ -322,11 +364,37 @@ var errBusy = errors.New("server: admission queue full")
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	s.obs.Add("server.http.analyze.requests", 1)
-	defer func() { s.obs.Add("server.http.analyze.ns", time.Since(t0).Nanoseconds()) }()
+
+	// The per-request observer: the handler opens a "request" root span, the
+	// worker pipeline hangs queue_wait / analysis (with core.Analyze's phase
+	// spans and decision log under it) off it, and respond adds serialize.
+	// The tree is captured by the slow-request sampler for the K slowest
+	// requests (GET /debug/slow).
+	ro := obs.New(w.Header().Get("X-Request-Id"))
+	reqSpan := ro.Start("request")
+	var prog *ir.Program
+	defer func() {
+		reqSpan.End()
+		d := time.Since(t0)
+		if s.slow.wouldAccept(d.Nanoseconds()) {
+			rec := slowRecord{
+				ID:          ro.Label(),
+				Endpoint:    "analyze",
+				Outcome:     outcomeOf("analyze", w.Header(), 0),
+				StartUnixNS: t0.UnixNano(),
+				DurNS:       d.Nanoseconds(),
+				Report:      ro.Snapshot(),
+			}
+			if prog != nil {
+				rec.Program = prog.Name
+			}
+			s.slow.offer(rec)
+		}
+	}()
 
 	if s.closing.Load() {
 		s.obs.Add("server.rejects", 1)
+		w.Header().Set(outcomeHeader, "drain")
 		s.jsonError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -339,7 +407,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var prog *ir.Program
 	var appName string // non-empty when analysing a registered app
 	switch r.Method {
 	case http.MethodGet:
@@ -350,14 +417,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		appName = name
+		sp := ro.Start("build_ir")
 		prog = app.Build()
+		sp.End()
 	case http.MethodPost:
+		sp := ro.Start("decode_ir")
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 		if err != nil {
+			sp.End()
 			s.clientError(w, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
 		prog, err = DecodeProgram(body)
+		sp.End()
 		if err != nil {
 			s.clientError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -375,13 +447,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !params.skip {
 		if e, ok := s.cache.get(key); ok {
 			s.obs.Add("server.cache.hits", 1)
-			s.respond(w, params, e, "hit")
+			s.respond(w, params, e, "hit", ro)
 			return
 		}
 	}
 
 	run := func() (*cacheEntry, error) {
-		return s.analyze(prog, appName, params, key)
+		return s.analyze(prog, appName, params, key, ro)
 	}
 	var entry *cacheEntry
 	var joined bool
@@ -409,23 +481,31 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.analysisError(w, err)
 		return
 	}
-	s.respond(w, params, entry, verdict)
+	s.respond(w, params, entry, verdict, ro)
 }
 
 // analyze runs one analysis on the worker pool and renders the cache entry.
 // It blocks until a worker delivers the result; admission overflow surfaces
-// as errBusy.
-func (s *Server) analyze(prog *ir.Program, appName string, params analyzeParams, key string) (*cacheEntry, error) {
+// as errBusy. The request observer ro receives the queue_wait span (handler
+// side) and the analysis span with the pipeline's own phase spans and
+// decision log under it (worker side); the handler goroutine blocks on the
+// reply channel while the worker runs, so the two sides never race on ro.
+func (s *Server) analyze(prog *ir.Program, appName string, params analyzeParams, key string, ro *obs.Observer) (*cacheEntry, error) {
+	qSpan := ro.Start("queue_wait")
 	job := farm.Job{Name: prog.Name, Run: func(o *obs.Observer) (*report.AppRun, error) {
+		qSpan.End()
+		aSpan := ro.Start("analysis")
+		defer aSpan.End()
 		if appName != "" {
 			// The full CLI pipeline for registered apps: analysis plus the
 			// schedule sweep behind Table III's speedup column.
-			return report.RunAppEngine(appName, o, params.timeout, params.engine)
+			return report.RunAppEngine(appName, ro, params.timeout, params.engine)
 		}
 		res, err := core.Analyze(prog, core.Options{
 			InferReductionOperator: true,
 			Timeout:                params.timeout,
 			Engine:                 params.engine,
+			Observer:               ro,
 		})
 		if err != nil {
 			return nil, err
@@ -434,12 +514,16 @@ func (s *Server) analyze(prog *ir.Program, appName string, params analyzeParams,
 	}}
 	reply, ok := s.pool.TrySubmit(job)
 	if !ok {
+		qSpan.End()
 		return nil, errBusy
 	}
 	t0 := time.Now()
 	r := <-reply
 	s.obs.Add("server.analyses", 1)
 	s.obs.Add("server.analysis_ns", time.Since(t0).Nanoseconds())
+	s.obs.Add("server.queue_wait_ns", r.Wait.Nanoseconds())
+	s.m.queueWait.Observe(r.Wait.Nanoseconds())
+	s.m.analysis.Observe(r.Elapsed.Nanoseconds())
 	if r.Err != nil {
 		return nil, r.Err
 	}
@@ -467,36 +551,62 @@ func (s *Server) analysisError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBusy):
 		s.obs.Add("server.rejects", 1)
+		w.Header().Set(outcomeHeader, "reject")
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		s.jsonError(w, http.StatusTooManyRequests, "analysis queue full (%d running, %d queued)",
 			s.pool.Running(), s.pool.Queued())
 	case errors.Is(err, interp.ErrDeadline):
 		s.obs.Add("server.timeouts", 1)
+		w.Header().Set(outcomeHeader, "timeout")
 		s.jsonError(w, http.StatusGatewayTimeout, "%v", err)
 	case errors.As(err, &pe):
 		s.obs.Add("server.panics", 1)
+		w.Header().Set(outcomeHeader, "panic")
 		s.jsonError(w, http.StatusInternalServerError, "analysis panicked: %v", pe.Value)
 	default:
 		s.obs.Add("server.errors", 1)
+		w.Header().Set(outcomeHeader, "error")
 		s.jsonError(w, http.StatusUnprocessableEntity, "%v", err)
 	}
 }
 
-// retryAfterSeconds estimates when a queue slot will free up: the mean
-// analysis time so far, scaled by queue depth over workers, clamped to
-// [1, 60] seconds.
+// retryAfterSeconds estimates when a queue slot will free up, from the mean
+// analysis execution time observed so far (the pure on-worker time, not the
+// submit-to-reply time, which double-counts queueing).
 func (s *Server) retryAfterSeconds() int64 {
-	n := s.obs.Counter("server.analyses")
-	if n == 0 {
-		return 1
+	return retryAfterSeconds(s.m.analysis.Mean(), s.pool.Queued(), s.pool.Workers())
+}
+
+// retryAfterSeconds scales the mean analysis time by the number of jobs in
+// front of a retrying client (queue depth + its own) over the worker count,
+// clamped to [1, 60] seconds. With no observed mean yet (a cold server, or
+// one that has only rejected so far) there is nothing to extrapolate from,
+// so the answer is the optimistic floor of 1 second rather than a garbage
+// division. A mean that alone exceeds the cap short-circuits before the
+// multiply, so a pathological mean×queue product cannot overflow int64.
+func retryAfterSeconds(meanNS int64, queued, workers int) int64 {
+	const lo, hi = 1, 60
+	if workers < 1 {
+		workers = 1
 	}
-	avg := s.obs.Counter("server.analysis_ns") / n
-	est := avg * int64(s.pool.Queued()+1) / int64(s.pool.Workers()) / int64(time.Second)
-	if est < 1 {
-		return 1
+	if queued < 0 {
+		queued = 0
 	}
-	if est > 60 {
-		return 60
+	if meanNS <= 0 {
+		return lo // no completed analysis observed yet
+	}
+	if meanNS >= hi*int64(time.Second) {
+		return hi
+	}
+	if int64(queued)+1 > (1<<62)/meanNS {
+		return hi // mean × queue would overflow; the clamp wins anyway
+	}
+	est := meanNS * int64(queued+1) / int64(workers) / int64(time.Second)
+	if est < lo {
+		return lo
+	}
+	if est > hi {
+		return hi
 	}
 	return est
 }
@@ -515,7 +625,15 @@ type analyzeResponse struct {
 // respond renders a completed analysis. The text body is the rendered
 // Summary — byte-identical to the pardetect CLI output for the same program,
 // whether the entry was computed by this request or served from cache.
-func (s *Server) respond(w http.ResponseWriter, params analyzeParams, e *cacheEntry, verdict string) {
+func (s *Server) respond(w http.ResponseWriter, params analyzeParams, e *cacheEntry, verdict string, ro *obs.Observer) {
+	sSpan := ro.Start("serialize")
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		sSpan.End()
+		s.m.serialize.Observe(d.Nanoseconds())
+		s.obs.Add("server.serialize_ns", d.Nanoseconds())
+	}()
 	w.Header().Set("X-Pardetect-Cache", verdict)
 	w.Header().Set("X-Pardetect-Fingerprint", e.Fingerprint)
 	if params.format == "json" {

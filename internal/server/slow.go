@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"pardetect/internal/obs"
+)
+
+// SlowSchema identifies the JSON layout of the /debug/slow dump.
+const SlowSchema = "pardetect.slow/v1"
+
+// slowRecord is one captured slow request: identity, classification, and
+// the request's full telemetry — the obs span tree (request → queue_wait /
+// analysis with the pipeline's phase spans under it / serialize), the
+// per-request counters and the detector's decision log.
+type slowRecord struct {
+	ID          string     `json:"id"`
+	Endpoint    string     `json:"endpoint"`
+	Outcome     string     `json:"outcome"`
+	Program     string     `json:"program,omitempty"`
+	StartUnixNS int64      `json:"start_unix_ns"`
+	DurNS       int64      `json:"dur_ns"`
+	Report      obs.Report `json:"report"`
+}
+
+// slowSampler keeps the K slowest requests seen so far. It is a bounded
+// min-slice (the cheapest record is at index 0), so admission is O(1) for
+// the common fast request — one lock, one compare — and O(K log K) only
+// when a new record actually displaces one. wouldAccept lets the handler
+// skip building the (allocating) obs snapshot for requests that cannot
+// qualify.
+type slowSampler struct {
+	mu   sync.Mutex
+	k    int
+	recs []slowRecord // sorted ascending by DurNS; recs[0] is the floor
+}
+
+func newSlowSampler(k int) *slowSampler {
+	if k < 1 {
+		return nil
+	}
+	return &slowSampler{k: k}
+}
+
+// wouldAccept reports whether a request of the given duration would enter
+// the sample right now. A nil sampler accepts nothing.
+func (s *slowSampler) wouldAccept(durNS int64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs) < s.k || durNS > s.recs[0].DurNS
+}
+
+// offer inserts the record if it still qualifies (the floor may have moved
+// since wouldAccept).
+func (s *slowSampler) offer(rec slowRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.recs) < s.k {
+		s.recs = append(s.recs, rec)
+	} else if rec.DurNS > s.recs[0].DurNS {
+		s.recs[0] = rec
+	} else {
+		return
+	}
+	sort.Slice(s.recs, func(i, j int) bool { return s.recs[i].DurNS < s.recs[j].DurNS })
+}
+
+// snapshot returns the sample slowest-first.
+func (s *slowSampler) snapshot() []slowRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]slowRecord, len(s.recs))
+	copy(out, s.recs)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurNS > out[j].DurNS })
+	return out
+}
+
+// handleSlow dumps the slow-request sample as JSON, slowest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	recs := s.slow.snapshot()
+	if recs == nil {
+		recs = []slowRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Schema  string       `json:"schema"`
+		K       int          `json:"k"`
+		Slowest []slowRecord `json:"slowest"`
+	}{SlowSchema, s.opts.SlowSamples, recs})
+}

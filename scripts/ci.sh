@@ -19,7 +19,11 @@
 # engine-parity oracle — and metamorphic oracles must all agree, and an
 # execution-engine benchmark smoke (BenchmarkExec into BENCH_exec.fresh.json,
 # gated by scripts/benchgate.go against the committed BENCH_exec.json:
-# a >20% geomean regression of the bytecode engine fails the build).
+# a >20% geomean regression of the bytecode engine fails the build), and a
+# serving-layer benchmark smoke (cmd/servebench into BENCH_serve.fresh.json,
+# gated by scripts/servegate.go: non-zero throughput, ordered latency
+# quantiles, populated /metrics histograms, no throughput collapse against
+# the committed BENCH_serve.json).
 #
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
@@ -54,6 +58,10 @@ sh scripts/goldens.sh check
 
 echo "==> pardetectd service smoke (scripts/servesmoke.go)"
 go run scripts/servesmoke.go
+
+echo "==> servebench smoke (cmd/servebench vs committed BENCH_serve.json)"
+go run ./cmd/servebench -dur "${SERVEBENCH_DUR:-2s}" -c 4 -out BENCH_serve.fresh.json
+go run scripts/servegate.go -baseline BENCH_serve.json -fresh BENCH_serve.fresh.json
 
 echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
 CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./internal/fuzzer/

@@ -1,0 +1,122 @@
+//go:build ignore
+
+// servegate validates a fresh BENCH_serve.json run (cmd/servebench) and
+// compares it against the committed baseline.
+//
+// Usage:
+//
+//	go run scripts/servegate.go -baseline BENCH_serve.json -fresh /tmp/serve.json
+//
+// Both files are pardetect.serve/v1 envelopes. The gate is structural
+// first — the serving path must actually have served: requests and
+// throughput positive, quantiles present and ordered (p50 ≤ p99), rates in
+// [0,1], the server's /metrics scrape carrying populated histogram
+// buckets. The baseline comparison is deliberately loose: CI boxes differ
+// wildly in speed, so only a collapse (fresh throughput below 1/20 of the
+// baseline) fails the gate; ordinary drift does not. Exit 1 on violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type serveResult struct {
+	Schema        string  `json:"schema"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyNS     struct {
+		P50 int64 `json:"p50"`
+		P90 int64 `json:"p90"`
+		P99 int64 `json:"p99"`
+	} `json:"latency_ns"`
+	HitRate    float64 `json:"hit_rate"`
+	RejectRate float64 `json:"reject_rate"`
+	Server     struct {
+		HistogramBucketLines int `json:"histogram_bucket_lines"`
+	} `json:"server"`
+}
+
+func load(path string) (serveResult, error) {
+	var r serveResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_serve.json", "committed baseline result")
+	fresh := flag.String("fresh", "", "fresh result to validate (required)")
+	collapse := flag.Float64("collapse", 20, "fail when fresh throughput is below baseline/collapse")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "servegate: -fresh is required")
+		os.Exit(2)
+	}
+
+	f, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servegate: %v\n", err)
+		os.Exit(1)
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "servegate: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if f.Schema != "pardetect.serve/v1" {
+		fail("schema = %q, want pardetect.serve/v1", f.Schema)
+	}
+	if f.Requests <= 0 {
+		fail("requests = %d, want > 0 (the load loop served nothing)", f.Requests)
+	}
+	if f.ThroughputRPS <= 0 {
+		fail("throughput_rps = %g, want > 0", f.ThroughputRPS)
+	}
+	if f.LatencyNS.P50 <= 0 {
+		fail("latency p50 = %d, want > 0", f.LatencyNS.P50)
+	}
+	if f.LatencyNS.P99 < f.LatencyNS.P50 || f.LatencyNS.P90 < f.LatencyNS.P50 {
+		fail("latency quantiles unordered: p50=%d p90=%d p99=%d",
+			f.LatencyNS.P50, f.LatencyNS.P90, f.LatencyNS.P99)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"hit_rate", f.HitRate}, {"reject_rate", f.RejectRate}} {
+		if r.v < 0 || r.v > 1 {
+			fail("%s = %g, want in [0,1]", r.name, r.v)
+		}
+	}
+	if f.Server.HistogramBucketLines <= 0 {
+		fail("server histogram_bucket_lines = %d, want > 0 (/metrics histograms empty)",
+			f.Server.HistogramBucketLines)
+	}
+	if f.Errors > f.Requests/10 {
+		fail("errors = %d of %d requests (>10%% transport failures)", f.Errors, f.Requests)
+	}
+
+	b, err := load(*baseline)
+	if err != nil {
+		// A missing baseline is fine on first introduction; structural checks
+		// above still gate the run.
+		fmt.Fprintf(os.Stderr, "servegate: no baseline (%v); structural checks only\n", err)
+		fmt.Printf("servegate: OK — %d requests, %.1f rps, p50 %dns, p99 %dns\n",
+			f.Requests, f.ThroughputRPS, f.LatencyNS.P50, f.LatencyNS.P99)
+		return
+	}
+	if b.ThroughputRPS > 0 && f.ThroughputRPS < b.ThroughputRPS / *collapse {
+		fail("throughput collapsed: fresh %.1f rps vs baseline %.1f rps (floor %.1f)",
+			f.ThroughputRPS, b.ThroughputRPS, b.ThroughputRPS / *collapse)
+	}
+	fmt.Printf("servegate: OK — fresh %.1f rps vs baseline %.1f rps, p50 %dns, p99 %dns, hit %.2f, reject %.2f\n",
+		f.ThroughputRPS, b.ThroughputRPS, f.LatencyNS.P50, f.LatencyNS.P99, f.HitRate, f.RejectRate)
+}
