@@ -8,6 +8,7 @@
 //
 //	pardetectd [-addr localhost:7070] [-workers 8] [-queue 64] [-cache 512]
 //	           [-timeout 2m] [-engine bytecode] [-access-log PATH] [-slow 8]
+//	           [-store-dir DIR] [-store-max 4096] [-tenant-rps 0] [-tenant-inflight 0]
 //
 // Endpoints:
 //
@@ -16,6 +17,8 @@
 //	GET  /ir?app=NAME                  a benchmark's program as wire IR
 //	GET  /analyze?app=NAME             analyse a registered benchmark
 //	POST /analyze                      analyse a POSTed wire-IR program
+//	POST /analyze/batch                analyse many programs (NDJSON in/out,
+//	                                   parallel=N, per-line failure)
 //	GET  /metrics                      Prometheus text exposition (latency
 //	                                   histograms by endpoint × outcome)
 //	GET  /debug/metrics                the same registry as JSON with p50/p99
@@ -27,6 +30,16 @@
 // and cache=use|skip. The text body is byte-identical to the pardetect CLI
 // output for the same program. The bound address is printed to stderr
 // (useful with ":0"); SIGINT/SIGTERM drain in-flight analyses before exit.
+//
+// -store-dir enables the persistent result store: completed analyses are
+// written behind to DIR and survive restarts — a relaunched daemon pointed at
+// the same directory serves them as cache hits without re-analysing. Shutdown
+// flushes the write queue, so a drained SIGTERM loses nothing.
+//
+// -tenant-rps and -tenant-inflight enforce per-tenant fairness keyed on the
+// X-Pardetect-Tenant header (unlabelled requests share one bucket): a tenant
+// over its request rate or in-flight quota is answered 429 + Retry-After
+// before global admission, so one hog cannot starve other tenants.
 package main
 
 import (
@@ -54,6 +67,10 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "shutdown grace period for in-flight analyses")
 	accessLog := flag.String("access-log", "", "write one JSON access-log line per request to this file (\"-\" = stderr)")
 	slow := flag.Int("slow", 8, "slow-request samples kept for /debug/slow (0 disables)")
+	storeDir := flag.String("store-dir", "", "persistent result store directory (empty disables; survives restarts)")
+	storeMax := flag.Int("store-max", 0, "persistent store entry budget, oldest evicted beyond it (0 = default 4096)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant sustained requests/second (token bucket; 0 disables)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant max concurrent requests (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pardetectd [flags]   (pardetectd takes no arguments)")
@@ -86,13 +103,17 @@ func main() {
 	}
 
 	srv, err := server.New(server.Options{
-		Workers:        *workers,
-		Queue:          *queue,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		DefaultEngine:  eng,
-		AccessLog:      logw,
-		SlowSamples:    slowK,
+		Workers:           *workers,
+		Queue:             *queue,
+		CacheEntries:      *cacheEntries,
+		DefaultTimeout:    *timeout,
+		DefaultEngine:     eng,
+		AccessLog:         logw,
+		SlowSamples:       slowK,
+		StoreDir:          *storeDir,
+		StoreMaxEntries:   *storeMax,
+		TenantRPS:         *tenantRPS,
+		TenantMaxInflight: *tenantInflight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pardetectd: %v\n", err)

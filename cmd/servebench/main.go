@@ -8,7 +8,8 @@
 //
 //	servebench [-addr http://host:port] [-c 4] [-dur 3s] [-programs 16]
 //	           [-hitpct 50] [-seed 1] [-engine tree] [-workers 0]
-//	           [-queue 64] [-out BENCH_serve.json]
+//	           [-queue 64] [-batch 8] [-restart] [-tenants 2]
+//	           [-out BENCH_serve.json]
 //
 // With no -addr (the default) an in-process server is started on a loopback
 // port and drained afterwards, so the benchmark is self-contained; -addr
@@ -21,10 +22,32 @@
 // instead POSTs a never-repeated fresh seed, forcing a miss. Outcomes are
 // read back from the response (X-Pardetect-Outcome, X-Pardetect-Cache,
 // status), the same classification the server's own /metrics uses.
+//
+// Three additional legs exercise the serving features beyond single-request
+// load, each publishing its own result section:
+//
+//   - batch (-batch N, 0 disables): the replayed pool is POSTed to
+//     /analyze/batch as NDJSON with parallel=N, twice — once against the
+//     loaded cache, once more so every line is a hit — recording per-line
+//     outcomes ("batch" section);
+//   - warm restart (-restart): a throwaway in-process server with a
+//     persistent store directory analyses the pool, drains (flushing the
+//     write-behind queue), and a second server opened on the same directory
+//     replays the pool; the hit rate of that replay is the restart
+//     durability measure ("warm_restart" section);
+//   - tenant fairness (-tenants V, 0 disables): an in-process server with a
+//     per-tenant rate limit serves one hog tenant flooding unpaced and V
+//     victim tenants paced under the limit; the hog is rejected, the victims
+//     are not ("fairness" section).
+//
+// The batch leg targets whatever -addr selected; the restart and fairness
+// legs always build their own in-process servers because they must control
+// the server's lifecycle and limiter configuration.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -58,6 +81,9 @@ type config struct {
 	Engine      string `json:"engine,omitempty"`
 	Workers     int    `json:"workers,omitempty"`
 	Queue       int    `json:"queue"`
+	Batch       int    `json:"batch,omitempty"`
+	Restart     bool   `json:"restart,omitempty"`
+	Tenants     int    `json:"tenants,omitempty"`
 }
 
 type latency struct {
@@ -78,18 +104,49 @@ type serverSide struct {
 	CacheJoins           int64 `json:"cache_joins"`
 }
 
+// batchResult summarises the /analyze/batch leg.
+type batchResult struct {
+	Requests  int64            `json:"requests"`
+	Lines     int64            `json:"lines"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Outcomes  map[string]int64 `json:"outcomes"`
+}
+
+// warmRestartResult summarises restart durability: the pool replayed against
+// a fresh server that inherited only the persistent store directory.
+type warmRestartResult struct {
+	Programs int     `json:"programs"`
+	Hits     int64   `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// fairnessResult summarises the hog-vs-victims leg.
+type fairnessResult struct {
+	TenantRPS        float64 `json:"tenant_rps"`
+	Victims          int     `json:"victims"`
+	HogRequests      int64   `json:"hog_requests"`
+	HogRejects       int64   `json:"hog_rejects"`
+	VictimRequests   int64   `json:"victim_requests"`
+	VictimRejects    int64   `json:"victim_rejects"`
+	HogRejectRate    float64 `json:"hog_reject_rate"`
+	VictimRejectRate float64 `json:"victim_reject_rate"`
+}
+
 type result struct {
-	Schema        string           `json:"schema"`
-	Config        config           `json:"config"`
-	Requests      int64            `json:"requests"`
-	Errors        int64            `json:"errors"`
-	ElapsedNS     int64            `json:"elapsed_ns"`
-	ThroughputRPS float64          `json:"throughput_rps"`
-	LatencyNS     latency          `json:"latency_ns"`
-	HitRate       float64          `json:"hit_rate"`
-	RejectRate    float64          `json:"reject_rate"`
-	Outcomes      map[string]int64 `json:"outcomes"`
-	Server        serverSide       `json:"server"`
+	Schema        string             `json:"schema"`
+	Config        config             `json:"config"`
+	Requests      int64              `json:"requests"`
+	Errors        int64              `json:"errors"`
+	ElapsedNS     int64              `json:"elapsed_ns"`
+	ThroughputRPS float64            `json:"throughput_rps"`
+	LatencyNS     latency            `json:"latency_ns"`
+	HitRate       float64            `json:"hit_rate"`
+	RejectRate    float64            `json:"reject_rate"`
+	Outcomes      map[string]int64   `json:"outcomes"`
+	Server        serverSide         `json:"server"`
+	Batch         *batchResult       `json:"batch,omitempty"`
+	WarmRestart   *warmRestartResult `json:"warm_restart,omitempty"`
+	Fairness      *fairnessResult    `json:"fairness,omitempty"`
 }
 
 func main() {
@@ -102,6 +159,9 @@ func main() {
 	engine := flag.String("engine", interp.EngineTree, "in-process server engine: tree or bytecode")
 	workers := flag.Int("workers", 0, "in-process server workers (default GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "in-process server admission queue")
+	batchN := flag.Int("batch", 8, "batch-leg per-request parallelism for /analyze/batch (0 skips the leg)")
+	restart := flag.Bool("restart", true, "run the warm-restart leg (persistent store durability)")
+	tenants := flag.Int("tenants", 2, "victim tenants in the fairness leg (0 skips the leg)")
 	out := flag.String("out", "-", "output path for the JSON result (\"-\" = stdout)")
 	flag.Parse()
 	if *c < 1 || *programs < 1 || *hitpct < 0 || *hitpct > 100 || *dur <= 0 {
@@ -203,9 +263,21 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	var batchRes *batchResult
+	if *batchN > 0 {
+		batchRes = runBatchLeg(client, base, pool, *batchN)
+	}
 	srvSide := scrape(client, base)
 	if shutdown != nil {
 		shutdown()
+	}
+	var warmRes *warmRestartResult
+	if *restart {
+		warmRes = runWarmRestartLeg(pool, *engine, *workers, *queue)
+	}
+	var fairRes *fairnessResult
+	if *tenants > 0 {
+		fairRes = runFairnessLeg(pool[0], *tenants, *engine)
 	}
 
 	res := result{
@@ -214,6 +286,7 @@ func main() {
 			Addr: *addr, Concurrency: *c, DurationNS: dur.Nanoseconds(),
 			Programs: *programs, HitPct: *hitpct, Seed: *seed,
 			Engine: *engine, Workers: *workers, Queue: *queue,
+			Batch: *batchN, Restart: *restart, Tenants: *tenants,
 		},
 		Requests:  lat.Count(),
 		Errors:    errs.Load(),
@@ -222,8 +295,11 @@ func main() {
 			P50: lat.Quantile(0.50), P90: lat.Quantile(0.90), P99: lat.Quantile(0.99),
 			MeanNS: lat.Mean(), MaxNS: maxNS.Load(),
 		},
-		Outcomes: map[string]int64{},
-		Server:   srvSide,
+		Outcomes:    map[string]int64{},
+		Server:      srvSide,
+		Batch:       batchRes,
+		WarmRestart: warmRes,
+		Fairness:    fairRes,
 	}
 	outcomes.Range(func(k, v any) bool {
 		res.Outcomes[k.(string)] = v.(*atomic.Int64).Load()
@@ -306,6 +382,203 @@ func scrape(client *http.Client, base string) serverSide {
 		}
 	}
 	return s
+}
+
+// startLocal brings up an in-process server on a loopback port for the legs
+// that need to own the server's lifecycle or configuration.
+func startLocal(opts server.Options) (string, func(), error) {
+	srv, err := server.New(opts)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runBatchLeg POSTs the replayed pool to /analyze/batch twice — the first
+// pass against whatever the load phase cached, the second pass fully warm —
+// and tallies the per-line outcomes.
+func runBatchLeg(client *http.Client, base string, pool [][]byte, parallel int) *batchResult {
+	body := string(bytes.Join(pool, []byte("\n")))
+	res := &batchResult{Outcomes: map[string]int64{}}
+	t0 := time.Now()
+	for req := 0; req < 2; req++ {
+		resp, err := client.Post(fmt.Sprintf("%s/analyze/batch?parallel=%d", base, parallel),
+			"application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: batch leg: %v\n", err)
+			return res
+		}
+		res.Requests++
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if len(strings.TrimSpace(sc.Text())) == 0 {
+				continue
+			}
+			var line struct {
+				Outcome string `json:"outcome"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				continue
+			}
+			res.Lines++
+			res.Outcomes[line.Outcome]++
+		}
+		resp.Body.Close()
+	}
+	res.ElapsedNS = time.Since(t0).Nanoseconds()
+	fmt.Fprintf(os.Stderr, "servebench: batch leg: %d requests, %d lines, outcomes %v\n",
+		res.Requests, res.Lines, res.Outcomes)
+	return res
+}
+
+// runWarmRestartLeg measures restart durability: server A analyses the pool
+// into a persistent store and drains; server B opens the same directory and
+// replays the pool. Every replayed request should be a hit with zero
+// re-analysis — HitRate is the fraction that were.
+func runWarmRestartLeg(pool [][]byte, engine string, workers, queue int) *warmRestartResult {
+	res := &warmRestartResult{Programs: len(pool)}
+	dir, err := os.MkdirTemp("", "servebench-store-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: warm-restart leg: %v\n", err)
+		return res
+	}
+	defer os.RemoveAll(dir)
+	client := &http.Client{}
+
+	baseA, stopA, err := startLocal(server.Options{
+		Workers: workers, Queue: queue, DefaultEngine: engine, StoreDir: dir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: warm-restart leg: %v\n", err)
+		return res
+	}
+	for i, body := range pool {
+		resp, err := client.Post(baseA+"/analyze", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: warm-restart populate %d: %v\n", i, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	stopA() // drains and flushes the write-behind store queue
+
+	baseB, stopB, err := startLocal(server.Options{
+		Workers: workers, Queue: queue, DefaultEngine: engine, StoreDir: dir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: warm-restart leg: %v\n", err)
+		return res
+	}
+	defer stopB()
+	for i, body := range pool {
+		resp, err := client.Post(baseB+"/analyze", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: warm-restart replay %d: %v\n", i, err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.Header.Get("X-Pardetect-Cache") == "hit" {
+			res.Hits++
+		}
+	}
+	if res.Programs > 0 {
+		res.HitRate = float64(res.Hits) / float64(res.Programs)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: warm-restart leg: %d/%d hits after restart (%.1f%%)\n",
+		res.Hits, res.Programs, res.HitRate*100)
+	return res
+}
+
+// runFairnessLeg drives one hog tenant flooding unpaced and `victims` victim
+// tenants each paced at half the per-tenant rate, against a server enforcing
+// that rate. The hog exhausts its own bucket and is rejected; the victims
+// never are — their buckets are their own.
+func runFairnessLeg(body []byte, victims int, engine string) *fairnessResult {
+	const rps = 5.0
+	res := &fairnessResult{TenantRPS: rps, Victims: victims}
+	base, stop, err := startLocal(server.Options{DefaultEngine: engine, TenantRPS: rps})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: fairness leg: %v\n", err)
+		return res
+	}
+	defer stop()
+	client := &http.Client{}
+	send := func(tenant string) (int, error) {
+		req, err := http.NewRequest("POST", base+"/analyze", strings.NewReader(string(body)))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("X-Pardetect-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	// Seed the cache under a throwaway tenant so every measured request is a
+	// cache hit: global admission never interferes, only the tenant limiter.
+	send("seed")
+
+	var hogReq, hogRej, vicReq, vicRej atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the hog: 50 requests back to back
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			st, err := send("hog")
+			if err != nil {
+				continue
+			}
+			hogReq.Add(1)
+			if st == http.StatusTooManyRequests {
+				hogRej.Add(1)
+			}
+		}
+	}()
+	for v := 0; v < victims; v++ {
+		wg.Add(1)
+		go func(v int) { // a victim: 5 requests paced at rps/2
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				st, err := send(fmt.Sprintf("victim-%d", v))
+				if err != nil {
+					continue
+				}
+				vicReq.Add(1)
+				if st == http.StatusTooManyRequests {
+					vicRej.Add(1)
+				}
+				time.Sleep(time.Duration(float64(time.Second) * 2 / rps))
+			}
+		}(v)
+	}
+	wg.Wait()
+	res.HogRequests, res.HogRejects = hogReq.Load(), hogRej.Load()
+	res.VictimRequests, res.VictimRejects = vicReq.Load(), vicRej.Load()
+	if res.HogRequests > 0 {
+		res.HogRejectRate = float64(res.HogRejects) / float64(res.HogRequests)
+	}
+	if res.VictimRequests > 0 {
+		res.VictimRejectRate = float64(res.VictimRejects) / float64(res.VictimRequests)
+	}
+	fmt.Fprintf(os.Stderr, "servebench: fairness leg: hog %d/%d rejected, victims %d/%d rejected\n",
+		res.HogRejects, res.HogRequests, res.VictimRejects, res.VictimRequests)
+	return res
 }
 
 func fatal(err error) {

@@ -21,6 +21,16 @@ type cache struct {
 	max     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	// puts/evicted make cache churn observable (server.cache.evictions and
+	// the pardetect_cache_* series): a thrashing cache — every put evicting
+	// a still-useful entry — was previously invisible on /metrics. The
+	// invariant puts − evicted == len holds at all times (refreshing an
+	// existing key is not a put).
+	puts    int64
+	evicted int64
+	// onEvict, when set, is called under the cache lock for every evicted
+	// entry; the server hooks its counters here.
+	onEvict func(*cacheEntry)
 }
 
 // cacheEntry is one completed analysis, stored fully rendered so a hit does
@@ -73,10 +83,16 @@ func (c *cache) put(e *cacheEntry) {
 		return
 	}
 	c.entries[e.key] = c.order.PushFront(e)
+	c.puts++
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		old := oldest.Value.(*cacheEntry)
+		delete(c.entries, old.key)
+		c.evicted++
+		if c.onEvict != nil {
+			c.onEvict(old)
+		}
 	}
 }
 
@@ -85,4 +101,18 @@ func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evictions returns how many entries eviction has removed since creation.
+func (c *cache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
+}
+
+// putCount returns how many distinct-key puts the cache has accepted.
+func (c *cache) putCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts
 }

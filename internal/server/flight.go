@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // flightGroup is a minimal singleflight: concurrent calls with the same key
 // collapse onto one execution of fn; the joiners block until the leader
@@ -39,11 +42,29 @@ func (g *flightGroup) do(key string, fn func() (*cacheEntry, error)) (val *cache
 	g.m[key] = c
 	g.mu.Unlock()
 
+	// The flight entry must leave the map and done must close no matter how
+	// fn returns. If fn panics, the panic propagates to the leader (whose
+	// request path maps recovered panics to a 500), but without this defer
+	// the entry would stay in the map with done never closed — every current
+	// joiner and every future request for the key would block forever.
+	// Joiners of a panicked flight get a non-sticky error: the flight is
+	// gone, so their retry starts fresh.
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = errFlightPanic
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
 	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
+	finished = true
 	return c.val, c.err, false
 }
+
+// errFlightPanic is what joiners of a flight whose leader panicked receive;
+// the serving layer maps it to the panic outcome (500), matching what the
+// leader's own request reports.
+var errFlightPanic = errors.New("server: singleflight leader panicked")

@@ -24,15 +24,20 @@ import (
 // recording (see internal/obs/metrics).
 
 // endpoints normalised from request paths; "other" catches the rest.
-var endpoints = []string{"analyze", "healthz", "apps", "ir", "metrics", "debug", "other"}
+var endpoints = []string{"analyze", "batch", "healthz", "apps", "ir", "metrics", "debug", "other"}
 
 // analyzeOutcomes are the /analyze verdicts: the cache verdicts respond()
 // reports, the error classes analysisError maps, client errors, the drain
-// rejection, plus a defensive catch-all.
+// rejection, plus a defensive catch-all. They double as the per-line
+// outcome vocabulary of /analyze/batch (pardetect_batch_lines_total).
 var analyzeOutcomes = []string{
 	"hit", "miss", "join", "bypass",
 	"reject", "timeout", "panic", "error", "bad_request", "drain", "other",
 }
+
+// batchOutcomes classify a whole /analyze/batch request; per-line verdicts
+// live in the pardetect_batch_lines_total counter family instead.
+var batchOutcomes = []string{"ok", "bad_request", "drain", "reject", "error", "other"}
 
 // simpleOutcomes classify every non-analyze endpoint by status class.
 var simpleOutcomes = []string{"ok", "error", "other"}
@@ -46,7 +51,24 @@ type serverMetrics struct {
 	queueWait *metrics.Histogram
 	analysis  *metrics.Histogram
 	serialize *metrics.Histogram
+	// The persistent-store tier (nil-safe: recording on a nil Counter or
+	// Histogram is a no-op, so servers without a store skip registration).
+	storeProbe  *metrics.Histogram
+	storeOps    map[string]*metrics.Counter // op → counter (hit/miss/corrupt/...)
+	batchLines  map[string]*metrics.Counter // per-line outcome counters
+	cacheEvicts *metrics.Counter
+	// Per-tenant reject counters are the one dynamically-labelled family:
+	// tenants are discovered at request time, so series are created on
+	// demand (memoized — the registry appends a new series per Counter
+	// call) and capped to keep a tenant-name fabricator from growing the
+	// scrape without bound.
+	tenantMu      sync.Mutex
+	tenantRejects map[string]*metrics.Counter
 }
+
+// maxTenantSeries caps distinct per-tenant reject series; overflow tenants
+// share the "other" series.
+const maxTenantSeries = 128
 
 const reqHistName = "pardetect_http_request_duration_ns"
 
@@ -56,8 +78,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	const reqHelp = "HTTP request latency by endpoint and outcome (nanoseconds)."
 	for _, ep := range endpoints {
 		outcomes := simpleOutcomes
-		if ep == "analyze" {
+		switch ep {
+		case "analyze":
 			outcomes = analyzeOutcomes
+		case "batch":
+			outcomes = batchOutcomes
 		}
 		for _, oc := range outcomes {
 			m.req[ep+"\x00"+oc] = reg.Histogram(reqHistName, reqHelp,
@@ -71,6 +96,33 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Time an analysis spent executing on its worker (nanoseconds).")
 	m.serialize = reg.Histogram("pardetect_analyze_serialize_ns",
 		"Time spent rendering and writing an /analyze response (nanoseconds).")
+
+	m.cacheEvicts = reg.Counter("pardetect_cache_evictions_total",
+		"Entries the in-memory LRU evicted to stay within its budget.")
+	m.batchLines = make(map[string]*metrics.Counter, len(analyzeOutcomes))
+	for _, oc := range analyzeOutcomes {
+		m.batchLines[oc] = reg.Counter("pardetect_batch_lines_total",
+			"Per-program results streamed by /analyze/batch, by outcome.",
+			metrics.Label{Name: "outcome", Value: oc})
+	}
+	m.tenantRejects = make(map[string]*metrics.Counter)
+	if s.opts.StoreDir != "" {
+		m.storeProbe = reg.Histogram("pardetect_store_probe_ns",
+			"Disk-store probe latency on the cache-miss path (nanoseconds).")
+		m.storeOps = make(map[string]*metrics.Counter)
+		for _, op := range []string{"hit", "miss", "corrupt", "evict", "write", "write_error", "warm"} {
+			m.storeOps[op] = reg.Counter("pardetect_store_ops_total",
+				"Persistent result store operations by kind.",
+				metrics.Label{Name: "op", Value: op})
+		}
+		reg.GaugeFunc("pardetect_store_entries", "Entries in the persistent result store.",
+			func() int64 {
+				if st := s.store; st != nil {
+					return int64(st.Len())
+				}
+				return 0
+			})
+	}
 
 	reg.GaugeFunc("pardetect_queue_depth", "Admitted analyses waiting for a worker.",
 		func() int64 { return int64(s.pool.Queued()) })
@@ -101,11 +153,54 @@ func (m *serverMetrics) requestHist(endpoint, outcome string) *metrics.Histogram
 	return m.req[endpoint+"\x00other"]
 }
 
+// storeOp counts one persistent-store operation (no-op without a store).
+func (m *serverMetrics) storeOp(op string, n int64) {
+	if m.storeOps != nil {
+		m.storeOps[op].Add(n)
+	}
+}
+
+// batchLine counts one streamed batch result by outcome.
+func (m *serverMetrics) batchLine(outcome string) {
+	c, ok := m.batchLines[outcome]
+	if !ok {
+		c = m.batchLines["other"]
+	}
+	c.Inc()
+}
+
+// tenantReject resolves (creating on first sight) the reject counter for a
+// tenant × reason pair. Series beyond the cap collapse onto tenant="other"
+// so fabricated tenant names cannot balloon the scrape.
+func (m *serverMetrics) tenantReject(tenant, reason string) *metrics.Counter {
+	key := tenant + "\x00" + reason
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if c, ok := m.tenantRejects[key]; ok {
+		return c
+	}
+	if len(m.tenantRejects) >= maxTenantSeries {
+		tenant = "other"
+		key = tenant + "\x00" + reason
+		if c, ok := m.tenantRejects[key]; ok {
+			return c
+		}
+	}
+	c := m.reg.Counter("pardetect_tenant_rejects_total",
+		"Requests bounced by per-tenant fairness limits, by tenant and violated limit.",
+		metrics.Label{Name: "tenant", Value: tenant},
+		metrics.Label{Name: "reason", Value: reason})
+	m.tenantRejects[key] = c
+	return c
+}
+
 // endpointOf normalises a request path to its metrics endpoint label.
 func endpointOf(path string) string {
 	switch path {
 	case "/analyze":
 		return "analyze"
+	case "/analyze/batch":
+		return "batch"
 	case "/healthz":
 		return "healthz"
 	case "/apps":
@@ -128,11 +223,11 @@ func endpointOf(path string) string {
 // the server's verdict the way X-Pardetect-Cache names the cache's.
 const outcomeHeader = "X-Pardetect-Outcome"
 
-// outcomeOf classifies a finished request. The /analyze endpoint prefers
-// the explicit outcome header, then the cache verdict header, then the
-// status class; every other endpoint is ok/error by status.
+// outcomeOf classifies a finished request. The /analyze and /analyze/batch
+// endpoints prefer the explicit outcome header, then the cache verdict
+// header, then the status class; every other endpoint is ok/error by status.
 func outcomeOf(endpoint string, hdr http.Header, status int) string {
-	if endpoint == "analyze" {
+	if endpoint == "analyze" || endpoint == "batch" {
 		if v := hdr.Get(outcomeHeader); v != "" {
 			return v
 		}
@@ -142,6 +237,8 @@ func outcomeOf(endpoint string, hdr http.Header, status int) string {
 		switch {
 		case status == http.StatusServiceUnavailable:
 			return "drain"
+		case endpoint == "batch" && status < 400:
+			return "ok"
 		case status >= 400 && status < 500:
 			return "bad_request"
 		case status >= 500:

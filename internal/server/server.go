@@ -48,6 +48,7 @@ import (
 	"pardetect/internal/obs"
 	"pardetect/internal/obs/metrics"
 	"pardetect/internal/report"
+	"pardetect/internal/store"
 )
 
 // Options configures the service.
@@ -84,6 +85,29 @@ type Options struct {
 	// tree and decision log. Values < 1 select the default of 8; negative
 	// values disable the sampler.
 	SlowSamples int
+	// StoreDir enables the persistent result store (internal/store): a
+	// disk-backed tier under the in-memory LRU that survives restarts. A
+	// cache miss probes the store before analysing; completed analyses are
+	// written behind; startup warms the LRU with the most recent entries.
+	// Empty disables the store.
+	StoreDir string
+	// StoreMaxEntries bounds the entries kept on disk (oldest evicted
+	// beyond it); values < 1 select the store default of 4096.
+	StoreMaxEntries int
+	// TenantRPS rate-limits each tenant (X-Pardetect-Tenant header;
+	// unlabelled requests share "default") with a token bucket: TenantRPS
+	// sustained requests/second, bursting to the same amount. Violations
+	// answer 429 + Retry-After before global admission. <= 0 disables.
+	TenantRPS float64
+	// TenantMaxInflight caps each tenant's concurrently-served /analyze and
+	// /analyze/batch requests. <= 0 disables.
+	TenantMaxInflight int
+	// MaxBatchPrograms bounds the programs one /analyze/batch request may
+	// carry; values < 1 select 1024.
+	MaxBatchPrograms int
+	// MaxBatchBytes bounds an /analyze/batch request body; values < 1
+	// select 64 MiB.
+	MaxBatchBytes int64
 }
 
 func (o *Options) fill() error {
@@ -111,6 +135,12 @@ func (o *Options) fill() error {
 	if o.SlowSamples < 0 {
 		o.SlowSamples = 0
 	}
+	if o.MaxBatchPrograms < 1 {
+		o.MaxBatchPrograms = 1024
+	}
+	if o.MaxBatchBytes < 1 {
+		o.MaxBatchBytes = 64 << 20
+	}
 	eng, err := interp.ParseEngine(o.DefaultEngine)
 	if err != nil {
 		return err
@@ -129,16 +159,24 @@ type Server struct {
 	pool    *farm.Pool
 	cache   *cache
 	flight  flightGroup
+	tenants *tenantLimiter
 	mux     *http.ServeMux
 	h       http.Handler // mux wrapped in the instrument middleware
 	m       *serverMetrics
 	slow    *slowSampler
 	httpSrv *http.Server
 	start   time.Time
-	runID   string // base-36 start stamp prefixing generated request IDs
-	reqSeq  atomic.Int64
-	logMu   sync.Mutex // serialises AccessLog writes
-	closing atomic.Bool
+	// The persistent tier: a miss probes store, a completed analysis is
+	// queued on storeCh and written behind by storeWriter; Shutdown flushes
+	// the queue so a clean restart loses nothing.
+	store     *store.Store
+	storeCh   chan *cacheEntry
+	storeWG   sync.WaitGroup
+	storeOnce sync.Once
+	runID     string // base-36 start stamp prefixing generated request IDs
+	reqSeq    atomic.Int64
+	logMu     sync.Mutex // serialises AccessLog writes
+	closing   atomic.Bool
 	// gate tracks analysis-bearing requests for the non-embedded drain path
 	// (tests mounting Handler on their own listener): handlers hold a read
 	// lock while working, Shutdown takes the write lock to wait them out.
@@ -162,10 +200,27 @@ func New(opts Options) (*Server, error) {
 	s.runID = strconv.FormatInt(s.start.UnixNano(), 36)
 	s.m = newServerMetrics(s)
 	s.slow = newSlowSampler(opts.SlowSamples)
+	s.tenants = newTenantLimiter(opts.TenantRPS, opts.TenantMaxInflight)
+	s.cache.onEvict = func(*cacheEntry) {
+		s.obs.Add("server.cache.evictions", 1)
+		s.m.cacheEvicts.Inc()
+	}
+	if opts.StoreDir != "" {
+		st, err := store.Open(store.Options{Dir: opts.StoreDir, MaxEntries: opts.StoreMaxEntries})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening result store: %w", err)
+		}
+		s.store = st
+		s.storeCh = make(chan *cacheEntry, 256)
+		s.storeWG.Add(1)
+		go s.storeWriter()
+		s.warmFromStore()
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/apps", s.handleApps)
 	s.mux.HandleFunc("/ir", s.handleIR)
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/metrics", s.handleDebugMetrics)
 	s.mux.HandleFunc("/debug/slow", s.handleSlow)
@@ -227,7 +282,121 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.gate.Lock()
 	s.gate.Unlock() //nolint:staticcheck // empty critical section is the drain barrier
 	s.pool.Close()
+	// Flush the write-behind store queue: no handler is running (the gate
+	// barrier passed) so no new entries can be enqueued, and every entry
+	// already queued must reach disk before exit — the warm-restart
+	// guarantee depends on it.
+	if s.storeCh != nil {
+		s.storeOnce.Do(func() { close(s.storeCh) })
+		s.storeWG.Wait()
+	}
 	return err
+}
+
+// --- the persistent store tier --------------------------------------------
+
+// storeWriter is the write-behind goroutine: it drains storeCh onto disk so
+// request latency never includes the store write. Closing storeCh (from
+// Shutdown, after the drain barrier) flushes and stops it.
+func (s *Server) storeWriter() {
+	defer s.storeWG.Done()
+	for e := range s.storeCh {
+		evicted, err := s.store.Put(storeEntryOf(e))
+		if err != nil {
+			s.obs.Add("server.store.write_errors", 1)
+			s.m.storeOp("write_error", 1)
+			continue
+		}
+		s.obs.Add("server.store.writes", 1)
+		s.m.storeOp("write", 1)
+		if evicted > 0 {
+			s.obs.Add("server.store.evictions", int64(evicted))
+			s.m.storeOp("evict", int64(evicted))
+		}
+	}
+}
+
+// storeEnqueue hands a freshly computed entry to the write-behind writer.
+// The send blocks if the writer is more than a queue behind — backpressure
+// on disk, not data loss.
+func (s *Server) storeEnqueue(e *cacheEntry) {
+	if s.storeCh != nil {
+		s.storeCh <- e
+	}
+}
+
+// storeProbe checks the disk tier on an LRU miss, counting the probe and
+// its latency. A corrupt record counts separately and reads as a miss.
+func (s *Server) storeProbe(key string) (*cacheEntry, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	t0 := time.Now()
+	e, res := s.store.Get(key)
+	s.m.storeProbe.Observe(time.Since(t0).Nanoseconds())
+	switch res {
+	case store.Hit:
+		s.obs.Add("server.store.hits", 1)
+		s.m.storeOp("hit", 1)
+		return cacheEntryOf(e), true
+	case store.Corrupt:
+		s.obs.Add("server.store.corrupt", 1)
+		s.m.storeOp("corrupt", 1)
+	default:
+		s.obs.Add("server.store.misses", 1)
+		s.m.storeOp("miss", 1)
+	}
+	return nil, false
+}
+
+// warmFromStore loads the most recently written store entries into the LRU
+// at startup, oldest first so the most recent end up most recently used.
+func (s *Server) warmFromStore() {
+	keys := s.store.RecentKeys(s.opts.CacheEntries)
+	var warmed int64
+	for i := len(keys) - 1; i >= 0; i-- {
+		e, res := s.store.Get(keys[i])
+		if res != store.Hit {
+			if res == store.Corrupt {
+				s.obs.Add("server.store.corrupt", 1)
+				s.m.storeOp("corrupt", 1)
+			}
+			continue
+		}
+		s.cache.put(cacheEntryOf(e))
+		warmed++
+	}
+	if warmed > 0 {
+		s.obs.Add("server.store.warmed", warmed)
+		s.m.storeOp("warm", warmed)
+	}
+}
+
+// storeEntryOf converts a cache entry to its on-disk record.
+func storeEntryOf(e *cacheEntry) *store.Entry {
+	return &store.Entry{
+		Key:         e.key,
+		Program:     e.Program,
+		Headline:    e.Headline,
+		Fingerprint: e.Fingerprint,
+		BestThreads: e.BestThreads,
+		BestSpeedup: e.BestSpeedup,
+		Body:        e.Text,
+	}
+}
+
+// cacheEntryOf converts a loaded store record back to a cache entry; the
+// body is byte-identical to the response that populated the record.
+func cacheEntryOf(e *store.Entry) *cacheEntry {
+	return &cacheEntry{
+		key:         e.Key,
+		Text:        e.Body,
+		Fingerprint: e.Fingerprint,
+		Program:     e.Program,
+		Headline:    e.Headline,
+		BestThreads: e.BestThreads,
+		BestSpeedup: e.BestSpeedup,
+	}
 }
 
 // --- request plumbing ------------------------------------------------------
@@ -313,7 +482,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":        status,
 		"draining":      draining,
 		"version":       buildVersion(),
@@ -323,7 +492,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"running":       s.pool.Running(),
 		"completed":     s.pool.Completed(),
 		"cache_entries": s.cache.len(),
-	})
+	}
+	if s.store != nil {
+		body["store_entries"] = s.store.Len()
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
@@ -393,13 +566,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	if s.closing.Load() {
-		s.obs.Add("server.rejects", 1)
-		w.Header().Set(outcomeHeader, "drain")
-		s.jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		s.rejectDraining(w)
 		return
 	}
 	s.gate.RLock()
 	defer s.gate.RUnlock()
+
+	release, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 
 	params, err := s.parseParams(r)
 	if err != nil {
@@ -439,6 +616,54 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	entry, verdict, err := s.lookupOrAnalyze(prog, appName, params, ro)
+	if err != nil {
+		s.analysisError(w, err)
+		return
+	}
+	s.respond(w, params, entry, verdict, ro)
+}
+
+// rejectDraining answers a request arriving during shutdown. Retry-After
+// is the conservative clamp ceiling: the queue gauges are meaningless
+// mid-drain, and a restarting server should not invite an immediate storm.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	s.obs.Add("server.rejects", 1)
+	w.Header().Set(outcomeHeader, "drain")
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+	s.jsonError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+// admitTenant applies per-tenant fairness ahead of everything else the
+// request could cost: a rejected tenant gets 429 + Retry-After without
+// touching the cache, the flight map or the admission queue. The returned
+// release must be called when the request finishes (it is a no-op closure
+// when fairness is disabled).
+func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	if s.tenants == nil {
+		return func() {}, true
+	}
+	tenant := tenantOf(r.Header.Get(tenantHeader))
+	release, reason, retryAfter := s.tenants.acquire(tenant)
+	if release != nil {
+		return release, true
+	}
+	s.obs.Add("server.tenant.rejects", 1)
+	s.m.tenantReject(tenant, reason).Inc()
+	w.Header().Set(outcomeHeader, "reject")
+	w.Header().Set("Retry-After", strconv.FormatInt(retryAfter, 10))
+	s.jsonError(w, http.StatusTooManyRequests, "tenant %q over its %s limit", tenant, reason)
+	return nil, false
+}
+
+// lookupOrAnalyze resolves one program through the full tier stack: the
+// in-memory LRU, then the persistent store (warming the LRU on a store
+// hit), then singleflight-deduplicated analysis on the worker pool, with
+// the computed entry written back to both tiers. The verdict names the
+// tier that answered: "hit" (either cache tier), "miss" (this call
+// analysed), "join" (rode along on a concurrent identical request) or
+// "bypass" (cache=skip).
+func (s *Server) lookupOrAnalyze(prog *ir.Program, appName string, params analyzeParams, ro *obs.Observer) (*cacheEntry, string, error) {
 	// The content address: requests for the same program — by name or by
 	// POSTed IR — share one cache entry and one flight, across engines
 	// (the engines are observationally identical).
@@ -447,41 +672,37 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !params.skip {
 		if e, ok := s.cache.get(key); ok {
 			s.obs.Add("server.cache.hits", 1)
-			s.respond(w, params, e, "hit", ro)
-			return
+			return e, "hit", nil
+		}
+		if e, ok := s.storeProbe(key); ok {
+			s.obs.Add("server.cache.hits", 1)
+			s.cache.put(e)
+			return e, "hit", nil
 		}
 	}
 
 	run := func() (*cacheEntry, error) {
 		return s.analyze(prog, appName, params, key, ro)
 	}
-	var entry *cacheEntry
-	var joined bool
-	var verdict string
 	if params.skip {
 		s.obs.Add("server.cache.bypass", 1)
-		entry, err = run()
-		verdict = "bypass"
-	} else {
-		entry, err, joined = s.flight.do(key, func() (*cacheEntry, error) {
-			s.obs.Add("server.cache.misses", 1)
-			e, err := run()
-			if err == nil {
-				s.cache.put(e)
-			}
-			return e, err
-		})
-		verdict = "miss"
-		if joined {
-			s.obs.Add("server.dedup.joins", 1)
-			verdict = "join"
+		e, err := run()
+		return e, "bypass", err
+	}
+	e, err, joined := s.flight.do(key, func() (*cacheEntry, error) {
+		s.obs.Add("server.cache.misses", 1)
+		e, err := run()
+		if err == nil {
+			s.cache.put(e)
+			s.storeEnqueue(e)
 		}
+		return e, err
+	})
+	if joined {
+		s.obs.Add("server.dedup.joins", 1)
+		return e, "join", err
 	}
-	if err != nil {
-		s.analysisError(w, err)
-		return
-	}
-	s.respond(w, params, entry, verdict, ro)
+	return e, "miss", err
 }
 
 // analyze runs one analysis on the worker pool and renders the cache entry.
@@ -563,6 +784,12 @@ func (s *Server) analysisError(w http.ResponseWriter, err error) {
 		s.obs.Add("server.panics", 1)
 		w.Header().Set(outcomeHeader, "panic")
 		s.jsonError(w, http.StatusInternalServerError, "analysis panicked: %v", pe.Value)
+	case errors.Is(err, errFlightPanic):
+		// A joiner whose flight leader panicked: same verdict as the leader's
+		// own request, and not sticky — the flight is gone, a retry is fresh.
+		s.obs.Add("server.panics", 1)
+		w.Header().Set(outcomeHeader, "panic")
+		s.jsonError(w, http.StatusInternalServerError, "%v", err)
 	default:
 		s.obs.Add("server.errors", 1)
 		w.Header().Set(outcomeHeader, "error")
@@ -573,7 +800,16 @@ func (s *Server) analysisError(w http.ResponseWriter, err error) {
 // retryAfterSeconds estimates when a queue slot will free up, from the mean
 // analysis execution time observed so far (the pure on-worker time, not the
 // submit-to-reply time, which double-counts queueing).
+//
+// Once the server is draining, pool.Queued() reads a closed tasks channel
+// draining toward zero, so the estimate would advertise a near-immediate
+// retry against a server that is going away. Drain-time responses instead
+// return the clamp ceiling — the conservative bound a restarting replica
+// can honor.
 func (s *Server) retryAfterSeconds() int64 {
+	if s.closing.Load() {
+		return retryAfterMax
+	}
 	return retryAfterSeconds(s.m.analysis.Mean(), s.pool.Queued(), s.pool.Workers())
 }
 
@@ -584,8 +820,14 @@ func (s *Server) retryAfterSeconds() int64 {
 // so the answer is the optimistic floor of 1 second rather than a garbage
 // division. A mean that alone exceeds the cap short-circuits before the
 // multiply, so a pathological mean×queue product cannot overflow int64.
+// retryAfterMin/retryAfterMax clamp every Retry-After the server emits.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 60
+)
+
 func retryAfterSeconds(meanNS int64, queued, workers int) int64 {
-	const lo, hi = 1, 60
+	const lo, hi = retryAfterMin, retryAfterMax
 	if workers < 1 {
 		workers = 1
 	}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// startStoreServer builds a server backed by dir without the shared cleanup,
+// so tests control shutdown ordering (the restart tests need server A fully
+// flushed before server B opens the same directory).
+func startStoreServer(t *testing.T, opts Options) (*Server, *httptest.Server, func()) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	stop := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	}
+	return s, ts, stop
+}
+
+// TestStoreWarmRestart is the durability contract end to end: analyses
+// performed before a clean shutdown are served as cache hits — byte
+// identical — by a fresh server process opening the same store directory,
+// with zero re-analysis.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	sA, tsA, stopA := startStoreServer(t, Options{Workers: 2, StoreDir: dir})
+	r1, b1 := get(t, tsA.URL+"/analyze?app=bicg")
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("populate: status %d, body %s", r1.StatusCode, b1)
+	}
+	fp := r1.Header.Get("X-Pardetect-Fingerprint")
+	stopA() // Shutdown flushes the write-behind queue
+	if n := sA.Observer().Counter("server.store.writes"); n != 1 {
+		t.Fatalf("server.store.writes after shutdown = %d, want 1", n)
+	}
+
+	sB, tsB, stopB := startStoreServer(t, Options{Workers: 2, StoreDir: dir})
+	defer stopB()
+	if n := sB.Observer().Counter("server.store.warmed"); n != 1 {
+		t.Fatalf("server.store.warmed = %d, want 1 (startup must warm the LRU)", n)
+	}
+	r2, b2 := get(t, tsB.URL+"/analyze?app=bicg")
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("restart request: status %d, body %s", r2.StatusCode, b2)
+	}
+	if got := r2.Header.Get("X-Pardetect-Cache"); got != "hit" {
+		t.Fatalf("first request after restart: verdict %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("restart hit body differs from the analysis that populated the store")
+	}
+	if got := r2.Header.Get("X-Pardetect-Fingerprint"); got != fp {
+		t.Fatalf("restart fingerprint %q, want %q", got, fp)
+	}
+	if n := sB.Observer().Counter("server.analyses"); n != 0 {
+		t.Fatalf("server.analyses after a warm-restart hit = %d, want 0", n)
+	}
+}
+
+// TestStoreReadThroughBeyondLRU pins the second tier proper: an entry that
+// fell out of (or never fit in) the in-memory LRU is still a hit, answered
+// by a disk probe that then re-warms the LRU.
+func TestStoreReadThroughBeyondLRU(t *testing.T) {
+	dir := t.TempDir()
+
+	// Server A analyses two programs; server B's LRU holds only one, so the
+	// older program survives on disk alone.
+	progA, errA := EncodeProgram(slowProgram("disk-old", 8))
+	progB, errB := EncodeProgram(slowProgram("disk-new", 9))
+	if errA != nil || errB != nil {
+		t.Fatalf("EncodeProgram: %v / %v", errA, errB)
+	}
+	_, tsA, stopA := startStoreServer(t, Options{Workers: 2, StoreDir: dir})
+	rA, bodyOld := post(t, tsA.URL+"/analyze", progA)
+	rB, _ := post(t, tsA.URL+"/analyze", progB)
+	if rA.StatusCode != http.StatusOK || rB.StatusCode != http.StatusOK {
+		t.Fatalf("populate: statuses %d/%d", rA.StatusCode, rB.StatusCode)
+	}
+	stopA()
+
+	sB, tsB, stopB := startStoreServer(t, Options{Workers: 2, StoreDir: dir, CacheEntries: 1})
+	defer stopB()
+	if n, e := sB.Observer().Counter("server.store.warmed"), sB.cache.len(); n != 1 || e != 1 {
+		t.Fatalf("warmed %d entries into an LRU of %d, want 1 into 1", n, e)
+	}
+	// The newest entry got the LRU slot; the older one must come off disk.
+	r, body := post(t, tsB.URL+"/analyze", progA)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("read-through request: status %d, body %s", r.StatusCode, body)
+	}
+	if got := r.Header.Get("X-Pardetect-Cache"); got != "hit" {
+		t.Fatalf("read-through verdict %q, want hit", got)
+	}
+	if !bytes.Equal(body, bodyOld) {
+		t.Fatalf("read-through body differs from the original analysis")
+	}
+	o := sB.Observer()
+	if n := o.Counter("server.store.hits"); n != 1 {
+		t.Fatalf("server.store.hits = %d, want 1", n)
+	}
+	if n := o.Counter("server.analyses"); n != 0 {
+		t.Fatalf("server.analyses = %d, want 0 (disk tier must answer)", n)
+	}
+}
+
+// TestStoreHealthzAndMetricsSurfaces checks the store shows up on the
+// observability surfaces only when enabled.
+func TestStoreHealthzAndMetricsSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, stop := startStoreServer(t, Options{Workers: 1, StoreDir: dir})
+	defer stop()
+	get(t, ts.URL+"/analyze?app=bicg")
+
+	_, hz := get(t, ts.URL+"/healthz")
+	if !bytes.Contains(hz, []byte("store_entries")) {
+		t.Fatalf("healthz without store_entries: %s", hz)
+	}
+	_, mBody := get(t, ts.URL+"/metrics")
+	for _, series := range []string{"pardetect_store_ops_total", "pardetect_store_probe_ns", "pardetect_store_entries", "pardetect_cache_evictions_total"} {
+		if !bytes.Contains(mBody, []byte(series)) {
+			t.Fatalf("/metrics missing %s:\n%s", series, mBody)
+		}
+	}
+
+	// Without a store dir, the store series stay off the surface.
+	_, ts2 := newTestServer(t, Options{Workers: 1})
+	_, hz2 := get(t, ts2.URL+"/healthz")
+	if bytes.Contains(hz2, []byte("store_entries")) {
+		t.Fatalf("healthz advertises a store that is not configured: %s", hz2)
+	}
+	_, mBody2 := get(t, ts2.URL+"/metrics")
+	if bytes.Contains(mBody2, []byte("pardetect_store_ops_total")) {
+		t.Fatalf("/metrics advertises store series without a store")
+	}
+}

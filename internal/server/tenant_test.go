@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTenantLimiterRateAndRefill(t *testing.T) {
+	l := newTenantLimiter(2, 0) // 2 rps, burst 2, no inflight cap
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clk.now
+
+	// The burst admits two back-to-back requests, then the bucket is dry.
+	for i := 0; i < 2; i++ {
+		release, reason, _ := l.acquire("acme")
+		if release == nil {
+			t.Fatalf("burst request %d rejected: %s", i, reason)
+		}
+		release()
+	}
+	release, reason, ra := l.acquire("acme")
+	if release != nil {
+		t.Fatalf("third immediate request admitted, want rate rejection")
+	}
+	if reason != "rate" || ra < 1 {
+		t.Fatalf("rejection = (%s, retry %d), want (rate, >=1)", reason, ra)
+	}
+
+	// Tenants are isolated: another tenant's bucket is untouched.
+	if release, _, _ := l.acquire("other"); release == nil {
+		t.Fatalf("fresh tenant rejected while another is over its limit")
+	} else {
+		release()
+	}
+
+	// Half a second refills one token at 2 rps.
+	clk.advance(500 * time.Millisecond)
+	release, reason, _ = l.acquire("acme")
+	if release == nil {
+		t.Fatalf("request after refill rejected: %s", reason)
+	}
+	release()
+	if release, _, _ := l.acquire("acme"); release != nil {
+		t.Fatalf("second request after a one-token refill admitted")
+	}
+
+	// The bucket caps at burst: a long idle stretch does not bank tokens.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if release, _, _ := l.acquire("acme"); release != nil {
+			release()
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after a long idle, want the burst of 2", admitted)
+	}
+}
+
+func TestTenantLimiterInflightQuota(t *testing.T) {
+	l := newTenantLimiter(0, 2) // no rate limit, 2 in flight per tenant
+	r1, _, _ := l.acquire("acme")
+	r2, _, _ := l.acquire("acme")
+	if r1 == nil || r2 == nil {
+		t.Fatalf("requests within the quota rejected")
+	}
+	release, reason, ra := l.acquire("acme")
+	if release != nil {
+		t.Fatalf("third concurrent request admitted over a quota of 2")
+	}
+	if reason != "inflight" || ra != 1 {
+		t.Fatalf("rejection = (%s, retry %d), want (inflight, 1)", reason, ra)
+	}
+	if rOther, _, _ := l.acquire("other"); rOther == nil {
+		t.Fatalf("other tenant rejected while acme is at quota")
+	} else {
+		rOther()
+	}
+	// release is idempotent: double-calling must not free two slots.
+	r1()
+	r1()
+	r3, _, _ := l.acquire("acme")
+	if r3 == nil {
+		t.Fatalf("request after a release rejected")
+	}
+	if r4, _, _ := l.acquire("acme"); r4 != nil {
+		t.Fatalf("double release freed two slots")
+	}
+	r2()
+	r3()
+}
+
+func TestTenantLimiterDisabledAndSweep(t *testing.T) {
+	if l := newTenantLimiter(0, 0); l != nil {
+		t.Fatalf("limiter with both limits disabled should be nil")
+	}
+	// The state map stays bounded when a client fabricates tenant names.
+	l := newTenantLimiter(1000, 0)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clk.now
+	for i := 0; i < 2*maxTrackedTenants; i++ {
+		// Every tenant's bucket refills fully between acquisitions, so each is
+		// sweepable by the time the map hits its cap.
+		clk.advance(time.Second)
+		release, _, _ := l.acquire(string(rune('a'+i%26)) + time.Unix(int64(i), 0).String())
+		if release != nil {
+			release()
+		}
+		if len(l.m) > maxTrackedTenants {
+			t.Fatalf("tenant map grew to %d, cap is %d", len(l.m), maxTrackedTenants)
+		}
+	}
+}
+
+func TestTenantOf(t *testing.T) {
+	if got := tenantOf(""); got != defaultTenant {
+		t.Fatalf("tenantOf(\"\") = %q, want %q", got, defaultTenant)
+	}
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if got := tenantOf(string(long)); len(got) != 64 {
+		t.Fatalf("tenantOf(long) kept %d bytes, want 64", len(got))
+	}
+}
+
+// TestTenantFairnessHTTP drives the serving path: a hog tenant that burned
+// its bucket is bounced with 429 + Retry-After before global admission,
+// while another tenant's identical request sails through.
+func TestTenantFairnessHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, TenantRPS: 0.01}) // burst 1, ~no refill
+	req := func(tenant string) (*http.Response, []byte) {
+		t.Helper()
+		r, err := http.NewRequest("GET", ts.URL+"/analyze?app=bicg", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Header.Set(tenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	r1, b1 := req("hog")
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("hog's first request: status %d, body %s", r1.StatusCode, b1)
+	}
+	r2, b2 := req("hog")
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hog's second request: status %d, want 429; body %s", r2.StatusCode, b2)
+	}
+	if ra := r2.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("tenant 429 Retry-After = %q, want a positive hint", ra)
+	}
+	if oc := r2.Header.Get(outcomeHeader); oc != "reject" {
+		t.Fatalf("tenant 429 outcome header = %q, want reject", oc)
+	}
+
+	// The victim is untouched by the hog's exhaustion — and is served from
+	// the cache entry the hog populated, so fairness costs no extra analysis.
+	r3, b3 := req("victim")
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("victim's request: status %d, body %s", r3.StatusCode, b3)
+	}
+	if got := r3.Header.Get("X-Pardetect-Cache"); got != "hit" {
+		t.Fatalf("victim verdict = %q, want hit", got)
+	}
+
+	o := s.Observer()
+	if n := o.Counter("server.tenant.rejects"); n != 1 {
+		t.Fatalf("server.tenant.rejects = %d, want 1", n)
+	}
+	// The per-tenant metrics series carries the rejection.
+	if c := s.m.tenantReject("hog", "rate"); c.Value() != 1 {
+		t.Fatalf("tenant reject counter = %d, want 1", c.Value())
+	}
+}
+
+// TestTenantInflightHTTP pins the quota limb over HTTP: with one slow request
+// in flight, a second request by the same tenant is bounced while another
+// tenant still gets through.
+func TestTenantInflightHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, TenantMaxInflight: 1})
+	slow, err := EncodeProgram(slowProgram("occupy-tenant", slowN))
+	if err != nil {
+		t.Fatalf("EncodeProgram: %v", err)
+	}
+	postAs := func(tenant string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		r, err := http.NewRequest("POST", ts.URL+"/analyze?cache=skip", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Header.Set(tenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := postAs("acme", slow)
+		done <- resp.StatusCode
+	}()
+	waitUntil(t, "first request analysing", func() bool { return s.pool.Running() == 1 })
+
+	resp, body := postAs("acme", slow)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("same tenant's concurrent request: status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	resp2, body2 := get(t, ts.URL+"/analyze?app=bicg") // default tenant
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant during acme's flight: status %d, body %s", resp2.StatusCode, body2)
+	}
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("occupying request: status %d, want 200", st)
+	}
+}

@@ -1,0 +1,297 @@
+// Package store is the durable tier under pardetectd's in-memory result
+// cache: a disk-backed, content-addressed store of completed analyses keyed
+// by the program's content fingerprint (core.ProgramFingerprint). The
+// in-memory LRU dies with the process; the store survives restarts, so a
+// relaunched daemon serves previously analysed programs as hits with
+// byte-identical bodies — and it is the substrate corpus mode needs to
+// amortise expensive dynamic analyses across thousands of programs and
+// many runs.
+//
+// Layout: one file per entry under a two-level fan-out directory keyed by
+// the fingerprint's leading hex digits,
+//
+//	<dir>/<key[0:2]>/<key[2:4]>/<key>.json
+//
+// so a store of tens of thousands of entries never puts more than a few
+// hundred files in one directory. Each file is a versioned JSON record
+// (schema pardetect.store/v1) carrying the rendered response body, the
+// result fingerprint and the response-envelope fields.
+//
+// Durability discipline: writes are atomic — the record is written to a
+// .tmp file in the destination directory and renamed into place, so a
+// reader never sees a half-written entry under its final name. Corruption
+// (a crash mid-rename on a non-atomic filesystem, a truncated file, bit
+// rot, a schema from the future) is never an error: a record that fails to
+// load is treated as a miss and deleted, and leftover .tmp files are swept
+// at Open. The cache above re-analyses and re-writes; the store never
+// wedges the serving path.
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Schema identifies the on-disk record layout. A record carrying any other
+// schema string — including a future v2 — is treated as corrupt (miss and
+// delete), so a downgraded binary never misreads a newer record.
+const Schema = "pardetect.store/v1"
+
+// Entry is one stored analysis result: the rendered body plus the envelope
+// fields the serving layer needs to answer a request without re-analysis.
+type Entry struct {
+	// Schema is always the package Schema constant on disk.
+	Schema string `json:"schema"`
+	// Key is the program's content fingerprint — repeated inside the record
+	// so a file that was renamed or copied to the wrong address is detected
+	// as corrupt rather than served under a wrong key.
+	Key string `json:"key"`
+	// Program and Headline feed the JSON response envelope.
+	Program  string `json:"program"`
+	Headline string `json:"headline,omitempty"`
+	// Fingerprint is the result digest (core.Result.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// BestThreads/BestSpeedup carry the schedule sweep's peak for registered
+	// apps (0/0 when the program has no schedule model).
+	BestThreads int     `json:"best_threads,omitempty"`
+	BestSpeedup float64 `json:"best_speedup,omitempty"`
+	// SavedUnixNS stamps the write; recency drives eviction and LRU warming.
+	SavedUnixNS int64 `json:"saved_unix_ns"`
+	// Body is the rendered response text (base64 in the JSON encoding),
+	// byte-identical to the miss that produced it.
+	Body []byte `json:"body"`
+}
+
+// Options configures a store.
+type Options struct {
+	// Dir is the store root; created if missing.
+	Dir string
+	// MaxEntries bounds the entries kept on disk — beyond it the oldest
+	// entries are evicted on write. Values < 1 select the default of 4096.
+	MaxEntries int
+}
+
+// GetResult classifies a probe.
+type GetResult int
+
+const (
+	// Miss: no entry under the key.
+	Miss GetResult = iota
+	// Hit: the entry loaded and validated.
+	Hit
+	// Corrupt: a file existed but failed to load or validate; it has been
+	// deleted and the probe counts as a miss to the caller.
+	Corrupt
+)
+
+// Store is a disk-backed content-addressed entry store. All methods are
+// safe for concurrent use; I/O runs under one mutex, which is fine for a
+// tier that sits below an in-memory cache absorbing the hot keys.
+type Store struct {
+	dir string
+	max int
+
+	mu  sync.Mutex
+	idx map[string]int64 // key → saved stamp (ns); recency for eviction/warming
+}
+
+// Open creates the root directory if needed, sweeps stale .tmp files left
+// by a crashed writer, and indexes the existing entries by recency without
+// reading their contents (validation happens lazily, at Get).
+func Open(opts Options) (*Store, error) {
+	if opts.MaxEntries < 1 {
+		opts.MaxEntries = 4096
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: opts.Dir, max: opts.MaxEntries, idx: make(map[string]int64)}
+	// Two fixed levels of fan-out directories, entries at the leaves. Any
+	// unreadable corner of the tree is skipped, not fatal: the store must
+	// open on a half-destroyed directory.
+	l1, _ := os.ReadDir(opts.Dir)
+	for _, d1 := range l1 {
+		if !d1.IsDir() {
+			continue
+		}
+		l2, _ := os.ReadDir(filepath.Join(opts.Dir, d1.Name()))
+		for _, d2 := range l2 {
+			if !d2.IsDir() {
+				continue
+			}
+			leaf := filepath.Join(opts.Dir, d1.Name(), d2.Name())
+			files, _ := os.ReadDir(leaf)
+			for _, f := range files {
+				if f.IsDir() {
+					continue
+				}
+				name := f.Name()
+				if strings.HasSuffix(name, ".tmp") {
+					os.Remove(filepath.Join(leaf, name)) // crashed writer's leavings
+					continue
+				}
+				key, ok := strings.CutSuffix(name, ".json")
+				if !ok || !validKey(key) {
+					continue
+				}
+				stamp := int64(0)
+				if info, err := f.Info(); err == nil {
+					stamp = info.ModTime().UnixNano()
+				}
+				s.idx[key] = stamp
+			}
+		}
+	}
+	return s, nil
+}
+
+// validKey requires enough leading hex for the fan-out path and rejects
+// anything that could escape the directory. Fingerprints are 16 lowercase
+// hex characters; the check is deliberately a superset.
+func validKey(key string) bool {
+	if len(key) < 4 || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		ok := c >= '0' && c <= '9' || c >= 'a' && c <= 'f'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[0:2], key[2:4], key+".json")
+}
+
+// Get probes the store. A Hit returns the validated entry; Corrupt means a
+// file existed but failed to load — it has been deleted, and the caller
+// should treat the probe as a miss (the distinction exists only so the
+// serving layer can count corruption).
+func (s *Store) Get(key string) (*Entry, GetResult) {
+	if !validKey(key) {
+		return nil, Miss
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// Unreadable is indistinguishable from corrupt: drop it.
+			return nil, s.dropLocked(key, path)
+		}
+		delete(s.idx, key) // heal an index entry whose file vanished
+		return nil, Miss
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Schema != Schema || e.Key != key || e.Body == nil {
+		return nil, s.dropLocked(key, path)
+	}
+	return &e, Hit
+}
+
+// dropLocked deletes a bad entry and reports it as Corrupt.
+func (s *Store) dropLocked(key, path string) GetResult {
+	os.Remove(path)
+	delete(s.idx, key)
+	return Corrupt
+}
+
+// Put writes the entry atomically (temp file + rename in the destination
+// directory) and evicts the oldest entries beyond the MaxEntries budget.
+// It returns how many entries were evicted.
+func (s *Store) Put(e *Entry) (evicted int, err error) {
+	if e == nil || !validKey(e.Key) {
+		return 0, os.ErrInvalid
+	}
+	rec := *e
+	rec.Schema = Schema
+	if rec.SavedUnixNS == 0 {
+		rec.SavedUnixNS = time.Now().UnixNano()
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Dir(s.path(rec.Key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(dir, rec.Key+"-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.path(rec.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	s.idx[rec.Key] = rec.SavedUnixNS
+	for len(s.idx) > s.max {
+		oldKey, oldStamp := "", int64(0)
+		for k, st := range s.idx {
+			if oldKey == "" || st < oldStamp || (st == oldStamp && k < oldKey) {
+				oldKey, oldStamp = k, st
+			}
+		}
+		os.Remove(s.path(oldKey))
+		delete(s.idx, oldKey)
+		evicted++
+	}
+	return evicted, nil
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// RecentKeys returns up to k keys, most recently written first — the warm
+// set a restarted server loads into its in-memory LRU. Keys with equal
+// stamps order deterministically (lexicographically).
+func (s *Store) RecentKeys(k int) []string {
+	s.mu.Lock()
+	type ks struct {
+		key   string
+		stamp int64
+	}
+	all := make([]ks, 0, len(s.idx))
+	for key, stamp := range s.idx {
+		all = append(all, ks{key, stamp})
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].stamp != all[j].stamp {
+			return all[i].stamp > all[j].stamp
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, 0, k)
+	for _, e := range all[:k] {
+		out = append(out, e.key)
+	}
+	return out
+}

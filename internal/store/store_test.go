@@ -1,0 +1,269 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%016x", 0xabc0000000000000+uint64(i))
+}
+
+func open(t *testing.T, dir string, max int) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, MaxEntries: max})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	in := &Entry{
+		Key:         testKey(1),
+		Program:     "bicg",
+		Headline:    "geometric decomposition",
+		Fingerprint: "deadbeefdeadbeef",
+		BestThreads: 8,
+		BestSpeedup: 3.5,
+		Body:        []byte("the rendered summary\nwith lines\n"),
+	}
+	if _, err := s.Put(in); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	e, res := s.Get(in.Key)
+	if res != Hit {
+		t.Fatalf("Get = %v, want Hit", res)
+	}
+	if e.Schema != Schema || e.Key != in.Key || e.Program != in.Program ||
+		e.Fingerprint != in.Fingerprint || e.BestThreads != 8 || e.BestSpeedup != 3.5 ||
+		!bytes.Equal(e.Body, in.Body) {
+		t.Fatalf("round-trip mismatch: %+v", e)
+	}
+	if e.SavedUnixNS == 0 {
+		t.Fatalf("SavedUnixNS not stamped")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if _, res := s.Get(testKey(2)); res != Miss {
+		t.Fatalf("absent key: %v, want Miss", res)
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	body := []byte("persisted body")
+	if _, err := s.Put(&Entry{Key: testKey(1), Program: "p", Fingerprint: "f", Body: body}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	s2 := open(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	e, res := s2.Get(testKey(1))
+	if res != Hit || !bytes.Equal(e.Body, body) {
+		t.Fatalf("reopened Get = %v, entry %+v", res, e)
+	}
+}
+
+// TestCrashSafety is the mid-write kill scenario: a leftover .tmp from a
+// writer that died before rename, and an entry truncated mid-write (as if
+// the filesystem lost the tail). Both must read as misses, the .tmp must be
+// swept at Open, and the truncated file must be deleted on first probe with
+// the probe classified Corrupt (the serving layer's store.corrupt counter).
+func TestCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	good, bad := testKey(1), testKey(2)
+	if _, err := s.Put(&Entry{Key: good, Program: "ok", Fingerprint: "f", Body: []byte("good")}); err != nil {
+		t.Fatalf("Put good: %v", err)
+	}
+	if _, err := s.Put(&Entry{Key: bad, Program: "will-truncate", Fingerprint: "f", Body: []byte("whole body")}); err != nil {
+		t.Fatalf("Put bad: %v", err)
+	}
+
+	// Simulate the crash: truncate the second entry mid-record and drop a
+	// stale .tmp next to it.
+	badPath := s.path(bad)
+	data, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpPath := filepath.Join(filepath.Dir(badPath), bad+"-crashed.tmp")
+	if err := os.WriteFile(tmpPath, []byte("{half a reco"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	s2 := open(t, dir, 0)
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatalf(".tmp survived Open: %v", err)
+	}
+
+	// The truncated entry is a miss, reported Corrupt once, and deleted.
+	if _, res := s2.Get(bad); res != Corrupt {
+		t.Fatalf("truncated entry Get = %v, want Corrupt", res)
+	}
+	if _, err := os.Stat(badPath); !os.IsNotExist(err) {
+		t.Fatalf("truncated entry not deleted: %v", err)
+	}
+	if _, res := s2.Get(bad); res != Miss {
+		t.Fatalf("second probe of deleted entry = %v, want Miss", res)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len after corruption cleanup = %d, want 1", s2.Len())
+	}
+
+	// The good entry still serves.
+	e, res := s2.Get(good)
+	if res != Hit || string(e.Body) != "good" {
+		t.Fatalf("good entry after restart: %v %v", res, e)
+	}
+}
+
+// TestCorruptVariants: every way a record can be wrong reads as Corrupt
+// exactly once, then Miss.
+func TestCorruptVariants(t *testing.T) {
+	writeRaw := func(s *Store, key string, raw []byte) {
+		t.Helper()
+		path := s.path(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	futureRecord := func(key string) []byte {
+		data, _ := json.Marshal(&Entry{Schema: "pardetect.store/v99", Key: key, Body: []byte("x")})
+		return data
+	}
+	wrongKeyRecord := func(key string) []byte {
+		data, _ := json.Marshal(&Entry{Schema: Schema, Key: testKey(99), Body: []byte("x")})
+		return data
+	}
+	noBodyRecord := func(key string) []byte {
+		data, _ := json.Marshal(&Entry{Schema: Schema, Key: key})
+		return data
+	}
+	cases := []struct {
+		name string
+		raw  func(key string) []byte
+	}{
+		{"not json", func(string) []byte { return []byte("not json at all") }},
+		{"future schema", futureRecord},
+		{"wrong key inside", wrongKeyRecord},
+		{"missing body", noBodyRecord},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, t.TempDir(), 0)
+			key := testKey(10 + i)
+			writeRaw(s, key, tc.raw(key))
+			if _, res := s.Get(key); res != Corrupt {
+				t.Fatalf("Get = %v, want Corrupt", res)
+			}
+			if _, res := s.Get(key); res != Miss {
+				t.Fatalf("second Get = %v, want Miss", res)
+			}
+		})
+	}
+}
+
+func TestEvictionOldestFirst(t *testing.T) {
+	s := open(t, t.TempDir(), 3)
+	var total int
+	for i := 0; i < 5; i++ {
+		// Distinct stamps make recency deterministic without sleeping.
+		ev, err := s.Put(&Entry{Key: testKey(i), Program: "p", Fingerprint: "f",
+			Body: []byte("b"), SavedUnixNS: int64(1000 + i)})
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		total += ev
+	}
+	if total != 2 {
+		t.Fatalf("evicted %d, want 2", total)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, res := s.Get(testKey(i)); res != Miss {
+			t.Fatalf("oldest entry %d survived eviction: %v", i, res)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, res := s.Get(testKey(i)); res != Hit {
+			t.Fatalf("recent entry %d evicted: %v", i, res)
+		}
+	}
+}
+
+func TestRecentKeysOrder(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put(&Entry{Key: testKey(i), Program: "p", Fingerprint: "f",
+			Body: []byte("b"), SavedUnixNS: int64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.RecentKeys(2)
+	want := []string{testKey(3), testKey(2)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("RecentKeys = %v, want %v", got, want)
+	}
+	if all := s.RecentKeys(100); len(all) != 4 {
+		t.Fatalf("RecentKeys(100) = %d keys, want 4", len(all))
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	for _, key := range []string{"", "ab", "../../../../etc/passwd", "ABCD1234", "zz00", "0123456789abcdeX"} {
+		if _, err := s.Put(&Entry{Key: key, Body: []byte("x")}); err == nil {
+			t.Fatalf("Put(%q) accepted", key)
+		}
+		if _, res := s.Get(key); res != Miss {
+			t.Fatalf("Get(%q) = %v, want Miss", key, res)
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir(), 64)
+	done := make(chan bool)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- true }()
+			for i := 0; i < 50; i++ {
+				key := testKey(w*50 + i)
+				if _, err := s.Put(&Entry{Key: key, Program: "p", Fingerprint: "f", Body: []byte("b")}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, res := s.Get(key); res != Hit {
+					t.Errorf("Get(%s) = %v just after Put", key, res)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Len() > 64 {
+		t.Fatalf("Len = %d exceeds MaxEntries 64", s.Len())
+	}
+}

@@ -11,9 +11,18 @@
 // first — the serving path must actually have served: requests and
 // throughput positive, quantiles present and ordered (p50 ≤ p99), rates in
 // [0,1], the server's /metrics scrape carrying populated histogram
-// buckets. The baseline comparison is deliberately loose: CI boxes differ
-// wildly in speed, so only a collapse (fresh throughput below 1/20 of the
-// baseline) fails the gate; ordinary drift does not. Exit 1 on violation.
+// buckets. The serving-feature legs are gated on correctness, not speed:
+// the batch leg must have streamed result lines, the warm-restart leg must
+// have served every replayed program from the restarted store (hit_rate ≥
+// 0.999 — durability is not allowed to flake), and the fairness leg must
+// show the hog rejected while the victims essentially are not. The baseline
+// comparison is deliberately loose: CI boxes differ wildly in speed, so
+// only a collapse (fresh throughput below 1/20 of the baseline) fails the
+// gate; ordinary drift does not. Exit 1 on violation.
+//
+// Legs disabled in the fresh run's config (-batch 0, -restart=false,
+// -tenants 0) are skipped, so ad-hoc servebench invocations still gate;
+// ci.sh runs with the defaults, which enable all three.
 package main
 
 import (
@@ -24,7 +33,12 @@ import (
 )
 
 type serveResult struct {
-	Schema        string  `json:"schema"`
+	Schema string `json:"schema"`
+	Config struct {
+		Batch   int  `json:"batch"`
+		Restart bool `json:"restart"`
+		Tenants int  `json:"tenants"`
+	} `json:"config"`
 	Requests      int64   `json:"requests"`
 	Errors        int64   `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -38,6 +52,23 @@ type serveResult struct {
 	Server     struct {
 		HistogramBucketLines int `json:"histogram_bucket_lines"`
 	} `json:"server"`
+	Batch *struct {
+		Requests int64            `json:"requests"`
+		Lines    int64            `json:"lines"`
+		Outcomes map[string]int64 `json:"outcomes"`
+	} `json:"batch"`
+	WarmRestart *struct {
+		Programs int     `json:"programs"`
+		Hits     int64   `json:"hits"`
+		HitRate  float64 `json:"hit_rate"`
+	} `json:"warm_restart"`
+	Fairness *struct {
+		HogRequests      int64   `json:"hog_requests"`
+		HogRejects       int64   `json:"hog_rejects"`
+		VictimRequests   int64   `json:"victim_requests"`
+		HogRejectRate    float64 `json:"hog_reject_rate"`
+		VictimRejectRate float64 `json:"victim_reject_rate"`
+	} `json:"fairness"`
 }
 
 func load(path string) (serveResult, error) {
@@ -102,6 +133,56 @@ func main() {
 	}
 	if f.Errors > f.Requests/10 {
 		fail("errors = %d of %d requests (>10%% transport failures)", f.Errors, f.Requests)
+	}
+
+	// The serving-feature legs: each is required when its config enabled it.
+	if f.Config.Batch > 0 {
+		if f.Batch == nil {
+			fail("config enables the batch leg but the result has no batch section")
+		}
+		if f.Batch.Requests <= 0 || f.Batch.Lines <= 0 {
+			fail("batch leg served nothing: %d requests, %d lines", f.Batch.Requests, f.Batch.Lines)
+		}
+		var ok int64
+		for _, oc := range []string{"hit", "miss", "join"} {
+			ok += f.Batch.Outcomes[oc]
+		}
+		if ok <= 0 {
+			fail("batch leg produced no successful lines: outcomes %v", f.Batch.Outcomes)
+		}
+	}
+	if f.Config.Restart {
+		if f.WarmRestart == nil {
+			fail("config enables the warm-restart leg but the result has no warm_restart section")
+		}
+		if f.WarmRestart.Programs <= 0 {
+			fail("warm-restart leg replayed no programs")
+		}
+		if f.WarmRestart.HitRate < 0.999 {
+			fail("warm-restart hit_rate = %.3f (%d/%d), want >= 0.999 — the store is not restart-durable",
+				f.WarmRestart.HitRate, f.WarmRestart.Hits, f.WarmRestart.Programs)
+		}
+	}
+	if f.Config.Tenants > 0 {
+		if f.Fairness == nil {
+			fail("config enables the fairness leg but the result has no fairness section")
+		}
+		if f.Fairness.HogRequests <= 0 || f.Fairness.VictimRequests <= 0 {
+			fail("fairness leg sent no traffic: hog %d, victims %d",
+				f.Fairness.HogRequests, f.Fairness.VictimRequests)
+		}
+		if f.Fairness.HogRejects <= 0 {
+			fail("fairness: the hog was never rejected (%d requests) — the tenant limiter is not enforcing",
+				f.Fairness.HogRequests)
+		}
+		if f.Fairness.VictimRejectRate > 0.01 {
+			fail("fairness: victim reject rate %.3f > 0.01 — the hog starved other tenants",
+				f.Fairness.VictimRejectRate)
+		}
+		if f.Fairness.HogRejectRate <= f.Fairness.VictimRejectRate {
+			fail("fairness: hog reject rate %.3f not above victim rate %.3f",
+				f.Fairness.HogRejectRate, f.Fairness.VictimRejectRate)
+		}
 	}
 
 	b, err := load(*baseline)

@@ -4,11 +4,14 @@
 // (cmd/pardetectd): it builds the real binary, starts it on an ephemeral
 // port, and exercises the service behaviors end to end over HTTP —
 // liveness, an uncached and a cached analysis (counter-verified via the
-// X-Pardetect-Cache header and byte-compared bodies), admission
-// backpressure (429 + Retry-After while the single worker is occupied),
-// and a clean SIGTERM drain. The in-process test suite covers the same
-// behaviors white-box; this script proves the shipped binary wires them
-// together.
+// X-Pardetect-Cache header and byte-compared bodies), a batch NDJSON
+// request, admission backpressure (429 + Retry-After while the single
+// worker is occupied), and a clean SIGTERM drain. It then relaunches the
+// binary on the same -store-dir and requires the very first request of the
+// new process to be a cache hit with a byte-identical body: the persistent
+// store's restart durability, proven against the real binary and a real
+// SIGTERM. The in-process test suite covers the same behaviors white-box;
+// this script proves the shipped binary wires them together.
 //
 // Usage: go run scripts/servesmoke.go   (from the repository root; ci.sh
 // runs it after the golden gate)
@@ -44,6 +47,67 @@ func main() {
 	fmt.Println("servesmoke: ok")
 }
 
+// daemon is one running pardetectd process with its captured stderr log.
+type daemon struct {
+	cmd     *exec.Cmd
+	base    string
+	log     *logBuf
+	logDone chan struct{}
+}
+
+// startDaemon launches the binary, waits for its bound address on stderr and
+// keeps draining the pipe so the process never blocks on it.
+func startDaemon(bin string, args ...string) (*daemon, error) {
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start pardetectd: %v", err)
+	}
+	d := &daemon{cmd: cmd, log: &logBuf{}, logDone: make(chan struct{})}
+	lines := bufio.NewScanner(stderr)
+	addrRe := regexp.MustCompile(`listening on http://([^/]+)/`)
+	for lines.Scan() {
+		d.log.add(lines.Text())
+		if m := addrRe.FindStringSubmatch(lines.Text()); m != nil {
+			d.base = "http://" + m[1]
+			break
+		}
+	}
+	if d.base == "" {
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("no listening address on stderr:\n%s", d.log.String())
+	}
+	go func() {
+		defer close(d.logDone)
+		for lines.Scan() {
+			d.log.add(lines.Text())
+		}
+	}()
+	return d, nil
+}
+
+// drain SIGTERMs the daemon and requires a clean exit with the drain message.
+func (d *daemon) drain() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-d.logDone:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := d.cmd.Wait(); err != nil {
+		return fmt.Errorf("daemon exit after SIGTERM: %v\nlog:\n%s", err, d.log.String())
+	}
+	if !strings.Contains(d.log.String(), "drained") {
+		return fmt.Errorf("daemon log missing drain message:\n%s", d.log.String())
+	}
+	return nil
+}
+
 func run() error {
 	tmp, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
@@ -57,65 +121,51 @@ func run() error {
 	if err := build.Run(); err != nil {
 		return fmt.Errorf("build pardetectd: %v", err)
 	}
+	storeDir := filepath.Join(tmp, "store")
 
 	// One worker, zero queue: the backpressure probe below is deterministic.
-	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "0")
-	stderr, err := daemon.StderrPipe()
+	d, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "0", "-store-dir", storeDir)
 	if err != nil {
 		return err
 	}
-	if err := daemon.Start(); err != nil {
-		return fmt.Errorf("start pardetectd: %v", err)
-	}
-	defer daemon.Process.Kill()
+	defer d.cmd.Process.Kill()
+	fmt.Printf("servesmoke: daemon at %s\n", d.base)
 
-	// The daemon prints its bound address to stderr; keep draining the pipe
-	// afterwards so the process never blocks on it, and keep the full log
-	// for the final drain check.
-	log := &logBuf{}
-	lines := bufio.NewScanner(stderr)
-	addrRe := regexp.MustCompile(`listening on http://([^/]+)/`)
-	base := ""
-	for lines.Scan() {
-		log.add(lines.Text())
-		if m := addrRe.FindStringSubmatch(lines.Text()); m != nil {
-			base = "http://" + m[1]
-			break
-		}
-	}
-	if base == "" {
-		return fmt.Errorf("no listening address on stderr:\n%s", log.String())
-	}
-	logDone := make(chan struct{})
-	go func() {
-		defer close(logDone)
-		for lines.Scan() {
-			log.add(lines.Text())
-		}
-	}()
-	fmt.Printf("servesmoke: daemon at %s\n", base)
-
-	if err := probe(base); err != nil {
+	bicgBody, err := probe(d.base)
+	if err != nil {
 		return err
 	}
 
-	// Clean shutdown: SIGTERM must drain and exit 0. Drain stderr to EOF
-	// before Wait — Wait closes the pipe and would race the log reader.
-	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+	// Clean shutdown: SIGTERM must drain (flushing the persistent store) and
+	// exit 0.
+	if err := d.drain(); err != nil {
 		return err
-	}
-	select {
-	case <-logDone:
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
-	}
-	if err := daemon.Wait(); err != nil {
-		return fmt.Errorf("daemon exit after SIGTERM: %v\nlog:\n%s", err, log.String())
-	}
-	if !strings.Contains(log.String(), "drained") {
-		return fmt.Errorf("daemon log missing drain message:\n%s", log.String())
 	}
 	fmt.Println("servesmoke: drained cleanly on SIGTERM")
+
+	// Restart durability: a fresh process on the same -store-dir must serve
+	// the first bicg request as a hit, byte-identical to the pre-restart
+	// analysis, without re-analysing.
+	d2, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-queue", "0", "-store-dir", storeDir)
+	if err != nil {
+		return fmt.Errorf("relaunch on the store dir: %v", err)
+	}
+	defer d2.cmd.Process.Kill()
+	status, h, body, err := get(d2.base + "/analyze?app=bicg")
+	if err != nil || status != 200 {
+		return fmt.Errorf("post-restart analyze: status %d err %v body %s", status, err, body)
+	}
+	if v := h.Get("X-Pardetect-Cache"); v != "hit" {
+		return fmt.Errorf("first request after restart: X-Pardetect-Cache %q, want hit (store not durable)", v)
+	}
+	if !bytes.Equal(body, bicgBody) {
+		return fmt.Errorf("post-restart hit body differs from the pre-restart analysis")
+	}
+	fmt.Println("servesmoke: restart on the same -store-dir served a byte-identical hit")
+	if err := d2.drain(); err != nil {
+		return err
+	}
+	fmt.Println("servesmoke: second daemon drained cleanly")
 	return nil
 }
 
@@ -139,33 +189,61 @@ func (l *logBuf) String() string {
 	return l.b.String()
 }
 
-func probe(base string) error {
+// probe exercises the serving behaviors and returns the bicg analysis body
+// for the restart leg's byte-comparison.
+func probe(base string) ([]byte, error) {
 	// Liveness.
 	status, _, body, err := get(base + "/healthz")
 	if err != nil || status != 200 || !strings.Contains(string(body), `"status":"ok"`) {
-		return fmt.Errorf("healthz: status %d err %v body %s", status, err, body)
+		return nil, fmt.Errorf("healthz: status %d err %v body %s", status, err, body)
 	}
 	fmt.Println("servesmoke: healthz ok")
 
 	// Uncached then cached analysis of a registered app.
 	status, h1, b1, err := get(base + "/analyze?app=bicg")
 	if err != nil || status != 200 {
-		return fmt.Errorf("analyze bicg: status %d err %v body %s", status, err, b1)
+		return nil, fmt.Errorf("analyze bicg: status %d err %v body %s", status, err, b1)
 	}
 	if v := h1.Get("X-Pardetect-Cache"); v != "miss" {
-		return fmt.Errorf("first analyze: X-Pardetect-Cache %q, want miss", v)
+		return nil, fmt.Errorf("first analyze: X-Pardetect-Cache %q, want miss", v)
 	}
 	status, h2, b2, err := get(base + "/analyze?app=bicg")
 	if err != nil || status != 200 {
-		return fmt.Errorf("analyze bicg again: status %d err %v", status, err)
+		return nil, fmt.Errorf("analyze bicg again: status %d err %v", status, err)
 	}
 	if v := h2.Get("X-Pardetect-Cache"); v != "hit" {
-		return fmt.Errorf("second analyze: X-Pardetect-Cache %q, want hit", v)
+		return nil, fmt.Errorf("second analyze: X-Pardetect-Cache %q, want hit", v)
 	}
 	if !bytes.Equal(b1, b2) {
-		return fmt.Errorf("cache hit body differs from the miss body")
+		return nil, fmt.Errorf("cache hit body differs from the miss body")
 	}
 	fmt.Println("servesmoke: cache miss then counter-verified hit, identical bodies")
+
+	// Batch NDJSON: two lines (a cached hit and an undecodable line) come
+	// back as two result lines, each with its own outcome.
+	irStatus, _, irBody, err := get(base + "/ir?app=bicg")
+	if err != nil || irStatus != 200 {
+		return nil, fmt.Errorf("ir bicg: status %d err %v", irStatus, err)
+	}
+	batch := append(append([]byte{}, bytes.TrimSpace(irBody)...), '\n')
+	batch = append(batch, []byte("{not json\n")...)
+	status, _, bout, err := post(base+"/analyze/batch", batch)
+	if err != nil || status != 200 {
+		return nil, fmt.Errorf("batch: status %d err %v body %s", status, err, bout)
+	}
+	var hits, bad int
+	for _, line := range bytes.Split(bytes.TrimSpace(bout), []byte("\n")) {
+		switch {
+		case bytes.Contains(line, []byte(`"outcome":"hit"`)):
+			hits++
+		case bytes.Contains(line, []byte(`"outcome":"bad_line"`)):
+			bad++
+		}
+	}
+	if hits != 1 || bad != 1 {
+		return nil, fmt.Errorf("batch outcomes: %d hit + %d bad_line, want 1 + 1; body %s", hits, bad, bout)
+	}
+	fmt.Println("servesmoke: batch NDJSON served per-line outcomes")
 
 	// Backpressure: occupy the single worker with a slow POSTed program,
 	// then a request that needs a worker must bounce with 429.
@@ -178,23 +256,23 @@ func probe(base string) error {
 		occupied <- err
 	}()
 	if err := waitRunning(base, 1); err != nil {
-		return err
+		return nil, err
 	}
 	status, h3, body, err := get(base + "/analyze?app=2mm&cache=skip")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if status != http.StatusTooManyRequests {
-		return fmt.Errorf("backpressure probe: status %d, want 429 (body %s)", status, body)
+		return nil, fmt.Errorf("backpressure probe: status %d, want 429 (body %s)", status, body)
 	}
 	if h3.Get("Retry-After") == "" {
-		return fmt.Errorf("429 without Retry-After")
+		return nil, fmt.Errorf("429 without Retry-After")
 	}
 	if err := <-occupied; err != nil {
-		return fmt.Errorf("occupying analysis: %v", err)
+		return nil, fmt.Errorf("occupying analysis: %v", err)
 	}
 	fmt.Println("servesmoke: full queue answered 429 with Retry-After")
-	return nil
+	return b1, nil
 }
 
 // waitRunning polls /healthz until the running gauge reaches n.
