@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci serve servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update
+.PHONY: build test bench ci serve router servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update hygiene
 
 build:
 	$(GO) build ./...
@@ -20,18 +20,32 @@ ci:
 
 # serve runs the pardetectd analysis service on its default address
 # (localhost:7070); see README "The analysis service". servesmoke runs the
-# end-to-end service smoke that CI runs.
+# end-to-end service smoke that CI runs (including the 3-backend router
+# leg with a SIGKILL failover).
 serve:
 	$(GO) run ./cmd/pardetectd
+
+# router fronts already-running pardetectd replicas with the sharded
+# routing tier; override BACKENDS for your topology. See README "Scaling
+# out" and DESIGN.md §9.
+BACKENDS ?= http://127.0.0.1:7071,http://127.0.0.1:7072,http://127.0.0.1:7073
+router:
+	$(GO) run ./cmd/pardetectrouter -backends $(BACKENDS)
 
 servesmoke:
 	$(GO) run scripts/servesmoke.go
 
 # servebench regenerates BENCH_serve.json, the committed serving baseline
 # (fuzzer-driven load against an in-process pardetectd; throughput, latency
-# quantiles, hit/reject rates) that scripts/servegate.go gates CI against.
+# quantiles, hit/reject rates, plus the 3-replica router affinity/failover
+# leg) that scripts/servegate.go gates CI against.
 servebench:
-	$(GO) run ./cmd/servebench -dur 3s -c 4 -out BENCH_serve.json
+	$(GO) run ./cmd/servebench -dur 3s -c 4 -replicas 3 -out BENCH_serve.json
+
+# hygiene runs the repo-hygiene gate CI runs first: no tracked binaries or
+# scratch benchmark artifacts.
+hygiene:
+	sh scripts/hygiene.sh
 
 # stats regenerates BENCH_obs.json, the committed per-phase telemetry
 # baseline for the Table III benchmark apps.

@@ -8,7 +8,7 @@
 //
 //	servebench [-addr http://host:port] [-c 4] [-dur 3s] [-programs 16]
 //	           [-hitpct 50] [-seed 1] [-engine tree] [-workers 0]
-//	           [-queue 64] [-batch 8] [-restart] [-tenants 2]
+//	           [-queue 64] [-batch 8] [-restart] [-tenants 2] [-replicas 0]
 //	           [-out BENCH_serve.json]
 //
 // With no -addr (the default) an in-process server is started on a loopback
@@ -38,11 +38,17 @@
 //   - tenant fairness (-tenants V, 0 disables): an in-process server with a
 //     per-tenant rate limit serves one hog tenant flooding unpaced and V
 //     victim tenants paced under the limit; the hog is rejected, the victims
-//     are not ("fairness" section).
+//     are not ("fairness" section);
+//   - sharded router (-replicas N, 0 disables): N in-process replicas behind
+//     an internal/router tier; the pool is requested twice through the router
+//     (the replay must be a cache hit on the same home replica — affinity),
+//     then one replica is killed and the pool replayed again (zero
+//     client-visible errors, the victim's programs remapped — failover)
+//     ("router" section).
 //
-// The batch leg targets whatever -addr selected; the restart and fairness
-// legs always build their own in-process servers because they must control
-// the server's lifecycle and limiter configuration.
+// The batch leg targets whatever -addr selected; the restart, fairness and
+// router legs always build their own in-process servers because they must
+// control the server's lifecycle, limiter configuration or cluster topology.
 package main
 
 import (
@@ -65,6 +71,7 @@ import (
 	"pardetect/internal/fuzzer"
 	"pardetect/internal/interp"
 	"pardetect/internal/obs/metrics"
+	"pardetect/internal/router"
 	"pardetect/internal/server"
 )
 
@@ -84,6 +91,7 @@ type config struct {
 	Batch       int    `json:"batch,omitempty"`
 	Restart     bool   `json:"restart,omitempty"`
 	Tenants     int    `json:"tenants,omitempty"`
+	Replicas    int    `json:"replicas,omitempty"`
 }
 
 type latency struct {
@@ -132,6 +140,27 @@ type fairnessResult struct {
 	VictimRejectRate float64 `json:"victim_reject_rate"`
 }
 
+// routerResult summarises the sharded-router leg: cache affinity across an
+// in-process replica cluster, and failover behaviour after one replica is
+// killed mid-run.
+type routerResult struct {
+	Replicas int `json:"replicas"`
+	Programs int `json:"programs"`
+	// HomeHits counts pool programs whose replayed request was a cache hit
+	// served by the same replica as the first request — the affinity measure.
+	HomeHits    int64   `json:"home_hits"`
+	HomeHitRate float64 `json:"home_hit_rate"`
+	// BackendShare is how many pool programs each replica is home to,
+	// labelled replica-0..N-1 in ring (sorted-URL) order.
+	BackendShare map[string]int64 `json:"backend_share"`
+	// The failover sub-leg: the whole pool replayed after killing the replica
+	// that was home to pool program 0. Errors counts client-visible failures
+	// (want 0); Remapped counts the victim's programs now served elsewhere.
+	FailoverRequests int64 `json:"failover_requests"`
+	FailoverErrors   int64 `json:"failover_errors"`
+	FailoverRemapped int64 `json:"failover_remapped"`
+}
+
 type result struct {
 	Schema        string             `json:"schema"`
 	Config        config             `json:"config"`
@@ -147,6 +176,7 @@ type result struct {
 	Batch         *batchResult       `json:"batch,omitempty"`
 	WarmRestart   *warmRestartResult `json:"warm_restart,omitempty"`
 	Fairness      *fairnessResult    `json:"fairness,omitempty"`
+	Router        *routerResult      `json:"router,omitempty"`
 }
 
 func main() {
@@ -162,6 +192,7 @@ func main() {
 	batchN := flag.Int("batch", 8, "batch-leg per-request parallelism for /analyze/batch (0 skips the leg)")
 	restart := flag.Bool("restart", true, "run the warm-restart leg (persistent store durability)")
 	tenants := flag.Int("tenants", 2, "victim tenants in the fairness leg (0 skips the leg)")
+	replicas := flag.Int("replicas", 0, "router leg: in-process pardetectd replicas behind a routing tier (0 skips the leg)")
 	out := flag.String("out", "-", "output path for the JSON result (\"-\" = stdout)")
 	flag.Parse()
 	if *c < 1 || *programs < 1 || *hitpct < 0 || *hitpct > 100 || *dur <= 0 {
@@ -279,6 +310,10 @@ func main() {
 	if *tenants > 0 {
 		fairRes = runFairnessLeg(pool[0], *tenants, *engine)
 	}
+	var routerRes *routerResult
+	if *replicas > 0 {
+		routerRes = runRouterLeg(pool, *engine, *workers, *queue, *replicas)
+	}
 
 	res := result{
 		Schema: Schema,
@@ -287,6 +322,7 @@ func main() {
 			Programs: *programs, HitPct: *hitpct, Seed: *seed,
 			Engine: *engine, Workers: *workers, Queue: *queue,
 			Batch: *batchN, Restart: *restart, Tenants: *tenants,
+			Replicas: *replicas,
 		},
 		Requests:  lat.Count(),
 		Errors:    errs.Load(),
@@ -300,6 +336,7 @@ func main() {
 		Batch:       batchRes,
 		WarmRestart: warmRes,
 		Fairness:    fairRes,
+		Router:      routerRes,
 	}
 	outcomes.Range(func(k, v any) bool {
 		res.Outcomes[k.(string)] = v.(*atomic.Int64).Load()
@@ -385,15 +422,16 @@ func scrape(client *http.Client, base string) serverSide {
 }
 
 // startLocal brings up an in-process server on a loopback port for the legs
-// that need to own the server's lifecycle or configuration.
-func startLocal(opts server.Options) (string, func(), error) {
+// that need to own the server's lifecycle or configuration. The listener is
+// returned so a leg can kill the replica (close it) instead of draining.
+func startLocal(opts server.Options) (string, net.Listener, func(), error) {
 	srv, err := server.New(opts)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	go srv.Serve(ln)
 	stop := func() {
@@ -401,7 +439,7 @@ func startLocal(opts server.Options) (string, func(), error) {
 		defer cancel()
 		srv.Shutdown(ctx)
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+	return "http://" + ln.Addr().String(), ln, stop, nil
 }
 
 // runBatchLeg POSTs the replayed pool to /analyze/batch twice — the first
@@ -456,7 +494,7 @@ func runWarmRestartLeg(pool [][]byte, engine string, workers, queue int) *warmRe
 	defer os.RemoveAll(dir)
 	client := &http.Client{}
 
-	baseA, stopA, err := startLocal(server.Options{
+	baseA, _, stopA, err := startLocal(server.Options{
 		Workers: workers, Queue: queue, DefaultEngine: engine, StoreDir: dir,
 	})
 	if err != nil {
@@ -474,7 +512,7 @@ func runWarmRestartLeg(pool [][]byte, engine string, workers, queue int) *warmRe
 	}
 	stopA() // drains and flushes the write-behind store queue
 
-	baseB, stopB, err := startLocal(server.Options{
+	baseB, _, stopB, err := startLocal(server.Options{
 		Workers: workers, Queue: queue, DefaultEngine: engine, StoreDir: dir,
 	})
 	if err != nil {
@@ -509,7 +547,7 @@ func runWarmRestartLeg(pool [][]byte, engine string, workers, queue int) *warmRe
 func runFairnessLeg(body []byte, victims int, engine string) *fairnessResult {
 	const rps = 5.0
 	res := &fairnessResult{TenantRPS: rps, Victims: victims}
-	base, stop, err := startLocal(server.Options{DefaultEngine: engine, TenantRPS: rps})
+	base, _, stop, err := startLocal(server.Options{DefaultEngine: engine, TenantRPS: rps})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servebench: fairness leg: %v\n", err)
 		return res
@@ -578,6 +616,123 @@ func runFairnessLeg(body []byte, victims int, engine string) *fairnessResult {
 	}
 	fmt.Fprintf(os.Stderr, "servebench: fairness leg: hog %d/%d rejected, victims %d/%d rejected\n",
 		res.HogRejects, res.HogRequests, res.VictimRejects, res.VictimRequests)
+	return res
+}
+
+// runRouterLeg brings up `replicas` in-process pardetectd servers behind a
+// routing tier (internal/router) and measures the two properties the tier
+// exists for. Affinity: every pool program is requested twice through the
+// router; the second request must be a cache hit served by the same home
+// replica the first one landed on. Failover: the replica that is home to
+// pool program 0 is killed (listener closed, server stopped) and the whole
+// pool replayed; every request must still succeed, with the victim's
+// programs remapped to other replicas.
+func runRouterLeg(pool [][]byte, engine string, workers, queue, replicas int) *routerResult {
+	res := &routerResult{Replicas: replicas, Programs: len(pool), BackendShare: map[string]int64{}}
+	warn := func(err error) *routerResult {
+		fmt.Fprintf(os.Stderr, "servebench: router leg: %v\n", err)
+		return res
+	}
+	type replica struct {
+		base string
+		ln   net.Listener
+		stop func()
+	}
+	var reps []replica
+	var urls []string
+	for i := 0; i < replicas; i++ {
+		base, ln, stop, err := startLocal(server.Options{
+			Workers: workers, Queue: queue, DefaultEngine: engine,
+		})
+		if err != nil {
+			return warn(err)
+		}
+		defer stop()
+		reps = append(reps, replica{base: base, ln: ln, stop: stop})
+		urls = append(urls, base)
+	}
+	rt, err := router.New(router.Options{
+		Backends:      urls,
+		ProbeInterval: 100 * time.Millisecond,
+		FailAfter:     1,
+	})
+	if err != nil {
+		return warn(err)
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return warn(err)
+	}
+	rsrv := &http.Server{Handler: rt.Handler()}
+	go rsrv.Serve(rln)
+	defer rsrv.Close()
+	base := "http://" + rln.Addr().String()
+
+	// Stable labels for the JSON: replica-i in ring (sorted-URL) order, so
+	// the ephemeral port numbers stay out of the published result.
+	label := map[string]string{}
+	for i, name := range rt.Ring().Backends() {
+		label[name] = fmt.Sprintf("replica-%d", i)
+	}
+
+	client := &http.Client{}
+	post := func(body []byte) (*http.Response, error) {
+		resp, err := client.Post(base+"/analyze", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp, nil
+	}
+
+	// Pass 1: learn each program's home replica.
+	home := make([]string, len(pool))
+	for i, body := range pool {
+		resp, err := post(body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return warn(fmt.Errorf("populate %d: err %v status %v", i, err, resp))
+		}
+		home[i] = resp.Header.Get(router.BackendHeader)
+		res.BackendShare[label[home[i]]]++
+	}
+	// Pass 2: affinity — the replay must hit the same replica's cache.
+	for i, body := range pool {
+		resp, err := post(body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if resp.Header.Get(router.BackendHeader) == home[i] &&
+			resp.Header.Get("X-Pardetect-Cache") == "hit" {
+			res.HomeHits++
+		}
+	}
+	res.HomeHitRate = float64(res.HomeHits) / float64(len(pool))
+
+	// Failover: kill program 0's home replica, then replay everything. The
+	// router must absorb the kill — strike, eject, next replica — with zero
+	// client-visible errors.
+	victim := home[0]
+	for _, rep := range reps {
+		if rep.base == victim {
+			rep.ln.Close()
+			rep.stop()
+		}
+	}
+	for i, body := range pool {
+		res.FailoverRequests++
+		resp, err := post(body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			res.FailoverErrors++
+			continue
+		}
+		if home[i] == victim && resp.Header.Get(router.BackendHeader) != victim {
+			res.FailoverRemapped++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "servebench: router leg: %d replicas, affinity %d/%d (%.0f%%), failover %d remapped, %d errors\n",
+		replicas, res.HomeHits, res.Programs, res.HomeHitRate*100, res.FailoverRemapped, res.FailoverErrors)
 	return res
 }
 

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/core"
+)
+
+// TestRingPlacementGolden pins the fingerprint→replica assignment for the
+// registered benchmark apps on a 3-backend ring. Placement is part of the
+// deployment contract: a router restart, or a second router in front of the
+// same backends, must route every program to the same home replica, or the
+// per-replica caches and stores go cold. An intentional hash/vnode change
+// must update this golden (and accepts invalidating every deployed store).
+func TestRingPlacementGolden(t *testing.T) {
+	backends := []string{"replica-0", "replica-1", "replica-2"}
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"2mm":           "replica-0",
+		"3mm":           "replica-2",
+		"bicg":          "replica-2",
+		"correlation":   "replica-1",
+		"fdtd-2d":       "replica-1",
+		"fib":           "replica-1",
+		"fluidanimate":  "replica-1",
+		"gesummv":       "replica-2",
+		"kmeans":        "replica-0",
+		"ludcmp":        "replica-0",
+		"mvt":           "replica-1",
+		"nqueens":       "replica-0",
+		"reg_detect":    "replica-0",
+		"rot-cc":        "replica-2",
+		"sort":          "replica-2",
+		"strassen":      "replica-2",
+		"streamcluster": "replica-0",
+		"sum_local":     "replica-0",
+		"sum_module":    "replica-2",
+	}
+	for name, want := range golden {
+		app := apps.Get(name)
+		if app == nil {
+			t.Fatalf("unknown app %q in golden", name)
+		}
+		key := core.ProgramFingerprint(app.Build())
+		if got := r.Lookup(key); got != want {
+			t.Errorf("Lookup(fp(%s)) = %s, want %s (placement drifted — this remaps deployed caches)",
+				name, got, want)
+		}
+	}
+}
+
+// TestRingBalance bounds the ownership skew across 4 replicas: with the
+// default vnode count, no backend may own less than 70% or more than 140%
+// of its fair share of 4096 fingerprint-shaped keys.
+func TestRingBalance(t *testing.T) {
+	backends := []string{"replica-0", "replica-1", "replica-2", "replica-3"}
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	counts := make(map[string]int, len(backends))
+	for i := 0; i < n; i++ {
+		// Keys shaped like program fingerprints: 16 hex digits.
+		counts[r.Lookup(fmt.Sprintf("%016x", uint64(i)*2654435761))]++
+	}
+	mean := float64(n) / float64(len(backends))
+	for _, b := range backends {
+		share := float64(counts[b]) / mean
+		if share < 0.70 || share > 1.40 {
+			t.Errorf("backend %s owns %d keys (%.2f of mean %.0f), outside [0.70, 1.40]",
+				b, counts[b], share, mean)
+		}
+	}
+}
+
+// TestRingRebalance pins the consistent-hashing property the cache-affinity
+// story depends on: removing one backend remaps only the keys that backend
+// owned, and each remapped key lands on the next distinct backend in its
+// failover sequence — i.e. exactly where lookup-time aliveness filtering
+// (Sequence skipping the dead backend) already sends it.
+func TestRingRebalance(t *testing.T) {
+	all := []string{"replica-0", "replica-1", "replica-2", "replica-3"}
+	const removed = "replica-2"
+	var kept []string
+	for _, b := range all {
+		if b != removed {
+			kept = append(kept, b)
+		}
+	}
+	full, err := NewRing(all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(kept, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	var remapped int
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		before, after := full.Lookup(key), reduced.Lookup(key)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %s moved %s → %s although %s was not removed", key, before, after, removed)
+			}
+			continue
+		}
+		remapped++
+		// The removed backend's keys must land exactly where Sequence-based
+		// failover already routes them on the full ring.
+		seq := full.Sequence(key, len(all))
+		var next string
+		for _, b := range seq {
+			if b != removed {
+				next = b
+				break
+			}
+		}
+		if after != next {
+			t.Fatalf("key %s remapped to %s, want failover target %s (sequence %v)", key, after, next, seq)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("the removed backend owned no keys; the test exercised nothing")
+	}
+	t.Logf("removed %s owned %d/%d keys; all of them and nothing else remapped", removed, remapped, n)
+}
+
+// TestRingDeterminism: placement depends on the set of backends, not the
+// order they were configured in.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing([]string{"x", "y", "z"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"z", "x", "y"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("key %q: placement depends on configuration order", key)
+		}
+		if !reflect.DeepEqual(a.Sequence(key, 3), b.Sequence(key, 3)) {
+			t.Fatalf("key %q: failover sequence depends on configuration order", key)
+		}
+	}
+}
+
+// TestRingSequence: the failover order starts at the home backend, contains
+// no duplicates, and is capped at the backend count.
+func TestRingSequence(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("seq-%d", i)
+		seq := r.Sequence(key, 99)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q, 99) returned %d backends, want 3", key, len(seq))
+		}
+		if seq[0] != r.Lookup(key) {
+			t.Fatalf("Sequence(%q)[0] = %s, want home %s", key, seq[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("Sequence(%q) repeats backend %s", key, b)
+			}
+			seen[b] = true
+		}
+	}
+	if got := r.Sequence("k", 0); got != nil {
+		t.Fatalf("Sequence(k, 0) = %v, want nil", got)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) succeeded, want error")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("NewRing with duplicate backend succeeded, want error")
+	}
+}

@@ -1,0 +1,510 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pardetect/internal/fuzzer"
+	"pardetect/internal/server"
+)
+
+// cluster is a router in front of n real in-process pardetectd backends.
+type cluster struct {
+	router   *Router
+	front    *httptest.Server
+	backends []*httptest.Server
+}
+
+func (c *cluster) close() {
+	c.front.Close()
+	c.router.Close()
+	for _, b := range c.backends {
+		b.Close()
+	}
+}
+
+// startCluster builds n backends (each a full internal/server instance) and
+// a router over them. mutate tweaks the router options before New.
+func startCluster(t *testing.T, n int, srvOpts server.Options, mutate func(*Options)) *cluster {
+	t.Helper()
+	c := &cluster{}
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv, err := server.New(srvOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		c.backends = append(c.backends, ts)
+		urls = append(urls, ts.URL)
+	}
+	opts := Options{
+		Backends:      urls,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailAfter:     1,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.router = rt
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(c.close)
+	return c
+}
+
+// wirePool encodes n distinct fuzzer programs as wire IR.
+func wirePool(t *testing.T, base uint64, n int) [][]byte {
+	t.Helper()
+	pool := make([][]byte, n)
+	for i := range pool {
+		wire, err := server.EncodeProgram(fuzzer.Generate(base + uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = wire
+	}
+	return pool
+}
+
+func postAnalyze(t *testing.T, base string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /analyze: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestRouterAffinity: repeated requests for the same program — whether by
+// app name or POSTed IR — land on the same home replica and repeats are
+// cache hits there.
+func TestRouterAffinity(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	for _, body := range wirePool(t, 100, 6) {
+		first, b1 := postAnalyze(t, c.front.URL, body)
+		if first.StatusCode != 200 {
+			t.Fatalf("first POST: status %d: %s", first.StatusCode, b1)
+		}
+		home := first.Header.Get(BackendHeader)
+		if home == "" {
+			t.Fatal("response missing " + BackendHeader)
+		}
+		second, b2 := postAnalyze(t, c.front.URL, body)
+		if got := second.Header.Get(BackendHeader); got != home {
+			t.Fatalf("repeat request routed to %s, want home %s", got, home)
+		}
+		if v := second.Header.Get("X-Pardetect-Cache"); v != "hit" {
+			t.Fatalf("repeat request X-Pardetect-Cache = %q, want hit", v)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("hit body differs from the miss body")
+		}
+	}
+}
+
+// TestRouterCrossSurfaceAffinity: GET /analyze?app= and POSTing the same
+// app's wire IR share one fingerprint, so they share one home replica and
+// one cache entry — the router must compute the same key for both shapes.
+func TestRouterCrossSurfaceAffinity(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	resp, err := http.Get(c.front.URL + "/analyze?app=bicg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET ?app=bicg: status %d", resp.StatusCode)
+	}
+	home := resp.Header.Get(BackendHeader)
+
+	ir, err := http.Get(c.front.URL + "/ir?app=bicg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := io.ReadAll(ir.Body)
+	ir.Body.Close()
+	if err != nil || ir.StatusCode != 200 {
+		t.Fatalf("GET /ir: status %d err %v", ir.StatusCode, err)
+	}
+	post, _ := postAnalyze(t, c.front.URL, wire)
+	if got := post.Header.Get(BackendHeader); got != home {
+		t.Fatalf("POSTed bicg IR routed to %s, want the app's home %s", got, home)
+	}
+	if v := post.Header.Get("X-Pardetect-Cache"); v != "hit" {
+		t.Fatalf("POSTed bicg IR X-Pardetect-Cache = %q, want hit (cross-surface key drifted)", v)
+	}
+}
+
+// TestRouterDistribution: distinct programs spread across more than one
+// replica — the ring is actually sharding, not funnelling.
+func TestRouterDistribution(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	seen := map[string]bool{}
+	for _, body := range wirePool(t, 200, 12) {
+		resp, data := postAnalyze(t, c.front.URL, body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		seen[resp.Header.Get(BackendHeader)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("12 distinct programs all routed to %v — the ring is not distributing", seen)
+	}
+}
+
+// TestRouterFailover: killing a replica yields zero client-visible errors —
+// its keys fail over to the next replica on the ring — and the dead replica
+// is ejected from /healthz ring membership.
+func TestRouterFailover(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	body := wirePool(t, 300, 1)[0]
+	first, _ := postAnalyze(t, c.front.URL, body)
+	if first.StatusCode != 200 {
+		t.Fatalf("first request: status %d", first.StatusCode)
+	}
+	home := first.Header.Get(BackendHeader)
+
+	// Kill the home replica the hard way: every connection refused.
+	for _, b := range c.backends {
+		if b.URL == home {
+			b.Close()
+		}
+	}
+	resp, data := postAnalyze(t, c.front.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("request after killing %s: status %d: %s (client saw the failure)", home, resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(BackendHeader); got == home || got == "" {
+		t.Fatalf("failover request served by %q, want a different live replica", got)
+	}
+	// The strike from the failed forward (FailAfter=1) ejects the backend.
+	var hz struct {
+		Status   string `json:"status"`
+		Backends []struct {
+			Name  string `json:"name"`
+			Alive bool   `json:"alive"`
+		} `json:"backends"`
+	}
+	hresp, err := http.Get(c.front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "degraded" {
+		t.Fatalf("healthz status %q after killing a backend, want degraded", hz.Status)
+	}
+	for _, b := range hz.Backends {
+		if b.Name == home && b.Alive {
+			t.Fatalf("killed backend %s still reported alive", home)
+		}
+	}
+}
+
+// blockingTransport fails requests to blocked backends with a transport
+// error, simulating a dead host without tearing the listener down.
+type blockingTransport struct {
+	inner   http.RoundTripper
+	mu      sync.Mutex
+	blocked map[string]bool
+}
+
+func (bt *blockingTransport) setBlocked(host string, v bool) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	bt.blocked[host] = v
+}
+
+func (bt *blockingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	bt.mu.Lock()
+	blocked := bt.blocked[r.URL.Host]
+	bt.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("simulated network partition to %s", r.URL.Host)
+	}
+	return bt.inner.RoundTrip(r)
+}
+
+// TestRouterEjectReinstate: the active prober ejects a partitioned backend
+// and reinstates it — via backoff probes — once it answers again.
+func TestRouterEjectReinstate(t *testing.T) {
+	bt := &blockingTransport{inner: http.DefaultTransport, blocked: map[string]bool{}}
+	c := startCluster(t, 2, server.Options{}, func(o *Options) {
+		o.Client = &http.Client{Transport: bt}
+		o.FailAfter = 2
+		o.MaxBackoff = 100 * time.Millisecond
+	})
+	target := c.backends[0].URL
+	host := strings.TrimPrefix(target, "http://")
+	b := c.router.byName[target]
+
+	bt.setBlocked(host, true)
+	waitFor(t, "ejection", func() bool { return !b.alive.Load() })
+	if b.ejections.Value() < 1 {
+		t.Fatalf("ejections counter = %d, want >= 1", b.ejections.Value())
+	}
+
+	bt.setBlocked(host, false)
+	waitFor(t, "reinstatement", func() bool { return b.alive.Load() })
+	if b.restores.Value() < 1 {
+		t.Fatalf("reinstatements counter = %d, want >= 1", b.restores.Value())
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// batchLines POSTs a batch through the router and decodes the NDJSON reply.
+func batchLines(t *testing.T, base string, body []byte) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(base+"/analyze/batch", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, data)
+	}
+	var out []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("undecodable batch line %q: %v", sc.Text(), err)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// TestRouterBatch: a batch splits per home replica, fans out, and re-merges
+// with the client's index correlation intact — including a bad line — and a
+// second pass is all hits served by the same replicas (line-level affinity).
+func TestRouterBatch(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	pool := wirePool(t, 400, 8)
+	body := bytes.Join(append(append([][]byte{}, pool...), []byte("{not json")), []byte("\n"))
+
+	lines := batchLines(t, c.front.URL, body)
+	if len(lines) != 9 {
+		t.Fatalf("batch returned %d lines, want 9", len(lines))
+	}
+	firstBackend := map[int]string{}
+	seenIdx := map[int]bool{}
+	backends := map[string]bool{}
+	for _, line := range lines {
+		idx := int(line["index"].(float64))
+		if seenIdx[idx] {
+			t.Fatalf("index %d appears twice", idx)
+		}
+		seenIdx[idx] = true
+		if idx == 8 {
+			if line["outcome"] != "bad_line" {
+				t.Fatalf("bad line outcome = %v, want bad_line", line["outcome"])
+			}
+			continue
+		}
+		if oc := line["outcome"]; oc != "miss" && oc != "hit" && oc != "join" {
+			t.Fatalf("line %d outcome = %v, want miss/hit/join", idx, oc)
+		}
+		be, _ := line["backend"].(string)
+		if be == "" {
+			t.Fatalf("line %d missing backend tag", idx)
+		}
+		firstBackend[idx] = be
+		backends[be] = true
+	}
+	for i := 0; i < 9; i++ {
+		if !seenIdx[i] {
+			t.Fatalf("index %d missing from the merged stream", i)
+		}
+	}
+	if len(backends) < 2 {
+		t.Fatalf("all sub-batches went to %v — the batch split is not sharding", backends)
+	}
+
+	for _, line := range batchLines(t, c.front.URL, body) {
+		idx := int(line["index"].(float64))
+		if idx == 8 {
+			continue
+		}
+		if line["outcome"] != "hit" {
+			t.Fatalf("second pass line %d outcome = %v, want hit", idx, line["outcome"])
+		}
+		if be := line["backend"].(string); be != firstBackend[idx] {
+			t.Fatalf("second pass line %d served by %s, want home %s", idx, be, firstBackend[idx])
+		}
+	}
+}
+
+// TestRouterBatchFailover: killing a replica mid-batch re-routes its share;
+// every line still comes back successfully.
+func TestRouterBatchFailover(t *testing.T) {
+	c := startCluster(t, 3, server.Options{}, nil)
+	pool := wirePool(t, 500, 8)
+	body := bytes.Join(pool, []byte("\n"))
+
+	// Warm pass to learn each line's home replica, then kill one that serves
+	// at least one line.
+	first := batchLines(t, c.front.URL, body)
+	victim := first[0]["backend"].(string)
+	for _, b := range c.backends {
+		if b.URL == victim {
+			b.Close()
+		}
+	}
+	lines := batchLines(t, c.front.URL, body)
+	if len(lines) != len(pool) {
+		t.Fatalf("failover batch returned %d lines, want %d", len(lines), len(pool))
+	}
+	for _, line := range lines {
+		oc := line["outcome"]
+		if oc != "hit" && oc != "miss" && oc != "join" {
+			t.Fatalf("line %v outcome = %v after killing %s, want a success", line["index"], oc, victim)
+		}
+		if line["backend"] == victim {
+			t.Fatalf("line %v still served by the killed replica %s", line["index"], victim)
+		}
+	}
+}
+
+// TestRouterPassthroughHeaders: Request-Id and tenant headers pass through
+// untouched — the tenant limiter on the backend sees the router's clients,
+// and a tenant 429 is an answer, never retried onto another replica.
+func TestRouterPassthroughHeaders(t *testing.T) {
+	c := startCluster(t, 1, server.Options{TenantRPS: 1}, nil)
+	body := wirePool(t, 600, 1)[0]
+
+	req, _ := http.NewRequest("POST", c.front.URL+"/analyze", bytes.NewReader(body))
+	req.Header.Set("X-Request-Id", "rid-router-42")
+	req.Header.Set(server.TenantHeader, "hog")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "rid-router-42" {
+		t.Fatalf("X-Request-Id = %q, want the client's rid-router-42", got)
+	}
+
+	// Exhaust the hog's token bucket: burst is 1, so a rapid second request
+	// must bounce with the backend's 429 relayed as-is.
+	var status int
+	for i := 0; i < 5; i++ {
+		req, _ := http.NewRequest("POST", c.front.URL+"/analyze", bytes.NewReader(body))
+		req.Header.Set(server.TenantHeader, "hog")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			status = resp.StatusCode
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("tenant 429 relayed without Retry-After")
+			}
+			break
+		}
+	}
+	if status != http.StatusTooManyRequests {
+		t.Fatal("hog tenant was never rejected through the router")
+	}
+	// A 429 is an answer: the backend must not have been struck for it.
+	if b := c.router.byName[c.backends[0].URL]; !b.alive.Load() {
+		t.Fatal("backend ejected after a tenant 429 — rejections must not count as failures")
+	}
+}
+
+// TestRouterAllBackendsDown: when nothing is routable the router answers 502
+// with a JSON error rather than hanging or panicking.
+func TestRouterAllBackendsDown(t *testing.T) {
+	c := startCluster(t, 2, server.Options{}, nil)
+	for _, b := range c.backends {
+		b.Close()
+	}
+	resp, data := postAnalyze(t, c.front.URL, wirePool(t, 700, 1)[0])
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d with all backends down, want 502: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("error")) {
+		t.Fatalf("502 body %q carries no error field", data)
+	}
+}
+
+// TestRouterMetricsSurface: after traffic, /metrics carries per-backend
+// latency histogram buckets and the flat router.* counters; /apps passes
+// through to a live replica.
+func TestRouterMetricsSurface(t *testing.T) {
+	c := startCluster(t, 2, server.Options{}, nil)
+	postAnalyze(t, c.front.URL, wirePool(t, 800, 1)[0])
+
+	resp, err := http.Get(c.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, want := range []string{
+		"router_backend_latency_ns_bucket",
+		"router_forwards_total",
+		"router_backends_alive",
+		`pardetect_obs_counter{name="router.forwards"}`,
+		`pardetect_obs_counter{name="router.requests"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	apps, err := http.Get(c.front.URL + "/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(apps.Body)
+	apps.Body.Close()
+	if apps.StatusCode != 200 || !bytes.Contains(body, []byte("bicg")) {
+		t.Fatalf("/apps passthrough: status %d body %.80s", apps.StatusCode, body)
+	}
+	if apps.Header.Get(BackendHeader) == "" {
+		t.Fatal("/apps passthrough missing backend tag")
+	}
+}

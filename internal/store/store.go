@@ -96,8 +96,9 @@ type Store struct {
 	dir string
 	max int
 
-	mu  sync.Mutex
-	idx map[string]int64 // key → saved stamp (ns); recency for eviction/warming
+	mu   sync.Mutex
+	idx  map[string]int64 // key → saved stamp (ns); recency for eviction/warming
+	last int64            // newest stamp ever indexed; floors self-stamped Puts
 }
 
 // Open creates the root directory if needed, sweeps stale .tmp files left
@@ -214,15 +215,27 @@ func (s *Store) Put(e *Entry) (evicted int, err error) {
 	}
 	rec := *e
 	rec.Schema = Schema
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Stamp under the lock, floored to stay monotonic: a writer that read
+	// the clock and then stalled on the lock behind faster writers must not
+	// index its entry as "the oldest" — eviction would remove the entry it
+	// just wrote, and a Get right after a successful Put would miss.
+	// Caller-provided stamps are respected (recency is their contract) but
+	// still raise the floor.
 	if rec.SavedUnixNS == 0 {
 		rec.SavedUnixNS = time.Now().UnixNano()
+		if rec.SavedUnixNS <= s.last {
+			rec.SavedUnixNS = s.last + 1
+		}
+	}
+	if rec.SavedUnixNS > s.last {
+		s.last = rec.SavedUnixNS
 	}
 	data, err := json.Marshal(&rec)
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dir := filepath.Dir(s.path(rec.Key))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err

@@ -9,7 +9,14 @@
 # plus a one-shot BenchmarkFarm smoke run so the batch driver keeps working
 # as a benchmark harness, and a pardetectd end-to-end smoke
 # (scripts/servesmoke.go: cached + uncached request, backpressure probe,
-# /healthz, clean SIGTERM drain against the real binary).
+# /healthz, clean SIGTERM drain against the real binary, plus a 3-backend +
+# pardetectrouter leg: routed affinity, batch fan-out, and failover after a
+# backend SIGKILL).
+#
+# Before any of that, a repo-hygiene gate: the tree must not track built
+# binaries (executable bits outside *.sh, or binary file content) or scratch
+# benchmark artifacts (*.fresh.json) — those are build products, and a
+# committed one silently staleness-poisons every later comparison.
 #
 # On top of that: a shuffled test pass (-shuffle=on) to catch test-order
 # dependencies, the golden-table gate (scripts/goldens.sh, byte-diffs the
@@ -17,18 +24,25 @@
 # engines), a bounded fuzzer campaign (internal/fuzzer, CAMPAIGN_N
 # programs, default 500) whose differential — including the bytecode
 # engine-parity oracle — and metamorphic oracles must all agree, and an
-# execution-engine benchmark smoke (BenchmarkExec into BENCH_exec.fresh.json,
-# gated by scripts/benchgate.go against the committed BENCH_exec.json:
-# a >20% geomean regression of the bytecode engine fails the build), and a
-# serving-layer benchmark smoke (cmd/servebench into BENCH_serve.fresh.json,
-# gated by scripts/servegate.go: non-zero throughput, ordered latency
-# quantiles, populated /metrics histograms, no throughput collapse against
-# the committed BENCH_serve.json).
+# execution-engine benchmark smoke (BenchmarkExec into a temp-dir
+# BENCH_exec.fresh.json, gated by scripts/benchgate.go against the committed
+# BENCH_exec.json: a >20% geomean regression of the bytecode engine fails
+# the build), and a serving-layer benchmark smoke (cmd/servebench with
+# -replicas 3 into a temp-dir BENCH_serve.fresh.json, gated by
+# scripts/servegate.go: non-zero throughput, ordered latency quantiles,
+# populated /metrics histograms, router affinity >= 0.95 with zero failover
+# errors, no throughput collapse against the committed BENCH_serve.json).
 #
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+echo "==> repo hygiene (no tracked binaries or scratch artifacts)"
+sh scripts/hygiene.sh
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
@@ -50,8 +64,8 @@ go test ./...
 echo "==> go test -shuffle=on -count=1 ./...  (order-independence)"
 go test -shuffle=on -count=1 ./...
 
-echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/..."
-go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/...
+echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/..."
+go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/...
 
 echo "==> golden tables III-V under both engines (scripts/goldens.sh)"
 sh scripts/goldens.sh check
@@ -59,9 +73,9 @@ sh scripts/goldens.sh check
 echo "==> pardetectd service smoke (scripts/servesmoke.go)"
 go run scripts/servesmoke.go
 
-echo "==> servebench smoke (cmd/servebench vs committed BENCH_serve.json)"
-go run ./cmd/servebench -dur "${SERVEBENCH_DUR:-2s}" -c 4 -out BENCH_serve.fresh.json
-go run scripts/servegate.go -baseline BENCH_serve.json -fresh BENCH_serve.fresh.json
+echo "==> servebench smoke (cmd/servebench, 3-replica router leg, vs committed BENCH_serve.json)"
+go run ./cmd/servebench -dur "${SERVEBENCH_DUR:-2s}" -c 4 -replicas 3 -out "$scratch/BENCH_serve.fresh.json"
+go run scripts/servegate.go -baseline BENCH_serve.json -fresh "$scratch/BENCH_serve.fresh.json"
 
 echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
 CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./internal/fuzzer/
@@ -70,7 +84,7 @@ echo "==> BenchmarkFarm smoke (1 iteration per pool size)"
 go test -run '^$' -bench '^BenchmarkFarm$' -benchtime 1x .
 
 echo "==> execution-engine benchmark gate (BenchmarkExec vs committed BENCH_exec.json)"
-EXEC_OUT=BENCH_exec.fresh.json go test -run '^$' -bench '^BenchmarkExec$' -benchtime "${EXECBENCH_TIME:-20x}" .
-go run scripts/benchgate.go -baseline BENCH_exec.json -fresh BENCH_exec.fresh.json
+EXEC_OUT="$scratch/BENCH_exec.fresh.json" go test -run '^$' -bench '^BenchmarkExec$' -benchtime "${EXECBENCH_TIME:-20x}" .
+go run scripts/benchgate.go -baseline BENCH_exec.json -fresh "$scratch/BENCH_exec.fresh.json"
 
 echo "ci: all checks passed"

@@ -14,8 +14,11 @@
 // buckets. The serving-feature legs are gated on correctness, not speed:
 // the batch leg must have streamed result lines, the warm-restart leg must
 // have served every replayed program from the restarted store (hit_rate ≥
-// 0.999 — durability is not allowed to flake), and the fairness leg must
-// show the hog rejected while the victims essentially are not. The baseline
+// 0.999 — durability is not allowed to flake), the fairness leg must show
+// the hog rejected while the victims essentially are not, and the router
+// leg (-replicas N) must show cache affinity (home_hit_rate ≥ 0.95 — the
+// replay hits the same replica's cache) with zero client-visible errors
+// after one replica is killed mid-run. The baseline
 // comparison is deliberately loose: CI boxes differ wildly in speed, so
 // only a collapse (fresh throughput below 1/20 of the baseline) fails the
 // gate; ordinary drift does not. Exit 1 on violation.
@@ -35,9 +38,10 @@ import (
 type serveResult struct {
 	Schema string `json:"schema"`
 	Config struct {
-		Batch   int  `json:"batch"`
-		Restart bool `json:"restart"`
-		Tenants int  `json:"tenants"`
+		Batch    int  `json:"batch"`
+		Restart  bool `json:"restart"`
+		Tenants  int  `json:"tenants"`
+		Replicas int  `json:"replicas"`
 	} `json:"config"`
 	Requests      int64   `json:"requests"`
 	Errors        int64   `json:"errors"`
@@ -69,6 +73,15 @@ type serveResult struct {
 		HogRejectRate    float64 `json:"hog_reject_rate"`
 		VictimRejectRate float64 `json:"victim_reject_rate"`
 	} `json:"fairness"`
+	Router *struct {
+		Replicas         int              `json:"replicas"`
+		Programs         int              `json:"programs"`
+		HomeHitRate      float64          `json:"home_hit_rate"`
+		BackendShare     map[string]int64 `json:"backend_share"`
+		FailoverRequests int64            `json:"failover_requests"`
+		FailoverErrors   int64            `json:"failover_errors"`
+		FailoverRemapped int64            `json:"failover_remapped"`
+	} `json:"router"`
 }
 
 func load(path string) (serveResult, error) {
@@ -182,6 +195,28 @@ func main() {
 		if f.Fairness.HogRejectRate <= f.Fairness.VictimRejectRate {
 			fail("fairness: hog reject rate %.3f not above victim rate %.3f",
 				f.Fairness.HogRejectRate, f.Fairness.VictimRejectRate)
+		}
+	}
+
+	if f.Config.Replicas > 0 {
+		if f.Router == nil {
+			fail("config enables the router leg but the result has no router section")
+		}
+		if f.Router.Programs <= 0 || f.Router.FailoverRequests <= 0 {
+			fail("router leg sent no traffic: %d programs, %d failover requests",
+				f.Router.Programs, f.Router.FailoverRequests)
+		}
+		if f.Router.HomeHitRate < 0.95 {
+			fail("router home_hit_rate = %.3f, want >= 0.95 — replayed programs are not hitting their home replica's cache",
+				f.Router.HomeHitRate)
+		}
+		if f.Router.FailoverErrors > 0 {
+			fail("router failover_errors = %d, want 0 — killing one replica leaked failures to clients",
+				f.Router.FailoverErrors)
+		}
+		if f.Config.Replicas >= 2 && len(f.Router.BackendShare) < 2 {
+			fail("router backend_share names %d replicas, want >= 2 — the ring routed everything to one backend",
+				len(f.Router.BackendShare))
 		}
 	}
 

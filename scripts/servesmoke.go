@@ -10,8 +10,15 @@
 // binary on the same -store-dir and requires the very first request of the
 // new process to be a cache hit with a byte-identical body: the persistent
 // store's restart durability, proven against the real binary and a real
-// SIGTERM. The in-process test suite covers the same behaviors white-box;
-// this script proves the shipped binary wires them together.
+// SIGTERM. Finally it builds cmd/pardetectrouter, starts three pardetectd
+// backends (each with its own store directory) behind the router binary, and
+// proves the routing tier end to end: cache affinity (repeat requests are
+// hits on the same home replica), batch fan-out across replicas, and
+// failover — the home replica of a routed app is SIGKILLed mid-run, after
+// which the same request must still succeed from another replica with zero
+// client-visible errors and the router's /healthz must report the dead
+// backend ejected. The in-process test suite covers the same behaviors
+// white-box; this script proves the shipped binaries wire them together.
 //
 // Usage: go run scripts/servesmoke.go   (from the repository root; ci.sh
 // runs it after the golden gate)
@@ -166,6 +173,142 @@ func run() error {
 		return err
 	}
 	fmt.Println("servesmoke: second daemon drained cleanly")
+
+	return routerLeg(tmp, bin)
+}
+
+// routerLeg proves the sharded routing tier against the real binaries:
+// three pardetectd backends behind a pardetectrouter process, exercising
+// affinity, batch fan-out and a SIGKILLed backend mid-run.
+func routerLeg(tmp, pardetectd string) error {
+	rbin := filepath.Join(tmp, "pardetectrouter")
+	build := exec.Command("go", "build", "-o", rbin, "./cmd/pardetectrouter")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build pardetectrouter: %v", err)
+	}
+
+	var backends []*daemon
+	var urls []string
+	for i := 0; i < 3; i++ {
+		b, err := startDaemon(pardetectd, "-addr", "127.0.0.1:0",
+			"-store-dir", filepath.Join(tmp, fmt.Sprintf("rstore-%d", i)))
+		if err != nil {
+			return fmt.Errorf("router leg backend %d: %v", i, err)
+		}
+		defer b.cmd.Process.Kill()
+		backends = append(backends, b)
+		urls = append(urls, b.base)
+	}
+	rd, err := startDaemon(rbin, "-addr", "127.0.0.1:0",
+		"-backends", strings.Join(urls, ","),
+		"-probe-interval", "100ms", "-fail-after", "1")
+	if err != nil {
+		return fmt.Errorf("router leg: %v", err)
+	}
+	defer rd.cmd.Process.Kill()
+	fmt.Printf("servesmoke: router at %s over 3 backends\n", rd.base)
+
+	status, _, hz, err := get(rd.base + "/healthz")
+	if err != nil || status != 200 || !strings.Contains(string(hz), `"status":"ok"`) {
+		return fmt.Errorf("router healthz: status %d err %v body %s", status, err, hz)
+	}
+
+	// Affinity: each app's repeat request must be a cache hit served by the
+	// same home replica, and the apps must spread over more than one replica.
+	apps := []string{"2mm", "3mm", "bicg", "mvt", "gesummv", "ludcmp", "sort", "fib"}
+	home := map[string]string{}
+	spread := map[string]bool{}
+	for _, app := range apps {
+		status, h1, _, err := get(rd.base + "/analyze?app=" + app)
+		if err != nil || status != 200 {
+			return fmt.Errorf("routed analyze %s: status %d err %v", app, status, err)
+		}
+		home[app] = h1.Get("X-Pardetect-Backend")
+		spread[home[app]] = true
+		status, h2, _, err := get(rd.base + "/analyze?app=" + app)
+		if err != nil || status != 200 {
+			return fmt.Errorf("routed repeat %s: status %d err %v", app, status, err)
+		}
+		if got := h2.Get("X-Pardetect-Backend"); got != home[app] {
+			return fmt.Errorf("repeat %s routed to %s, want home %s (affinity broken)", app, got, home[app])
+		}
+		if v := h2.Get("X-Pardetect-Cache"); v != "hit" {
+			return fmt.Errorf("repeat %s: X-Pardetect-Cache %q, want hit on the home replica", app, v)
+		}
+	}
+	if len(spread) < 2 {
+		return fmt.Errorf("all %d apps homed on one replica %v — the ring is not distributing", len(apps), spread)
+	}
+	fmt.Printf("servesmoke: routed affinity over %d replicas, every repeat a home-replica hit\n", len(spread))
+
+	// Batch through the router: one decodable line and one garbage line,
+	// merged back under the client's indices with a backend tag.
+	irStatus, _, irBody, err := get(rd.base + "/ir?app=bicg")
+	if err != nil || irStatus != 200 {
+		return fmt.Errorf("routed ir: status %d err %v", irStatus, err)
+	}
+	batch := append(append([]byte{}, bytes.TrimSpace(irBody)...), '\n')
+	batch = append(batch, []byte("{not json\n")...)
+	status, _, bout, err := post(rd.base+"/analyze/batch", batch)
+	if err != nil || status != 200 {
+		return fmt.Errorf("routed batch: status %d err %v body %s", status, err, bout)
+	}
+	if !bytes.Contains(bout, []byte(`"outcome":"hit"`)) || !bytes.Contains(bout, []byte(`"outcome":"bad_line"`)) ||
+		!bytes.Contains(bout, []byte(`"backend":`)) {
+		return fmt.Errorf("routed batch lines missing hit/bad_line outcomes or backend tags: %s", bout)
+	}
+	fmt.Println("servesmoke: routed batch fan-out merged per-line outcomes")
+
+	// Failover: SIGKILL bicg's home replica — no drain, no flush — then the
+	// same request must succeed from another replica with no client-visible
+	// error, and the router must report the dead backend ejected.
+	victim := home["bicg"]
+	for _, b := range backends {
+		if b.base == victim {
+			if err := b.cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("SIGKILL %s: %v", victim, err)
+			}
+			b.cmd.Wait()
+		}
+	}
+	status, h, _, err := get(rd.base + "/analyze?app=bicg")
+	if err != nil || status != 200 {
+		return fmt.Errorf("analyze bicg after SIGKILLing %s: status %d err %v (client saw the failure)", victim, status, err)
+	}
+	if got := h.Get("X-Pardetect-Backend"); got == victim || got == "" {
+		return fmt.Errorf("failover request served by %q, want a surviving replica", got)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, _, hz, err := get(rd.base + "/healthz")
+		if err != nil {
+			return fmt.Errorf("router healthz after kill: %v", err)
+		}
+		if strings.Contains(string(hz), `"status":"degraded"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("router never reported the SIGKILLed backend ejected: %s", hz)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("servesmoke: SIGKILLed the home replica; failover served the request, router ejected the backend")
+
+	for _, b := range backends {
+		if b.base != victim {
+			if err := b.drain(); err != nil {
+				return fmt.Errorf("router leg backend drain: %v", err)
+			}
+		}
+	}
+	if err := rd.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := rd.cmd.Wait(); err != nil {
+		return fmt.Errorf("router exit after SIGTERM: %v\nlog:\n%s", err, rd.log.String())
+	}
+	fmt.Println("servesmoke: router and surviving backends shut down cleanly")
 	return nil
 }
 
