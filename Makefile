@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci serve router servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update hygiene
+.PHONY: build test bench ci serve router servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update hygiene gen opprofile
 
 build:
 	$(GO) build ./...
@@ -52,9 +52,21 @@ hygiene:
 stats:
 	OBS_OUT=BENCH_obs.json $(GO) test -bench BenchmarkTable3 -benchmem -run '^$$'
 
+# gen regenerates the regvm's opcode table and dispatch switch
+# (internal/interp/op_codes.go, op_exec.go) from gen_ops.go. CI fails if
+# the committed files drift from what this produces.
+gen:
+	$(GO) generate ./internal/interp
+
+# opprofile regenerates internal/interp/testdata/opcode_pairs.json, the
+# committed dynamic opcode-pair profile the regvm superinstruction set was
+# selected from (DESIGN.md §10).
+opprofile:
+	$(GO) run scripts/opprofile.go
+
 # execbench regenerates BENCH_exec.json, the committed engine-comparison
-# baseline (tree vs bytecode, traced vs untraced, plus full per-app
-# analyses) that scripts/benchgate.go gates CI against.
+# baseline (tree vs bytecode vs regvm, traced vs untraced, plus full
+# per-app analyses) that scripts/benchgate.go gates CI against.
 execbench:
 	EXEC_OUT=BENCH_exec.json $(GO) test -bench 'BenchmarkExec' -benchtime 20x -run '^$$' .
 

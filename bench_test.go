@@ -70,6 +70,9 @@ func recordExec(b *testing.B, label string) {
 		return
 	}
 	rep := obs.Report{Schema: obs.Schema, Label: label, Counters: obs.Counters{}}
+	// Stamp the real wall time of the timed loop: trajectory tooling diffs
+	// wall_ns across runs, and a zero there reads as "not measured".
+	rep.WallNS = b.Elapsed().Nanoseconds()
 	if b.N > 0 {
 		rep.Counters["bench.ns_per_op"] = b.Elapsed().Nanoseconds() / int64(b.N)
 	}
@@ -521,7 +524,7 @@ func BenchmarkFarm(b *testing.B) {
 var execApps = []string{"2mm", "correlation", "fdtd-2d"}
 
 func BenchmarkExec(b *testing.B) {
-	for _, engine := range []string{interp.EngineTree, interp.EngineBytecode} {
+	for _, engine := range []string{interp.EngineTree, interp.EngineBytecode, interp.EngineRegVM} {
 		for _, traced := range []bool{false, true} {
 			cfg := fmt.Sprintf("engine=%s/traced=%v", engine, traced)
 			for _, name := range execApps {
@@ -563,7 +566,7 @@ func BenchmarkExec(b *testing.B) {
 // called directly: the report layer's schedule sweep (sched.Sweep) never
 // executes the interpreter and would only dilute the comparison.
 func BenchmarkExecAnalysis(b *testing.B) {
-	for _, engine := range []string{interp.EngineTree, interp.EngineBytecode} {
+	for _, engine := range []string{interp.EngineTree, interp.EngineBytecode, interp.EngineRegVM} {
 		engine := engine
 		for _, name := range apps.TableIIIOrder {
 			name := name

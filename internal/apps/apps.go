@@ -20,6 +20,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pardetect/internal/ir"
 	"pardetect/internal/pet"
@@ -144,9 +145,32 @@ func joinCost(name string, threads int) float64 {
 // registry of all apps, populated by each app file's init.
 var registry = map[string]*App{}
 
+// loopsMu serialises Build against Schedule across goroutines: every build
+// function captures its loop IDs into a package-level *Loops variable (the
+// same deterministic value on every build, but an unsynchronised write
+// nonetheless) and the schedule builders read those variables. register
+// wraps both so concurrent analyses — the server building a program on one
+// request while a farm worker sweeps another app's schedule — never race
+// on them.
+var loopsMu sync.RWMutex
+
 func register(a *App) {
 	if _, dup := registry[a.Name]; dup {
 		panic(fmt.Sprintf("apps: duplicate app %q", a.Name))
+	}
+	if build := a.Build; build != nil {
+		a.Build = func() *ir.Program {
+			loopsMu.Lock()
+			defer loopsMu.Unlock()
+			return build()
+		}
+	}
+	if schedule := a.Schedule; schedule != nil {
+		a.Schedule = func(cm CostModel, threads int) []sched.Node {
+			loopsMu.RLock()
+			defer loopsMu.RUnlock()
+			return schedule(cm, threads)
+		}
 	}
 	registry[a.Name] = a
 }

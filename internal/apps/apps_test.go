@@ -303,3 +303,27 @@ func TestIRFormsShareStructureAcrossBuilds(t *testing.T) {
 		t.Fatalf("captured loop IDs %+v not present in rebuilt program", LudcmpLoops)
 	}
 }
+
+// TestBuildScheduleConcurrent pins the loopsMu wrapping in register: build
+// functions write the package-level *Loops variables and the schedule
+// builders read them, so a Build racing a Schedule on another goroutine —
+// the server building a program on the request path while a farm worker
+// sweeps a different app — must be synchronised. Meaningful under -race
+// (ci.sh's race pass covers this package's dependents; the server's
+// concurrent-scrape test first caught the unwrapped version).
+func TestBuildScheduleConcurrent(t *testing.T) {
+	cm, _ := profileApp(t, "gesummv")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			Get("gesummv").Build()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if nodes := Get("gesummv").Schedule(cm, 4); len(nodes) == 0 {
+			t.Fatal("empty schedule")
+		}
+	}
+	<-done
+}

@@ -56,10 +56,11 @@ type Options struct {
 	// wedged analysis from stalling the whole batch.
 	Timeout time.Duration
 	// Engine selects the interpreter execution engine for every profiled
-	// run: interp.EngineTree (the default, also selected by "") or
-	// interp.EngineBytecode (the compiled engine; identical observable
-	// behaviour, substantially faster). An unknown value fails the analysis
-	// with interp's unknown-engine error on the first run.
+	// run: interp.EngineTree (the default, also selected by ""),
+	// interp.EngineBytecode (closure-threaded code) or interp.EngineRegVM
+	// (register bytecode, the fastest; identical observable behaviour in
+	// all three). An unknown value fails the analysis with interp's
+	// unknown-engine error on the first run.
 	Engine string
 	// InferReductionOperator enables the paper's future-work extension.
 	InferReductionOperator bool
@@ -148,10 +149,13 @@ func Analyze(p *ir.Program, opts Options) (*Result, error) {
 	defer total.End()
 	if o != nil {
 		// exec.engine records which engine ran the profiled executions:
-		// 0 = tree, 1 = bytecode.
+		// 0 = tree, 1 = bytecode, 2 = regvm.
 		var eng int64
-		if opts.Engine == interp.EngineBytecode {
+		switch opts.Engine {
+		case interp.EngineBytecode:
 			eng = 1
+		case interp.EngineRegVM:
+			eng = 2
 		}
 		o.Add("exec.engine", eng)
 	}

@@ -55,9 +55,10 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
-// FuzzEngine: the compiled bytecode engine must be observationally
-// identical to the tree walker — untraced state, traced profile fingerprint
-// and full analysis result fingerprint (oracle D4).
+// FuzzEngine: both compiled engines (closure bytecode and register-IR
+// regvm) must be observationally identical to the tree walker — untraced
+// state, traced profile fingerprint and full analysis result fingerprint
+// (oracle D4).
 func FuzzEngine(f *testing.F) {
 	f.Add([]byte("pardetect"))
 	for _, seed := range regressionSeeds {

@@ -52,19 +52,19 @@ func runEngine(t *testing.T, p *ir.Program, opts interp.Options, engine string) 
 func checkParity(t *testing.T, p *ir.Program, opts interp.Options, wantErr string) {
 	t.Helper()
 	tree, treeFP := runEngine(t, p, opts, interp.EngineTree)
-	byc, bycFP := runEngine(t, p, opts, interp.EngineBytecode)
-	for _, d := range tree.Diff(byc) {
-		t.Errorf("state divergence: %s", d)
+	if wantErr != "" && !strings.Contains(tree.Err, wantErr) {
+		t.Errorf("tree error %q does not contain %q", tree.Err, wantErr)
 	}
-	if treeFP != bycFP {
-		t.Errorf("profile fingerprint divergence: tree %s vs bytecode %s", treeFP, bycFP)
-	}
-	if wantErr != "" {
-		if !strings.Contains(tree.Err, wantErr) {
-			t.Errorf("tree error %q does not contain %q", tree.Err, wantErr)
+	for _, engine := range []string{interp.EngineBytecode, interp.EngineRegVM} {
+		st, fp := runEngine(t, p, opts, engine)
+		for _, d := range tree.Diff(st) {
+			t.Errorf("state divergence (%s): %s", engine, d)
 		}
-		if byc.Err != tree.Err {
-			t.Errorf("error text differs: tree %q vs bytecode %q", tree.Err, byc.Err)
+		if treeFP != fp {
+			t.Errorf("profile fingerprint divergence: tree %s vs %s %s", treeFP, engine, fp)
+		}
+		if wantErr != "" && st.Err != tree.Err {
+			t.Errorf("error text differs: tree %q vs %s %q", tree.Err, engine, st.Err)
 		}
 	}
 }
@@ -122,23 +122,29 @@ func TestEngineParityDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, treeErr := tm.Run()
-	bm, err := interp.New(p, optsWithEngine(opts, interp.EngineBytecode))
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, bycErr := bm.Run()
-	if treeErr == nil || bycErr == nil {
-		t.Fatalf("expired deadline did not abort: tree %v, bytecode %v", treeErr, bycErr)
-	}
-	if treeErr.Error() != bycErr.Error() {
-		t.Errorf("deadline error differs: tree %q vs bytecode %q", treeErr, bycErr)
+	if treeErr == nil {
+		t.Fatal("expired deadline did not abort tree engine")
 	}
 	if !strings.Contains(treeErr.Error(), "wall-clock deadline exceeded after") {
 		t.Errorf("unexpected deadline error %q", treeErr)
 	}
-	ts, bs := tm.Snapshot(treeErr), bm.Snapshot(bycErr)
-	if ts.Steps != bs.Steps {
-		t.Errorf("abort step differs: tree %d vs bytecode %d", ts.Steps, bs.Steps)
+	ts := tm.Snapshot(treeErr)
+	for _, engine := range []string{interp.EngineBytecode, interp.EngineRegVM} {
+		em, err := interp.New(p, optsWithEngine(opts, engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, engErr := em.Run()
+		if engErr == nil {
+			t.Fatalf("expired deadline did not abort %s engine", engine)
+		}
+		if treeErr.Error() != engErr.Error() {
+			t.Errorf("deadline error differs: tree %q vs %s %q", treeErr, engine, engErr)
+		}
+		es := em.Snapshot(engErr)
+		if ts.Steps != es.Steps {
+			t.Errorf("abort step differs: tree %d vs %s %d", ts.Steps, engine, es.Steps)
+		}
 	}
 }
 
@@ -268,7 +274,9 @@ func TestParseEngine(t *testing.T) {
 		{"", interp.EngineTree, true},
 		{"tree", interp.EngineTree, true},
 		{"bytecode", interp.EngineBytecode, true},
+		{"regvm", interp.EngineRegVM, true},
 		{"Tree", "", false},
+		{"RegVM", "", false},
 		{"jit", "", false},
 	} {
 		got, err := interp.ParseEngine(c.in)

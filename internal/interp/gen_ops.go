@@ -1,0 +1,820 @@
+//go:build ignore
+
+// gen_ops.go generates the regvm opcode table and dispatch loop:
+//
+//	op_codes.go — OpCode constants, opNames, the step-fusion table
+//	op_exec.go  — the exec/execPairs dispatch switches
+//
+// Run it via `go generate ./internal/interp` (or `make gen`). The two
+// outputs are committed; CI regenerates them and fails on any diff, so the
+// table can never drift from this spec.
+//
+// Each op is a spec: a name, the operand fields its body reads, and the
+// case body itself. Operand decoding is derived from the body — only the
+// fields an op actually mentions are decoded, so a two-operand op pays
+// nothing for the unused fields. Two macros expand in bodies:
+//
+//	$GATE  — the per-statement step/deadline gate ($lo is the source line)
+//	$LGATE — the per-iteration step gate of loops ($hi is the loop's
+//	         step-limit error site)
+//
+// Ops flagged stepFuse get a generated Step<Name> superinstruction with the
+// statement gate prepended, eliminating one dispatch per statement for every
+// statement whose first real instruction is fusable. The selection of which
+// ops are fusable (and which multi-op superinstructions exist at all) comes
+// from the committed opcode-pair profile; see DESIGN.md §10.
+//
+// Instruction encoding (two uint64 words per instruction, pc advances by 2):
+//
+//	word 0: op:8 | a:16 | b:16 | c:16 | d:8
+//	word 1: lo:32 | hi:32
+//
+// lo holds source lines, jump targets (absolute word offsets) or static
+// counts; hi holds error-site / name-table indices.
+//
+// Ops flagged ext use a four-word encoding (pc advances by 4): words 2 and 3
+// repeat the layout of words 0 and 1, decoded as x:16 | y:16 | z:16 | w:8
+// and lo2:32 | hi2:32. They exist for the whole-statement superinstructions
+// (the reduction multiply-accumulate family), whose operand sets exceed one
+// word pair.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"regexp"
+	"strings"
+)
+
+type op struct {
+	name     string
+	doc      string
+	body     string
+	endsPC   bool // body assigns pc itself (jumps, returns)
+	stepFuse bool // generate a Step<name> gate-fused variant
+	skipCase bool // no dispatch case (falls to default)
+	ext      bool // extended 4-word encoding (second operand pair x/y/z/w + lo2/hi2)
+}
+
+const gate = `steps++
+if steps > v.maxSteps || (v.hasDeadline && steps&(deadlineCheckEvery-1) == 0) {
+	if err := v.gateSlow(steps, int32(lo)); err != nil {
+		v.steps = steps
+		return 0, err
+	}
+}`
+
+const lgate = `steps++
+if steps > v.maxSteps {
+	v.steps = steps
+	return 0, v.errLoopLimit(hi)
+}`
+
+var ops = []op{
+	{name: "Invalid", doc: "unassigned opcode; executing it is a bug", skipCase: true},
+
+	// Control.
+	{name: "Ret", doc: "return regs[a] from the current function", endsPC: true, stepFuse: true, body: `v.steps = steps
+return regs[a], nil`},
+	{name: "RetZ", doc: "return 0 from the current function", endsPC: true, stepFuse: true, body: `v.steps = steps
+return 0, nil`},
+	{name: "Jump", doc: "unconditional jump to lo", endsPC: true, body: `pc = int(lo)`},
+	{name: "JumpZ", doc: "jump to lo when regs[a] == 0", endsPC: true, body: `if regs[a] == 0 {
+	pc = int(lo)
+} else {
+	pc += 2
+}`},
+	{name: "JumpNZ", doc: "jump to lo when regs[a] != 0", endsPC: true, body: `if regs[a] != 0 {
+	pc = int(lo)
+} else {
+	pc += 2
+}`},
+	{name: "Err", doc: "fail with the precomputed error errs[hi]", endsPC: true, stepFuse: true, body: `v.steps = steps
+return 0, v.errStatic(hi)`},
+	{name: "Step", doc: "statement gate: count the statement at line lo against MaxSteps/Deadline", body: `$GATE`},
+	{name: "StepLoop", doc: "loop-iteration gate: count against MaxSteps with the in-loop error errs[hi]", body: `$LGATE`},
+	{name: "Call", doc: "call function b with args staged at slot c, result into regs[a]; lo is the call line", body: `v.steps = steps
+v.bufn = bufn
+ret, err := v.call(b, base+c, int32(lo))
+steps = v.steps
+bufn = v.bufn
+if err != nil {
+	return 0, err
+}
+regs = v.regs[base:]
+regs[a] = ret`},
+	{name: "CheckDef", doc: "fail with errs[hi] when slot a is not a defined variable", stepFuse: true, body: `if v.flags[base+a] == 0 {
+	v.steps = steps
+	return 0, v.errStatic(hi)
+}`},
+	{name: "SetDef", doc: "mark slot a as a defined variable", stepFuse: true, body: `v.flags[base+a] = 1`},
+	{name: "Const", doc: "regs[a] = consts[b]", stepFuse: true, body: `regs[a] = consts[b]`},
+	{name: "Mov", doc: "regs[a] = regs[b]", stepFuse: true, body: `regs[a] = regs[b]`},
+
+	// Binary operators (a = dst, b = left, c = right).
+	{name: "Add", doc: "regs[a] = regs[b] + regs[c]", stepFuse: true, body: `regs[a] = regs[b] + regs[c]`},
+	{name: "Sub", doc: "regs[a] = regs[b] - regs[c]", stepFuse: true, body: `regs[a] = regs[b] - regs[c]`},
+	{name: "Mul", doc: "regs[a] = regs[b] * regs[c]", stepFuse: true, body: `regs[a] = regs[b] * regs[c]`},
+	{name: "Div", doc: "regs[a] = regs[b] / regs[c], failing on zero at line lo", stepFuse: true, body: `r := regs[c]
+if r == 0 {
+	v.steps = steps
+	return 0, v.errDivZero(int32(lo))
+}
+regs[a] = regs[b] / r`},
+	{name: "Mod", doc: "regs[a] = fmod(regs[b], regs[c]), failing on zero at line lo", stepFuse: true, body: `r := regs[c]
+if r == 0 {
+	v.steps = steps
+	return 0, v.errModZero(int32(lo))
+}
+regs[a] = fmod(regs[b], r)`},
+	{name: "Lt", doc: "regs[a] = regs[b] < regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] < regs[c])`},
+	{name: "Le", doc: "regs[a] = regs[b] <= regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] <= regs[c])`},
+	{name: "Gt", doc: "regs[a] = regs[b] > regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] > regs[c])`},
+	{name: "Ge", doc: "regs[a] = regs[b] >= regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] >= regs[c])`},
+	{name: "Eq", doc: "regs[a] = regs[b] == regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] == regs[c])`},
+	{name: "Ne", doc: "regs[a] = regs[b] != regs[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] != regs[c])`},
+	{name: "Min", doc: "regs[a] = min(regs[b], regs[c])", stepFuse: true, body: `regs[a] = math.Min(regs[b], regs[c])`},
+	{name: "Max", doc: "regs[a] = max(regs[b], regs[c])", stepFuse: true, body: `regs[a] = math.Max(regs[b], regs[c])`},
+
+	// Unary operators (a = dst, b = operand).
+	{name: "Neg", doc: "regs[a] = -regs[b]", stepFuse: true, body: `regs[a] = -regs[b]`},
+	{name: "Not", doc: "regs[a] = !regs[b]", stepFuse: true, body: `if regs[b] == 0 {
+	regs[a] = 1
+} else {
+	regs[a] = 0
+}`},
+	{name: "Sqrt", doc: "regs[a] = sqrt(regs[b])", stepFuse: true, body: `regs[a] = math.Sqrt(regs[b])`},
+	{name: "Floor", doc: "regs[a] = floor(regs[b])", stepFuse: true, body: `regs[a] = math.Floor(regs[b])`},
+	{name: "Abs", doc: "regs[a] = abs(regs[b])", stepFuse: true, body: `regs[a] = math.Abs(regs[b])`},
+	{name: "BoolNorm", doc: "regs[a] = regs[b] normalized to 0/1", body: `regs[a] = b2f(regs[b] != 0)`},
+
+	// Constant-fused binaries (a = dst, b = left, c = const index).
+	{name: "AddK", doc: "regs[a] = regs[b] + consts[c]", stepFuse: true, body: `regs[a] = regs[b] + consts[c]`},
+	{name: "SubK", doc: "regs[a] = regs[b] - consts[c]", stepFuse: true, body: `regs[a] = regs[b] - consts[c]`},
+	{name: "MulK", doc: "regs[a] = regs[b] * consts[c]", stepFuse: true, body: `regs[a] = regs[b] * consts[c]`},
+	{name: "LtK", doc: "regs[a] = regs[b] < consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] < consts[c])`},
+	{name: "LeK", doc: "regs[a] = regs[b] <= consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] <= consts[c])`},
+	{name: "GtK", doc: "regs[a] = regs[b] > consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] > consts[c])`},
+	{name: "GeK", doc: "regs[a] = regs[b] >= consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] >= consts[c])`},
+	{name: "EqK", doc: "regs[a] = regs[b] == consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] == consts[c])`},
+	{name: "NeK", doc: "regs[a] = regs[b] != consts[c]", stepFuse: true, body: `regs[a] = b2f(regs[b] != consts[c])`},
+
+	// Fused compare-and-branch: jump to lo when the comparison is FALSE
+	// (the compiled shape of `if`/`while` conditions).
+	{name: "JLtF", doc: "jump to lo unless regs[a] < regs[b]", endsPC: true, body: `if regs[a] < regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "JLeF", doc: "jump to lo unless regs[a] <= regs[b]", endsPC: true, body: `if regs[a] <= regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "JGtF", doc: "jump to lo unless regs[a] > regs[b]", endsPC: true, body: `if regs[a] > regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "JGeF", doc: "jump to lo unless regs[a] >= regs[b]", endsPC: true, body: `if regs[a] >= regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "JEqF", doc: "jump to lo unless regs[a] == regs[b]", endsPC: true, body: `if regs[a] == regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "JNeF", doc: "jump to lo unless regs[a] != regs[b]", endsPC: true, body: `if regs[a] != regs[b] {
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+
+	// Fused multiply-accumulate (reduction bodies). The explicit float64
+	// conversion forbids the compiler from contracting the multiply and the
+	// add into a hardware FMA, which would break bit-parity with the tree
+	// engine on architectures that fuse.
+	{name: "MulAdd", doc: "regs[a] = regs[b] + regs[c]*regs[d], no FMA contraction", stepFuse: true, body: `regs[a] = regs[b] + float64(regs[c]*regs[d])`},
+	{name: "MulSub", doc: "regs[a] = regs[b] - regs[c]*regs[d], no FMA contraction", stepFuse: true, body: `regs[a] = regs[b] - float64(regs[c]*regs[d])`},
+
+	// Dynamic operation counting (short-circuit And/Or make a statement's
+	// count data-dependent; acc slots accumulate it at run time).
+	{name: "AccAdd", doc: "regs[a] += hi (operation-count accumulator)", body: `regs[a] += float64(hi)`},
+	{name: "EmitCount", doc: "emit Count(hi) at line lo", stepFuse: true, body: `v.emitCount(int64(hi), int32(lo))`},
+	{name: "EmitCountAcc", doc: "emit Count(regs[a]+hi) at line lo", body: `v.emitCount(int64(regs[a])+int64(hi), int32(lo))`},
+
+	// Array element access, untraced. c (or d where c is an index) names the
+	// array; hi is the out-of-range error site.
+	{name: "Ld1", doc: "regs[a] = arr[c][regs[b]] with bounds check errs[hi]", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+regs[a] = mem[t.off+i]`},
+	{name: "St1", doc: "arr[c][regs[b]] = regs[a] with bounds check errs[hi]", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] = regs[a]`},
+	{name: "Ld2", doc: "regs[a] = arr[d][regs[b]][regs[c]] with bounds checks errs[hi], errs[hi+1]", stepFuse: true, body: `t := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+regs[a] = mem[t.off+i0*t.d1+i1]`},
+	{name: "St2", doc: "arr[d][regs[b]][regs[c]] = regs[a] with bounds checks errs[hi], errs[hi+1]", stepFuse: true, body: `t := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+mem[t.off+i0*t.d1+i1] = regs[a]`},
+	{name: "Idx0", doc: "start a flat index: check regs[b] against dim d of arr[c], regs[a] = index", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.dims[d]) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+regs[a] = float64(i)`},
+	{name: "IdxN", doc: "extend a flat index: regs[a] = regs[a]*dim + checked regs[b]", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.dims[d]) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+regs[a] = regs[a]*float64(t.dims[d]) + float64(i)`},
+	{name: "LdFlat", doc: "regs[a] = arr[c] at checked flat index regs[b]", body: `t := &v.p.arrays[c]
+regs[a] = mem[t.off+int(regs[b])]`},
+	{name: "StFlat", doc: "arr[c] at checked flat index regs[b] = regs[a]", body: `t := &v.p.arrays[c]
+mem[t.off+int(regs[b])] = regs[a]`},
+
+	// Array element access, traced. The event line is recovered from the
+	// op's error site, so no second word is spent on it.
+	{name: "Ld1T", doc: "Ld1 plus a Load event", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+regs[a] = mem[t.off+i]
+v.emitAccess(EvLoad, t.abase+uint64(i), t.nameIdx, true, v.p.errs[hi].line)`},
+	{name: "Ld2T", doc: "Ld2 plus a Load event", stepFuse: true, body: `t := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+regs[a] = mem[t.off+i0*t.d1+i1]
+v.emitAccess(EvLoad, t.abase+uint64(i0*t.d1+i1), t.nameIdx, true, v.p.errs[hi].line)`},
+	{name: "LdFlatT", doc: "LdFlat plus a Load event at line lo", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+regs[a] = mem[t.off+i]
+v.emitAccess(EvLoad, t.abase+uint64(i), t.nameIdx, true, int32(lo))`},
+	{name: "StFlatT", doc: "StFlat plus a Store event at line lo", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+mem[t.off+i] = regs[a]
+v.emitAccess(EvStore, t.abase+uint64(i), t.nameIdx, true, int32(lo))`},
+	{name: "St1TC", doc: "traced 1-D store: check, write, emit Count(lo) then Store", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] = regs[a]
+line := v.p.errs[hi].line
+v.emitCount(int64(lo), line)
+v.emitAccess(EvStore, t.abase+uint64(i), t.nameIdx, true, line)`},
+	{name: "St2TC", doc: "traced 2-D store: checks, write, emit Count(lo) then Store", body: `t := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+mem[t.off+i0*t.d1+i1] = regs[a]
+line := v.p.errs[hi].line
+v.emitCount(int64(lo), line)
+v.emitAccess(EvStore, t.abase+uint64(i0*t.d1+i1), t.nameIdx, true, line)`},
+
+	// Read-modify-write superinstructions (untraced load-op-store on the
+	// same element; one bounds check stands for the identical pair).
+	{name: "AddTo1", doc: "arr[c][regs[b]] += regs[a]", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] += regs[a]`},
+	{name: "SubTo1", doc: "arr[c][regs[b]] -= regs[a]", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] -= regs[a]`},
+	{name: "MulTo1", doc: "arr[c][regs[b]] *= regs[a]", stepFuse: true, body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] *= regs[a]`},
+	{name: "MinTo1", doc: "arr[c][regs[b]] = min(element, regs[a])", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] = math.Min(mem[t.off+i], regs[a])`},
+	{name: "MaxTo1", doc: "arr[c][regs[b]] = max(element, regs[a])", body: `t := &v.p.arrays[c]
+i := int(regs[b])
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] = math.Max(mem[t.off+i], regs[a])`},
+
+	// Index-wrap superinstructions (the `a[i % n]` shape; untraced).
+	{name: "Ld1Mod", doc: "regs[a] = arr[d][fmod(regs[b], regs[c])], mod-by-zero at line lo", stepFuse: true, body: `r := regs[c]
+if r == 0 {
+	v.steps = steps
+	return 0, v.errModZero(int32(lo))
+}
+i := int(fmod(regs[b], r))
+t := &v.p.arrays[d]
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+regs[a] = mem[t.off+i]`},
+	{name: "St1Mod", doc: "arr[d][fmod(regs[b], regs[c])] = regs[a], mod-by-zero at line lo", stepFuse: true, body: `r := regs[c]
+if r == 0 {
+	v.steps = steps
+	return 0, v.errModZero(int32(lo))
+}
+i := int(fmod(regs[b], r))
+t := &v.p.arrays[d]
+if uint(i) >= uint(t.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i)
+}
+mem[t.off+i] = regs[a]`},
+
+	// Trace-event emitters (traced streams only).
+	{name: "EmitLoadVar", doc: "emit Load of variable slot a (name hi) at line lo", stepFuse: true, body: `v.emitAccess(EvLoad, scalarAddr(base+a), hi, false, int32(lo))`},
+	{name: "EmitStoreVar", doc: "emit Store of variable slot a (name hi) at line lo", body: `v.emitAccess(EvStore, scalarAddr(base+a), hi, false, int32(lo))`},
+	{name: "EmitStoreVarC", doc: "emit Count(c) then Store of variable slot a (name hi) at line lo — a traced scalar assignment's epilogue in one dispatch", body: `v.emitCount(int64(c), int32(lo))
+v.emitAccess(EvStore, scalarAddr(base+a), hi, false, int32(lo))`},
+	{name: "EmitLoopEnter", doc: "emit LoopEnter(name hi) at line lo and push the loop on the unwind stack", stepFuse: true, body: `v.emitLoop(EvLoopEnter, hi, int32(lo))
+v.lstack = append(v.lstack, hi)`},
+	{name: "EmitLoopExit", doc: "emit LoopExit(name hi) and pop the unwind stack", body: `v.emitLoop(EvLoopExit, hi, 0)
+v.lstack = v.lstack[:len(v.lstack)-1]`},
+	{name: "EmitLoopIter", doc: "emit LoopIter(name hi, iteration regs[a]) and advance the counter", body: `v.emitIter(hi, int64(regs[a]))
+regs[a]++`},
+
+	// Counted loops. ForIter is the header (test, gate, bind the induction
+	// variable); ForNext is the untraced backedge superinstruction fusing
+	// step+test+backedge into one dispatch.
+	{name: "ForPrep", doc: "fail with errs[hi] when the step regs[a] is not positive", body: `if regs[a] <= 0 {
+	v.steps = steps
+	return 0, v.errPosStep(hi, regs[a])
+}`},
+	{name: "ForIter", doc: "loop header: exit to lo unless regs[b] < regs[c]; else gate and bind regs[a]", endsPC: true, body: `if regs[b] < regs[c] {
+	$LGATE
+	regs[a] = regs[b]
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "ForNext", doc: "fused backedge: regs[b] += regs[c]; loop to lo while regs[b] < regs[d], gating and binding regs[a]", endsPC: true, body: `x := regs[b] + regs[c]
+regs[b] = x
+if x < regs[d] {
+	$LGATE
+	regs[a] = x
+	pc = int(lo)
+} else {
+	pc += 2
+}`},
+	{name: "ForIterT", doc: "traced loop header: ForIter plus the LoopIter and Count(2) events (iteration counter regs[d], loop identity and line from errs[hi])", endsPC: true, body: `if regs[b] < regs[c] {
+	$LGATE
+	regs[a] = regs[b]
+	e := &v.p.errs[hi]
+	v.emitIter(e.nameIdx, int64(regs[d]))
+	regs[d]++
+	v.emitCount(2, e.line)
+	pc += 2
+} else {
+	pc = int(lo)
+}`},
+	{name: "ForAdvT", doc: "traced backedge: regs[a] += regs[b]; jump to the header at lo", endsPC: true, body: `regs[a] += regs[b]
+pc = int(lo)`},
+
+	// Whole-statement reduction superinstructions (extended encoding): the
+	// scalar multiply-accumulate statement t = t + A[..]*B[..] — gate,
+	// bounds checks and (traced) all five events in one dispatch. hi is the
+	// base of the loads' consecutive bounds-check sites; lo2 is t's name,
+	// w the statement's static operation count.
+	{name: "Mac1", ext: true, doc: "gated regs[a] += arr[d][regs[b]] * arr[z][regs[c]] (err sites hi, hi+1; line lo)", body: `$GATE
+t1 := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t1.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+t2 := &v.p.arrays[z]
+i1 := int(regs[c])
+if uint(i1) >= uint(t2.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+regs[a] += float64(mem[t1.off+i0] * mem[t2.off+i1])`},
+	{name: "Mac1T", ext: true, doc: "Mac1 plus its event stream: Load a, Load arr1, Load arr2, Count(w), Store a", body: `$GATE
+line := int32(lo)
+v.emitAccess(EvLoad, scalarAddr(base+a), lo2, false, line)
+t1 := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t1.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+v.emitAccess(EvLoad, t1.abase+uint64(i0), t1.nameIdx, true, line)
+t2 := &v.p.arrays[z]
+i1 := int(regs[c])
+if uint(i1) >= uint(t2.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+v.emitAccess(EvLoad, t2.abase+uint64(i1), t2.nameIdx, true, line)
+v.emitCount(int64(w), line)
+regs[a] += float64(mem[t1.off+i0] * mem[t2.off+i1])
+v.emitAccess(EvStore, scalarAddr(base+a), lo2, false, line)`},
+	{name: "Mac2", ext: true, doc: "gated regs[a] += arr[d][regs[b]][regs[c]] * arr[z][regs[x]][regs[y]] (err sites hi..hi+3; line lo)", body: `$GATE
+t1 := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t1.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t1.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+t2 := &v.p.arrays[z]
+i2 := int(regs[x])
+if uint(i2) >= uint(t2.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi+2, i2)
+}
+i3 := int(regs[y])
+if uint(i3) >= uint(t2.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+3, i3)
+}
+regs[a] += float64(mem[t1.off+i0*t1.d1+i1] * mem[t2.off+i2*t2.d1+i3])`},
+	{name: "Mac2T", ext: true, doc: "Mac2 plus its event stream: Load a, Load arr1, Load arr2, Count(w), Store a", body: `$GATE
+line := int32(lo)
+v.emitAccess(EvLoad, scalarAddr(base+a), lo2, false, line)
+t1 := &v.p.arrays[d]
+i0 := int(regs[b])
+if uint(i0) >= uint(t1.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi, i0)
+}
+i1 := int(regs[c])
+if uint(i1) >= uint(t1.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+1, i1)
+}
+p1 := i0*t1.d1 + i1
+v.emitAccess(EvLoad, t1.abase+uint64(p1), t1.nameIdx, true, line)
+t2 := &v.p.arrays[z]
+i2 := int(regs[x])
+if uint(i2) >= uint(t2.d0) {
+	v.steps = steps
+	return 0, v.errOOB(hi+2, i2)
+}
+i3 := int(regs[y])
+if uint(i3) >= uint(t2.d1) {
+	v.steps = steps
+	return 0, v.errOOB(hi+3, i3)
+}
+p2 := i2*t2.d1 + i3
+v.emitAccess(EvLoad, t2.abase+uint64(p2), t2.nameIdx, true, line)
+v.emitCount(int64(w), line)
+regs[a] += float64(mem[t1.off+p1] * mem[t2.off+p2])
+v.emitAccess(EvStore, scalarAddr(base+a), lo2, false, line)`},
+}
+
+var ident = map[string]*regexp.Regexp{}
+
+func uses(body, name string) bool {
+	re, ok := ident[name]
+	if !ok {
+		re = regexp.MustCompile(`\b` + name + `\b`)
+		ident[name] = re
+	}
+	return re.MatchString(body)
+}
+
+func expand(body string) string {
+	body = strings.ReplaceAll(body, "$GATE", gate)
+	body = strings.ReplaceAll(body, "$LGATE", lgate)
+	return bufferDirect(body)
+}
+
+// splitArgs splits a call's argument text at top-level commas.
+func splitArgs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return append(out, strings.TrimSpace(s[start:]))
+}
+
+// bufferDirect rewrites the v.emit* helper calls into direct stores through
+// the dispatch loop's local event-buffer cursor. Inside the generated exec
+// the compiler refuses to inline anything non-trivial (the function is far
+// over the big-function threshold), so each helper would cost two real
+// calls per event — the single largest line item in the traced profile.
+// The rewrite brings an event down to one predictable branch and one store.
+// Every return path then syncs the cursor back (run/call flush the buffer
+// to deliver aborted prefixes), which retSync inserts mechanically.
+func bufferDirect(body string) string {
+	events := map[string]func([]string) string{
+		"emitAccess": func(a []string) string {
+			return fmt.Sprintf("Event{Kind: %s, A: %s, Name: %s, Array: %s, Line: %s}", a[0], a[1], a[2], a[3], a[4])
+		},
+		"emitCount": func(a []string) string {
+			return fmt.Sprintf("Event{Kind: EvCount, A: uint64(%s), Line: %s}", a[0], a[1])
+		},
+		"emitIter": func(a []string) string {
+			return fmt.Sprintf("Event{Kind: EvLoopIter, Name: %s, A: uint64(%s)}", a[0], a[1])
+		},
+		"emitLoop": func(a []string) string {
+			return fmt.Sprintf("Event{Kind: %s, Name: %s, Line: %s}", a[0], a[1], a[2])
+		},
+	}
+	for name, lit := range events {
+		for {
+			call := "v." + name + "("
+			i := strings.Index(body, call)
+			if i < 0 {
+				break
+			}
+			depth, j := 1, i+len(call)
+			for ; depth > 0; j++ {
+				switch body[j] {
+				case '(':
+					depth++
+				case ')':
+					depth--
+				}
+			}
+			repl := `if bufn == eventBufSize {
+	v.bufn = bufn
+	v.flush()
+	bufn = 0
+}
+buf[bufn&(eventBufSize-1)] = ` + lit(splitArgs(body[i+len(call):j-1])) + `
+bufn++`
+			body = body[:i] + repl + body[j:]
+		}
+	}
+	return body
+}
+
+var retLine = regexp.MustCompile(`(?m)^(\t*)return `)
+
+// retSync prefixes every return with the event-cursor writeback.
+func retSync(body string) string {
+	return retLine.ReplaceAllString(body, "${1}v.bufn = bufn\n${1}return ")
+}
+
+// caseFor renders one switch case: operand decodes for the fields the body
+// mentions, the body, and the default pc advance.
+func caseFor(o op) string {
+	body := retSync(expand(o.body))
+	var b strings.Builder
+	fmt.Fprintf(&b, "case Op%s:\n", o.name)
+	if uses(body, "a") {
+		b.WriteString("a := int(ins>>8) & 0xffff\n")
+	}
+	if uses(body, "b") {
+		b.WriteString("b := int(ins>>24) & 0xffff\n")
+	}
+	if uses(body, "c") {
+		b.WriteString("c := int(ins>>40) & 0xffff\n")
+	}
+	if uses(body, "d") {
+		b.WriteString("d := int(ins >> 56)\n")
+	}
+	needLo, needHi := uses(body, "lo"), uses(body, "hi")
+	if needLo || needHi {
+		b.WriteString("aux := code[pc+1]\n")
+	}
+	if needLo {
+		b.WriteString("lo := uint32(aux)\n")
+	}
+	if needHi {
+		b.WriteString("hi := uint32(aux >> 32)\n")
+	}
+	if o.ext {
+		if uses(body, "x") || uses(body, "y") || uses(body, "z") || uses(body, "w") {
+			b.WriteString("ins2 := code[pc+2]\n")
+		}
+		if uses(body, "x") {
+			b.WriteString("x := int(ins2>>8) & 0xffff\n")
+		}
+		if uses(body, "y") {
+			b.WriteString("y := int(ins2>>24) & 0xffff\n")
+		}
+		if uses(body, "z") {
+			b.WriteString("z := int(ins2>>40) & 0xffff\n")
+		}
+		if uses(body, "w") {
+			b.WriteString("w := int(ins2 >> 56)\n")
+		}
+		if uses(body, "lo2") || uses(body, "hi2") {
+			b.WriteString("aux2 := code[pc+3]\n")
+		}
+		if uses(body, "lo2") {
+			b.WriteString("lo2 := uint32(aux2)\n")
+		}
+		if uses(body, "hi2") {
+			b.WriteString("hi2 := uint32(aux2 >> 32)\n")
+		}
+	}
+	b.WriteString(body)
+	if !o.endsPC {
+		if o.ext {
+			b.WriteString("\npc += 4")
+		} else {
+			b.WriteString("\npc += 2")
+		}
+	}
+	b.WriteString("\n\n")
+	return b.String()
+}
+
+func main() {
+	all := make([]op, 0, 2*len(ops))
+	all = append(all, ops...)
+	fused := map[string]string{} // base name -> fused name
+	for _, o := range ops {
+		if !o.stepFuse {
+			continue
+		}
+		f := op{
+			name:   "Step" + o.name,
+			doc:    "statement gate fused with " + o.name,
+			body:   "$GATE\n" + o.body,
+			endsPC: o.endsPC,
+		}
+		fused[o.name] = f.name
+		all = append(all, f)
+	}
+	if len(all) > 256 {
+		fmt.Fprintf(os.Stderr, "gen_ops: %d opcodes exceed the uint8 space\n", len(all))
+		os.Exit(1)
+	}
+
+	// op_codes.go: the opcode table.
+	var oc bytes.Buffer
+	oc.WriteString(header)
+	oc.WriteString("// OpCode identifies one regvm instruction. The operand fields an op\n")
+	oc.WriteString("// reads and its exact semantics are specified in gen_ops.go.\ntype OpCode uint8\n\n")
+	oc.WriteString("const (\n")
+	for i, o := range all {
+		if i == 0 {
+			fmt.Fprintf(&oc, "\tOp%s OpCode = iota // %s\n", o.name, o.doc)
+		} else {
+			fmt.Fprintf(&oc, "\tOp%s // %s\n", o.name, o.doc)
+		}
+	}
+	oc.WriteString(")\n\n")
+	oc.WriteString("// opNames indexes opcode names for disassembly and profiling.\nvar opNames = [...]string{\n")
+	for _, o := range all {
+		fmt.Fprintf(&oc, "\t%q,\n", o.name)
+	}
+	oc.WriteString("}\n\n")
+	oc.WriteString("func (op OpCode) String() string {\n\tif int(op) < len(opNames) {\n\t\treturn opNames[op]\n\t}\n\treturn \"Op?\"\n}\n\n")
+	oc.WriteString("// stepFused maps an opcode to its statement-gate-fused superinstruction\n// (OpInvalid when none exists).\nvar stepFused = [256]OpCode{\n")
+	for _, o := range ops {
+		if f, ok := fused[o.name]; ok {
+			fmt.Fprintf(&oc, "\tOp%s: Op%s,\n", o.name, f)
+		}
+	}
+	oc.WriteString("}\n\n")
+	oc.WriteString("// opExt marks opcodes that use the extended four-word encoding;\n// everything that walks a code stream (dispatch, tests, tooling)\n// advances pc by 4 over them instead of 2.\nvar opExt = [256]bool{\n")
+	for _, o := range all {
+		if o.ext {
+			fmt.Fprintf(&oc, "\tOp%s: true,\n", o.name)
+		}
+	}
+	oc.WriteString("}\n")
+
+	// op_exec.go: the twin dispatch loops. The switch cases are rendered
+	// once and embedded in both exec (production) and execPairs (the
+	// opcode-pair profiler behind ProfileOpcodePairs).
+	var cases strings.Builder
+	for _, o := range all {
+		if o.skipCase {
+			continue
+		}
+		cases.WriteString(caseFor(o))
+	}
+	var ox bytes.Buffer
+	ox.WriteString(header)
+	ox.WriteString("import (\n\t\"fmt\"\n\t\"math\"\n)\n\n")
+	for _, fn := range []struct{ name, doc, prologue string }{
+		{"exec", execDoc, ""},
+		{"execPairs", pairsDoc, "\t\tv.pairs[uint16(prev)<<8|uint16(op)]++\n\t\tprev = op\n"},
+	} {
+		ox.WriteString(fn.doc)
+		fmt.Fprintf(&ox, "func (v *rvm) %s(code []uint64, base int) (float64, error) {\n", fn.name)
+		ox.WriteString("\tregs := v.regs[base:]\n\tmem := v.arrayMem\n\tconsts := v.p.consts\n\tsteps := v.steps\n\tpc := 0\n")
+		ox.WriteString("\tvar buf *[eventBufSize]Event\n\tif v.buf != nil {\n\t\tbuf = (*[eventBufSize]Event)(v.buf)\n\t}\n\tbufn := v.bufn\n")
+		if fn.name == "execPairs" {
+			ox.WriteString("\tprev := OpInvalid\n")
+		}
+		ox.WriteString("\tfor {\n\t\tins := code[pc]\n\t\top := OpCode(ins & 0xff)\n")
+		ox.WriteString(fn.prologue)
+		ox.WriteString("\t\tswitch op {\n")
+		ox.WriteString(cases.String())
+		ox.WriteString("default:\nv.steps = steps\nv.bufn = bufn\nreturn 0, fmt.Errorf(\"interp: invalid opcode %d at pc %d\", op, pc)\n")
+		ox.WriteString("\t\t}\n\t}\n}\n\n")
+	}
+
+	write("op_codes.go", oc.Bytes())
+	write("op_exec.go", ox.Bytes())
+}
+
+const header = `// Code generated by gen_ops.go; DO NOT EDIT.
+
+package interp
+
+`
+
+const execDoc = `// exec runs one function's instruction stream with its frame at base. The
+// hot state — the frame's register window, array memory, the constant pool
+// and the step counter — is hoisted into locals; every exit path (and the
+// Call op, which re-enters exec for the callee) syncs v.steps back.
+`
+
+const pairsDoc = `// execPairs is exec's twin for superinstruction selection: identical
+// semantics, plus a dynamic count of every executed opcode pair in v.pairs.
+// Generated from the same case table, so the two cannot diverge.
+`
+
+func write(name string, src []byte) {
+	out, err := format.Source(src)
+	if err != nil {
+		// Emit the unformatted source so the error is debuggable.
+		os.WriteFile(name, src, 0o644)
+		fmt.Fprintf(os.Stderr, "gen_ops: format %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(name, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gen_ops: %v\n", err)
+		os.Exit(1)
+	}
+}

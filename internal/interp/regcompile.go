@@ -1,0 +1,1405 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"pardetect/internal/ir"
+)
+
+// Lowering from the validated mini-IR to regvm bytecode (regvm.go; opcode
+// semantics in gen_ops.go). Each function is lowered twice — an untraced and
+// a traced stream over one shared frame layout — so the engine never tests a
+// tracing flag at run time.
+//
+// The passes, in order, per function and stream:
+//
+//   - slot assignment: named variables get dense frame slots (params first),
+//     expression temporaries a bump-allocated region above them that resets
+//     per statement;
+//   - lowering with two flow-sensitive analyses folded in: a must-defined
+//     set that elides the defined-variable check (CheckDef) and the
+//     defined-flag write (SetDef) where a variable is provably defined, and
+//     a static induction scope that elides the trace events of For
+//     induction variables exactly where the tree engine's dynamic check
+//     would (the check is by address; within one function the loop
+//     variable's slot is that address);
+//   - operation counting: the per-statement Count events are computed
+//     statically; statements containing short-circuit And/Or get a run-time
+//     accumulator slot (AccAdd/EmitCountAcc) because their counts are
+//     data-dependent;
+//   - peephole fusion over the assembled instruction list (superinstruction
+//     selection, see DESIGN.md §10): read-modify-write triples, index-wrap
+//     mod+access pairs, compare+branch pairs, and the statement gate fused
+//     into the following instruction. Constant-operand binaries (AddK...)
+//     and multiply-accumulate shapes (MulAdd/MulSub) are selected directly
+//     during lowering, where the AST shape is still visible.
+//
+// Parity with the tree engine is instruction-order parity of the observable
+// acts: every event emission, error check and step gate is placed so the
+// emitted event sequence and the abort points match the tree walker exactly.
+// Memory-write timing relative to events is not observable and is allowed
+// to differ.
+//
+// regCompile fails only on capacity overflows of the instruction encoding
+// (65535 slots/constants/functions/arrays per program, 255 array operands in
+// fused 2-D ops — the fuzzer and the app suite sit orders of magnitude
+// below these; oversized operands in fusable positions just skip the fused
+// form where a fallback exists).
+
+// ains is one instruction in the pre-assembly list: operand fields, the aux
+// word, and an optional jump-target label. Dead instructions (consumed by
+// fusion) assemble to nothing; labels resolve to the next live instruction.
+type ains struct {
+	op         OpCode
+	a, b, c, d int
+	lo, hi     uint32
+	tgt        int // label id, or -1
+	dead       bool
+
+	// Extended (four-word) ops only: the second operand pair. ext selects
+	// the wide encoding in assemble.
+	ext     bool
+	x, y, z int
+	w       int
+	lo2     uint32
+}
+
+type regCompiler struct {
+	prog      *ir.Program
+	arrayBase map[string]Addr
+	fuse      bool
+
+	consts   []float64
+	constIdx map[uint64]int
+	names    []string
+	nameIdx  map[string]uint32
+	errs     []rerr
+	arrays   []arrMeta
+	arrIdx   map[string]int
+	funcIdx  map[string]int
+	funcs    []rfunc
+
+	err error // first capacity overflow
+}
+
+func regCompile(prog *ir.Program, arrayBase map[string]Addr, fuse bool) (*rprog, error) {
+	rc := &regCompiler{
+		prog:      prog,
+		arrayBase: arrayBase,
+		fuse:      fuse,
+		constIdx:  make(map[uint64]int),
+		nameIdx:   make(map[string]uint32),
+		arrIdx:    make(map[string]int, len(prog.Arrays)),
+		funcIdx:   make(map[string]int, len(prog.Funcs)),
+	}
+	for i, a := range prog.Arrays {
+		base := arrayBase[a.Name]
+		m := arrMeta{
+			off:     int(base) - 1,
+			dims:    a.Dims,
+			d0:      a.Dims[0],
+			abase:   uint64(base),
+			nameIdx: rc.intern(a.Name),
+			name:    a.Name,
+		}
+		if len(a.Dims) > 1 {
+			m.d1 = a.Dims[1]
+		}
+		rc.arrays = append(rc.arrays, m)
+		rc.arrIdx[a.Name] = i
+	}
+	if len(rc.arrays) > 0xffff {
+		return nil, fmt.Errorf("interp: regvm: program has %d arrays, limit 65535", len(rc.arrays))
+	}
+	for i, fn := range prog.Funcs {
+		rc.funcIdx[fn.Name] = i
+	}
+	if len(prog.Funcs) > 0xffff {
+		return nil, fmt.Errorf("interp: regvm: program has %d functions, limit 65535", len(prog.Funcs))
+	}
+	rc.funcs = make([]rfunc, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		named, nnamed := scanSlots(fn)
+		f := rfunc{name: fn.Name, nameIdx: rc.intern(fn.Name), nparams: len(fn.Params)}
+		var tmax int
+		f.code = rc.lower(fn, named, nnamed, false, &tmax)
+		f.tcode = rc.lower(fn, named, nnamed, true, &tmax)
+		f.nslots = nnamed + tmax
+		if f.nslots > 0xffff {
+			return nil, fmt.Errorf("interp: regvm: function %s needs %d slots, limit 65535", fn.Name, f.nslots)
+		}
+		rc.funcs[i] = f
+	}
+	if len(rc.consts) > 0xffff {
+		return nil, fmt.Errorf("interp: regvm: program has %d constants, limit 65535", len(rc.consts))
+	}
+	if rc.err != nil {
+		return nil, rc.err
+	}
+	entry := rc.funcIdx[prog.Entry] // Run rejects a missing entry before the vm starts
+	return &rprog{
+		funcs:  rc.funcs,
+		entry:  entry,
+		consts: rc.consts,
+		names:  rc.names,
+		errs:   rc.errs,
+		arrays: rc.arrays,
+	}, nil
+}
+
+func (rc *regCompiler) intern(s string) uint32 {
+	if i, ok := rc.nameIdx[s]; ok {
+		return i
+	}
+	i := uint32(len(rc.names))
+	rc.names = append(rc.names, s)
+	rc.nameIdx[s] = i
+	return i
+}
+
+func (rc *regCompiler) kidx(v float64) int {
+	bits := math.Float64bits(v)
+	if i, ok := rc.constIdx[bits]; ok {
+		return i
+	}
+	i := len(rc.consts)
+	rc.consts = append(rc.consts, v)
+	rc.constIdx[bits] = i
+	return i
+}
+
+func (rc *regCompiler) newErr(e rerr) uint32 {
+	rc.errs = append(rc.errs, e)
+	return uint32(len(rc.errs) - 1)
+}
+
+func (rc *regCompiler) errOOBSite(arr string, dim, size int, line int32) uint32 {
+	return rc.newErr(rerr{arr: arr, dim: dim, size: size, line: line})
+}
+
+// scanSlots assigns dense frame slots to every variable a function mentions:
+// parameters first, then first mention in a deterministic body walk. Both
+// streams share the table (slot numbers are aliasing identities only).
+func scanSlots(fn *ir.Function) (map[string]int, int) {
+	slots := make(map[string]int, len(fn.Params)+8)
+	of := func(name string) {
+		if _, ok := slots[name]; !ok {
+			slots[name] = len(slots)
+		}
+	}
+	for _, p := range fn.Params {
+		of(p)
+	}
+	var walkExpr func(x ir.Expr)
+	walkExpr = func(x ir.Expr) {
+		switch x := x.(type) {
+		case ir.Var:
+			of(x.Name)
+		case *ir.Elem:
+			for _, ix := range x.Idx {
+				walkExpr(ix)
+			}
+		case *ir.Bin:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *ir.Un:
+			walkExpr(x.X)
+		case *ir.Call:
+			for _, ax := range x.Args {
+				walkExpr(ax)
+			}
+		}
+	}
+	var walkStmts func(stmts []ir.Stmt)
+	walkStmts = func(stmts []ir.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ir.Assign:
+				walkExpr(s.Src)
+				switch dst := s.Dst.(type) {
+				case ir.Var:
+					of(dst.Name)
+				case *ir.Elem:
+					for _, ix := range dst.Idx {
+						walkExpr(ix)
+					}
+				}
+			case *ir.For:
+				walkExpr(s.Start)
+				walkExpr(s.End)
+				walkExpr(s.Step)
+				of(s.Var)
+				walkStmts(s.Body)
+			case *ir.While:
+				walkExpr(s.Cond)
+				walkStmts(s.Body)
+			case *ir.If:
+				walkExpr(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case *ir.Return:
+				if s.Val != nil {
+					walkExpr(s.Val)
+				}
+			case *ir.ExprStmt:
+				walkExpr(s.X)
+			}
+		}
+	}
+	walkStmts(fn.Body)
+	return slots, len(slots)
+}
+
+// cntScope tracks one operation-count scope (a statement, or a call's
+// argument list which emits its own Count event). static accumulates the
+// compile-time-known part; active scopes additionally carry an accumulator
+// slot for the data-dependent part behind short-circuit branches.
+type cntScope struct {
+	static int64
+	acc    int
+	active bool
+}
+
+type loopCtx struct {
+	exitLabel int    // Break jumps here (traced: lands on EmitLoopExit)
+	nameIdx   uint32 // loop ID, for LoopExit unwinds at Return
+}
+
+// flow is the per-stream lowering state of one function.
+type flow struct {
+	rc     *regCompiler
+	fn     *ir.Function
+	traced bool
+
+	slots   map[string]int
+	nnamed  int
+	tempTop int
+	tempMax *int
+
+	asm    []ains
+	labels []int
+
+	defined    map[string]bool
+	induct     map[string]int
+	loops      []loopCtx
+	cnts       []cntScope
+	terminated bool
+}
+
+func (rc *regCompiler) lower(fn *ir.Function, slots map[string]int, nnamed int, traced bool, tmax *int) []uint64 {
+	f := &flow{
+		rc:      rc,
+		fn:      fn,
+		traced:  traced,
+		slots:   slots,
+		nnamed:  nnamed,
+		tempMax: tmax,
+		defined: make(map[string]bool, nnamed),
+		induct:  make(map[string]int),
+	}
+	for _, p := range fn.Params {
+		f.defined[p] = true
+	}
+	f.lowerStmts(fn.Body)
+	// Falling off the end returns 0, with no gate — the tree engine's
+	// execStmts running out of statements. Also the landing point for any
+	// label placed at the very end of the body.
+	f.emit(OpRetZ, 0, 0, 0, 0, 0, 0)
+	if rc.fuse {
+		f.fusePeephole()
+	}
+	return f.assemble()
+}
+
+func (f *flow) emit(op OpCode, a, b, c, d int, lo, hi uint32) {
+	if a > 0xffff || b > 0xffff || c > 0xffff || d > 0xff {
+		if f.rc.err == nil {
+			f.rc.err = fmt.Errorf("interp: regvm: operand overflow in %s (op %s)", f.fn.Name, op)
+		}
+	}
+	f.asm = append(f.asm, ains{op: op, a: a, b: b, c: c, d: d, lo: lo, hi: hi, tgt: -1})
+}
+
+func (f *flow) emitJump(op OpCode, a, b int, label int) {
+	f.asm = append(f.asm, ains{op: op, a: a, b: b, tgt: label})
+}
+
+func (f *flow) newLabel() int {
+	f.labels = append(f.labels, -1)
+	return len(f.labels) - 1
+}
+
+func (f *flow) place(label int) { f.labels[label] = len(f.asm) }
+
+func (f *flow) temp() int {
+	t := f.nnamed + f.tempTop
+	f.tempTop++
+	if f.tempTop > *f.tempMax {
+		*f.tempMax = f.tempTop
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Operation counting
+// ---------------------------------------------------------------------------
+
+// needsAcc reports whether an expression's operation count is data-dependent
+// (short-circuit And/Or outside call arguments; a call's arguments count
+// toward the call's own scope).
+func needsAcc(x ir.Expr) bool {
+	switch x := x.(type) {
+	case *ir.Bin:
+		if x.Op == ir.And || x.Op == ir.Or {
+			return true
+		}
+		return needsAcc(x.L) || needsAcc(x.R)
+	case *ir.Un:
+		return needsAcc(x.X)
+	case *ir.Elem:
+		for _, ix := range x.Idx {
+			if needsAcc(ix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f *flow) beginCnt(acc bool) {
+	if !f.traced {
+		f.cnts = append(f.cnts, cntScope{})
+		return
+	}
+	s := cntScope{active: acc}
+	if acc {
+		s.acc = f.temp()
+		f.emit(OpConst, s.acc, f.rc.kidx(0), 0, 0, 0, 0)
+	}
+	f.cnts = append(f.cnts, s)
+}
+
+func (f *flow) addCnt(n int64) {
+	if !f.traced {
+		return
+	}
+	f.cnts[len(f.cnts)-1].static += n
+}
+
+// flushCnt moves the pending static count into the accumulator; it brackets
+// the conditionally-executed halves of And/Or.
+func (f *flow) flushCnt() {
+	if !f.traced {
+		return
+	}
+	s := &f.cnts[len(f.cnts)-1]
+	if !s.active || s.static == 0 {
+		return
+	}
+	f.emit(OpAccAdd, s.acc, 0, 0, 0, 0, uint32(s.static))
+	s.static = 0
+}
+
+// endCnt pops the scope without emitting (untraced streams, and traced
+// paths that fold the count into a fused store).
+func (f *flow) endCnt() { f.cnts = f.cnts[:len(f.cnts)-1] }
+
+// endCntEmit pops the scope and emits its Count event with extra added
+// (the +1 of stores, conditions and returns).
+func (f *flow) endCntEmit(extra int64, line int32) {
+	s := f.cnts[len(f.cnts)-1]
+	f.cnts = f.cnts[:len(f.cnts)-1]
+	if !f.traced {
+		return
+	}
+	if s.active {
+		f.emit(OpEmitCountAcc, s.acc, 0, 0, 0, uint32(line), uint32(s.static+extra))
+	} else {
+		f.emit(OpEmitCount, 0, 0, 0, 0, uint32(line), uint32(s.static+extra))
+	}
+}
+
+// cntIsStatic reports whether the current scope's count is compile-time
+// known (the precondition of the fused traced stores, which carry the count
+// as an immediate).
+func (f *flow) cntIsStatic() bool { return !f.cnts[len(f.cnts)-1].active }
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// exprSafe reports whether lowering x produces no instruction that can fail
+// or (in a traced stream) emit an event. Safe expressions may be hoisted
+// past a bounds check, which is what the fused 2-D array ops do to the
+// second index.
+func (f *flow) exprSafe(x ir.Expr) bool {
+	switch x := x.(type) {
+	case ir.Const:
+		return true
+	case ir.Var:
+		if !f.defined[x.Name] {
+			return false
+		}
+		return !f.traced || f.induct[x.Name] > 0
+	case *ir.Un:
+		switch x.Op {
+		case ir.Neg, ir.Not, ir.Sqrt, ir.Floor, ir.Abs:
+			return f.exprSafe(x.X)
+		}
+		return false
+	case *ir.Bin:
+		switch x.Op {
+		case ir.Add, ir.Sub, ir.Mul, ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne, ir.Min, ir.Max:
+			return f.exprSafe(x.L) && f.exprSafe(x.R)
+		}
+		return false
+	}
+	return false
+}
+
+// lowerExpr lowers x and returns the register holding its value: a fresh
+// temporary, or the variable's own slot (a read of a defined variable costs
+// no instruction at all). Operation counts accrue to the current scope.
+func (f *flow) lowerExpr(x ir.Expr, line int32) int {
+	return f.lowerExprTo(x, line, -1)
+}
+
+// dstOr resolves a result register: the caller-requested destination, or a
+// fresh temporary.
+func (f *flow) dstOr(dst int) int {
+	if dst >= 0 {
+		return dst
+	}
+	return f.temp()
+}
+
+// lowerExprTo lowers x into dst when dst >= 0 (lowerExpr otherwise). Every
+// lowering writes dst only in its final instruction — after all operand
+// reads on every path — so the destination may be a register x itself
+// reads (t = t + a[i] targets t's own slot directly).
+func (f *flow) lowerExprTo(x ir.Expr, line int32, dst int) int {
+	switch x := x.(type) {
+	case ir.Const:
+		t := f.dstOr(dst)
+		f.emit(OpConst, t, f.rc.kidx(x.V), 0, 0, 0, 0)
+		return t
+
+	case ir.Var:
+		r := f.lowerVarRead(x.Name, line)
+		if dst >= 0 && r != dst {
+			f.emit(OpMov, dst, r, 0, 0, 0, 0)
+			return dst
+		}
+		return r
+
+	case *ir.Elem:
+		return f.lowerElemLoad(x, line, dst)
+
+	case *ir.Bin:
+		return f.lowerBin(x, line, dst)
+
+	case *ir.Un:
+		rx := f.lowerExpr(x.X, line)
+		t := f.dstOr(dst)
+		switch x.Op {
+		case ir.Neg:
+			f.emit(OpNeg, t, rx, 0, 0, 0, 0)
+		case ir.Not:
+			f.emit(OpNot, t, rx, 0, 0, 0, 0)
+		case ir.Sqrt:
+			f.emit(OpSqrt, t, rx, 0, 0, 0, 0)
+		case ir.Floor:
+			f.emit(OpFloor, t, rx, 0, 0, 0, 0)
+		case ir.Abs:
+			f.emit(OpAbs, t, rx, 0, 0, 0, 0)
+		default:
+			e := f.rc.newErr(rerr{err: fmt.Errorf("interp: unknown unary op %v (line %d)", x.Op, line)})
+			f.emit(OpErr, 0, 0, 0, 0, 0, e)
+		}
+		f.addCnt(1)
+		return t
+
+	case *ir.Call:
+		return f.lowerCall(x, line, dst)
+
+	default:
+		e := f.rc.newErr(rerr{err: fmt.Errorf("interp: unknown expression %T (line %d)", x, line)})
+		f.emit(OpErr, 0, 0, 0, 0, 0, e)
+		return f.dstOr(dst)
+	}
+}
+
+// lowerVarRead resolves a scalar read: the defined-check where the variable
+// is not provably defined, the Load event where the tree engine would emit
+// one, and the slot itself as the operand.
+func (f *flow) lowerVarRead(name string, line int32) int {
+	slot := f.slots[name]
+	if !f.defined[name] {
+		e := f.rc.newErr(rerr{err: fmt.Errorf("interp: read of undefined variable %q in %s (line %d)", name, f.fn.Name, line)})
+		f.emit(OpCheckDef, slot, 0, 0, 0, 0, e)
+	}
+	if f.traced && f.induct[name] == 0 {
+		f.emit(OpEmitLoadVar, slot, 0, 0, 0, uint32(line), f.rc.intern(name))
+	}
+	f.addCnt(1)
+	return slot
+}
+
+// lowerExprInto lowers x and forces the result into dst (argument staging,
+// loop-control temporaries).
+func (f *flow) lowerExprInto(dst int, x ir.Expr, line int32) {
+	f.lowerExprTo(x, line, dst)
+}
+
+var binOpcode = map[ir.BinOp]OpCode{
+	ir.Add: OpAdd, ir.Sub: OpSub, ir.Mul: OpMul,
+	ir.Lt: OpLt, ir.Le: OpLe, ir.Gt: OpGt, ir.Ge: OpGe,
+	ir.Eq: OpEq, ir.Ne: OpNe, ir.Min: OpMin, ir.Max: OpMax,
+}
+
+// binKOpcode: constant-fused forms, right-constant. mirrorK maps the
+// operator usable when the constant is on the LEFT of a comparison
+// (k < x  ≡  x > k).
+var binKOpcode = map[ir.BinOp]OpCode{
+	ir.Add: OpAddK, ir.Sub: OpSubK, ir.Mul: OpMulK,
+	ir.Lt: OpLtK, ir.Le: OpLeK, ir.Gt: OpGtK, ir.Ge: OpGeK,
+	ir.Eq: OpEqK, ir.Ne: OpNeK,
+}
+
+var mirrorK = map[ir.BinOp]ir.BinOp{
+	ir.Add: ir.Add, ir.Mul: ir.Mul,
+	ir.Lt: ir.Gt, ir.Le: ir.Ge, ir.Gt: ir.Lt, ir.Ge: ir.Le,
+	ir.Eq: ir.Eq, ir.Ne: ir.Ne,
+}
+
+func (f *flow) lowerBin(x *ir.Bin, line int32, dst int) int {
+	switch x.Op {
+	case ir.And:
+		return f.lowerAndOr(x, line, true, dst)
+	case ir.Or:
+		return f.lowerAndOr(x, line, false, dst)
+
+	case ir.Div, ir.Mod:
+		rl := f.lowerExpr(x.L, line)
+		rr := f.lowerExpr(x.R, line)
+		t := f.dstOr(dst)
+		op := OpDiv
+		if x.Op == ir.Mod {
+			op = OpMod
+		}
+		f.emit(op, t, rl, rr, 0, uint32(line), 0)
+		f.addCnt(1)
+		return t
+	}
+
+	if f.rc.fuse {
+		// Constant-operand fusion. A Const operand contributes no events
+		// and no count, so evaluation order is preserved trivially.
+		if k, ok := x.R.(ir.Const); ok {
+			if op, ok := binKOpcode[x.Op]; ok {
+				rl := f.lowerExpr(x.L, line)
+				t := f.dstOr(dst)
+				f.emit(op, t, rl, f.rc.kidx(k.V), 0, 0, 0)
+				f.addCnt(1)
+				return t
+			}
+		}
+		if k, ok := x.L.(ir.Const); ok {
+			if m, ok := mirrorK[x.Op]; ok {
+				rr := f.lowerExpr(x.R, line)
+				t := f.dstOr(dst)
+				f.emit(binKOpcode[m], t, rr, f.rc.kidx(k.V), 0, 0, 0)
+				f.addCnt(1)
+				return t
+			}
+		}
+		// Multiply-accumulate: Add/Sub with a Mul operand lowers to one
+		// instruction; the operand lowering order matches the tree
+		// engine's left-to-right evaluation, so events stay in order.
+		if x.Op == ir.Add || x.Op == ir.Sub {
+			if m, ok := x.R.(*ir.Bin); ok && m.Op == ir.Mul {
+				rl := f.lowerExpr(x.L, line)
+				rx := f.lowerExpr(m.L, line)
+				ry := f.lowerExpr(m.R, line)
+				t := f.dstOr(dst)
+				f.addCnt(2)
+				if ry < 256 {
+					op := OpMulAdd
+					if x.Op == ir.Sub {
+						op = OpMulSub
+					}
+					f.emit(op, t, rl, rx, ry, 0, 0)
+				} else {
+					tm := f.temp()
+					f.emit(OpMul, tm, rx, ry, 0, 0, 0)
+					f.emit(binOpcode[x.Op], t, rl, tm, 0, 0, 0)
+				}
+				return t
+			}
+			if m, ok := x.L.(*ir.Bin); ok && m.Op == ir.Mul && x.Op == ir.Add {
+				rx := f.lowerExpr(m.L, line)
+				ry := f.lowerExpr(m.R, line)
+				rr := f.lowerExpr(x.R, line)
+				t := f.dstOr(dst)
+				f.addCnt(2)
+				if ry < 256 {
+					f.emit(OpMulAdd, t, rr, rx, ry, 0, 0)
+				} else {
+					tm := f.temp()
+					f.emit(OpMul, tm, rx, ry, 0, 0, 0)
+					f.emit(OpAdd, t, tm, rr, 0, 0, 0)
+				}
+				return t
+			}
+		}
+	}
+
+	rl := f.lowerExpr(x.L, line)
+	rr := f.lowerExpr(x.R, line)
+	t := f.dstOr(dst)
+	if op, ok := binOpcode[x.Op]; ok {
+		f.emit(op, t, rl, rr, 0, 0, 0)
+		f.addCnt(1)
+	} else {
+		e := f.rc.newErr(rerr{err: fmt.Errorf("interp: unknown binary op %v (line %d)", x.Op, line)})
+		f.emit(OpErr, 0, 0, 0, 0, 0, e)
+	}
+	return t
+}
+
+// lowerAndOr lowers short-circuit And/Or. The right operand's instructions
+// (events, errors, count contributions) execute only on the fall-through
+// path, exactly as the tree engine skips its evaluation; the pending static
+// count is flushed into the scope accumulator around the branch.
+func (f *flow) lowerAndOr(x *ir.Bin, line int32, isAnd bool, dst int) int {
+	rl := f.lowerExpr(x.L, line)
+	f.addCnt(1)
+	f.flushCnt()
+	t := f.dstOr(dst)
+	lShort := f.newLabel()
+	lEnd := f.newLabel()
+	if isAnd {
+		f.emitJump(OpJumpZ, rl, 0, lShort)
+	} else {
+		f.emitJump(OpJumpNZ, rl, 0, lShort)
+	}
+	rr := f.lowerExpr(x.R, line)
+	f.emit(OpBoolNorm, t, rr, 0, 0, 0, 0)
+	f.flushCnt()
+	f.emitJump(OpJump, 0, 0, lEnd)
+	f.place(lShort)
+	if isAnd {
+		f.emit(OpConst, t, f.rc.kidx(0), 0, 0, 0, 0)
+	} else {
+		f.emit(OpConst, t, f.rc.kidx(1), 0, 0, 0, 0)
+	}
+	f.place(lEnd)
+	return t
+}
+
+func (f *flow) lowerCall(x *ir.Call, line int32, dst int) int {
+	fi, ok := f.rc.funcIdx[x.Fn]
+	if !ok {
+		e := f.rc.newErr(rerr{err: fmt.Errorf("interp: call to unknown function %q (line %d)", x.Fn, line)})
+		f.emit(OpErr, 0, 0, 0, 0, 0, e)
+		return f.dstOr(dst)
+	}
+	// Arguments are staged in consecutive temporaries; the Call op copies
+	// them into the callee frame untraced (parameter binding is register
+	// traffic, as in the tree engine).
+	argBase := f.nnamed + f.tempTop
+	for range x.Args {
+		f.temp()
+	}
+	acc := false
+	for _, ax := range x.Args {
+		if needsAcc(ax) {
+			acc = true
+			break
+		}
+	}
+	f.beginCnt(acc)
+	f.addCnt(1)
+	for i, ax := range x.Args {
+		f.lowerExprInto(argBase+i, ax, line)
+	}
+	f.endCntEmit(0, line)
+	t := f.dstOr(dst)
+	f.emit(OpCall, t, fi, argBase, 0, uint32(line), 0)
+	// The callee's operations are counted inside the call; the call
+	// contributes nothing to the parent scope.
+	return t
+}
+
+// lowerElemLoad lowers an array element read. 1-D and safe 2-D accesses are
+// single fused ops; everything else builds the flat index with per-dimension
+// checked Idx0/IdxN steps.
+func (f *flow) lowerElemLoad(x *ir.Elem, line int32, dst int) int {
+	am := f.rc.arrIdx[x.Arr]
+	meta := &f.rc.arrays[am]
+	if len(x.Idx) == 1 {
+		ri := f.lowerExpr(x.Idx[0], line)
+		f.addCnt(1)
+		e := f.rc.errOOBSite(x.Arr, 0, meta.d0, line)
+		t := f.dstOr(dst)
+		if f.traced {
+			f.emit(OpLd1T, t, ri, am, 0, 0, e)
+		} else {
+			f.emit(OpLd1, t, ri, am, 0, 0, e)
+		}
+		f.addCnt(1)
+		return t
+	}
+	if len(x.Idx) == 2 && am < 256 && f.exprSafe(x.Idx[1]) {
+		r0 := f.lowerExpr(x.Idx[0], line)
+		f.addCnt(1)
+		r1 := f.lowerExpr(x.Idx[1], line)
+		f.addCnt(1)
+		e0 := f.rc.errOOBSite(x.Arr, 0, meta.d0, line)
+		f.rc.errOOBSite(x.Arr, 1, meta.d1, line) // e0+1
+		t := f.dstOr(dst)
+		if f.traced {
+			f.emit(OpLd2T, t, r0, r1, am, 0, e0)
+		} else {
+			f.emit(OpLd2, t, r0, r1, am, 0, e0)
+		}
+		f.addCnt(1)
+		return t
+	}
+	acc := f.lowerElemIndex(x, am, meta, line)
+	t := f.dstOr(dst)
+	if f.traced {
+		f.emit(OpLdFlatT, t, acc, am, 0, uint32(line), 0)
+	} else {
+		f.emit(OpLdFlat, t, acc, am, 0, 0, 0)
+	}
+	f.addCnt(1)
+	return t
+}
+
+// lowerElemIndex builds a checked flat index into acc, one dimension at a
+// time — check dimension d before evaluating dimension d+1, the tree
+// engine's order.
+func (f *flow) lowerElemIndex(x *ir.Elem, am int, meta *arrMeta, line int32) int {
+	acc := f.temp()
+	for d, ix := range x.Idx {
+		ri := f.lowerExpr(ix, line)
+		f.addCnt(1)
+		e := f.rc.errOOBSite(x.Arr, d, meta.dims[d], line)
+		if d == 0 {
+			f.emit(OpIdx0, acc, ri, am, 0, 0, e)
+		} else {
+			f.emit(OpIdxN, acc, ri, am, d, 0, e)
+		}
+	}
+	return acc
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (f *flow) lowerStmts(stmts []ir.Stmt) {
+	for _, s := range stmts {
+		f.lowerStmt(s)
+	}
+}
+
+func (f *flow) lowerStmt(s ir.Stmt) {
+	mark := f.tempTop
+	defer func() { f.tempTop = mark }()
+	line := int32(s.Pos())
+	f.emit(OpStep, 0, 0, 0, 0, uint32(line), 0)
+	switch s := s.(type) {
+	case *ir.Assign:
+		f.lowerAssign(s, line)
+
+	case *ir.For:
+		f.lowerFor(s, line)
+
+	case *ir.While:
+		f.lowerWhile(s, line)
+
+	case *ir.If:
+		f.beginCnt(needsAcc(s.Cond))
+		rc := f.lowerExpr(s.Cond, line)
+		f.endCntEmit(1, line)
+		lElse := f.newLabel()
+		lEnd := f.newLabel()
+		f.emitJump(OpJumpZ, rc, 0, lElse)
+		saved := copyDefined(f.defined)
+		f.lowerStmts(s.Then)
+		thenDef, thenTerm := f.defined, f.terminated
+		f.defined, f.terminated = copyDefined(saved), false
+		f.emitJump(OpJump, 0, 0, lEnd)
+		f.place(lElse)
+		f.lowerStmts(s.Else)
+		elseDef, elseTerm := f.defined, f.terminated
+		f.place(lEnd)
+		switch {
+		case thenTerm && elseTerm:
+			f.defined, f.terminated = saved, true
+		case thenTerm:
+			f.defined, f.terminated = elseDef, false
+		case elseTerm:
+			f.defined, f.terminated = thenDef, false
+		default:
+			f.defined, f.terminated = intersectDefined(thenDef, elseDef), false
+		}
+
+	case *ir.Return:
+		if s.Val != nil {
+			f.beginCnt(needsAcc(s.Val))
+			rv := f.lowerExpr(s.Val, line)
+			f.endCntEmit(1, line)
+			f.emitLoopUnwind()
+			f.emit(OpRet, rv, 0, 0, 0, 0, 0)
+		} else {
+			f.emitLoopUnwind()
+			f.emit(OpRetZ, 0, 0, 0, 0, 0, 0)
+		}
+		f.terminated = true
+
+	case *ir.Break:
+		if len(f.loops) == 0 {
+			e := f.rc.newErr(rerr{err: fmt.Errorf("interp: break outside loop in %s", f.fn.Name)})
+			f.emit(OpErr, 0, 0, 0, 0, 0, e)
+		} else {
+			f.emitJump(OpJump, 0, 0, f.loops[len(f.loops)-1].exitLabel)
+		}
+		f.terminated = true
+
+	case *ir.ExprStmt:
+		f.beginCnt(needsAcc(s.X))
+		f.lowerExpr(s.X, line)
+		f.endCntEmit(0, line) // unconditionally, a zero count included
+
+	default:
+		e := f.rc.newErr(rerr{err: fmt.Errorf("interp: unknown statement %T at line %d", s, s.Pos())})
+		f.emit(OpErr, 0, 0, 0, 0, 0, e)
+	}
+}
+
+// emitLoopUnwind emits the LoopExit events of every loop enclosing a Return,
+// innermost first — the tree engine's deferred exits.
+func (f *flow) emitLoopUnwind() {
+	if !f.traced {
+		return
+	}
+	for i := len(f.loops) - 1; i >= 0; i-- {
+		f.emit(OpEmitLoopExit, 0, 0, 0, 0, 0, f.loops[i].nameIdx)
+	}
+}
+
+func (f *flow) lowerAssign(s *ir.Assign, line int32) {
+	switch dst := s.Dst.(type) {
+	case ir.Var:
+		slot := f.slots[dst.Name]
+		f.beginCnt(needsAcc(s.Src))
+		// The source lowers straight into the destination slot: every
+		// lowering defers its write to its final instruction, after all
+		// reads, so self-referential assignments (t = t + a[i]) are safe
+		// and an aborted evaluation leaves the slot untouched — the tree
+		// engine's write-after-full-evaluation order.
+		f.lowerExprTo(s.Src, line, slot)
+		if !f.defined[dst.Name] {
+			f.emit(OpSetDef, slot, 0, 0, 0, 0, 0)
+			f.defined[dst.Name] = true
+		}
+		if f.traced && f.rc.fuse && f.cntIsStatic() && f.induct[dst.Name] == 0 {
+			if cnt := f.cnts[len(f.cnts)-1].static + 1; cnt <= 0xffff {
+				f.endCnt()
+				f.emit(OpEmitStoreVarC, slot, 0, int(cnt), 0, uint32(line), f.rc.intern(dst.Name))
+				return
+			}
+		}
+		f.endCntEmit(1, line) // the store itself
+		if f.traced && f.induct[dst.Name] == 0 {
+			f.emit(OpEmitStoreVar, slot, 0, 0, 0, uint32(line), f.rc.intern(dst.Name))
+		}
+
+	case *ir.Elem:
+		acc := needsAcc(s.Src)
+		for _, ix := range dst.Idx {
+			acc = acc || needsAcc(ix)
+		}
+		f.beginCnt(acc)
+		rs := f.lowerExpr(s.Src, line)
+		f.lowerElemStore(rs, dst, line)
+	}
+}
+
+// lowerElemStore places the checked store of rs into dst, with the traced
+// stream's Count event between the bounds checks and the Store event —
+// the tree engine's order (an out-of-range store aborts before counting).
+func (f *flow) lowerElemStore(rs int, dst *ir.Elem, line int32) {
+	am := f.rc.arrIdx[dst.Arr]
+	meta := &f.rc.arrays[am]
+	if len(dst.Idx) == 1 {
+		ri := f.lowerExpr(dst.Idx[0], line)
+		f.addCnt(1)
+		e := f.rc.errOOBSite(dst.Arr, 0, meta.d0, line)
+		if !f.traced {
+			f.emit(OpSt1, rs, ri, am, 0, 0, e)
+			f.endCnt()
+			return
+		}
+		if f.cntIsStatic() {
+			cnt := f.cnts[len(f.cnts)-1].static + 1
+			f.endCnt()
+			f.emit(OpSt1TC, rs, ri, am, 0, uint32(cnt), e)
+			return
+		}
+		// Dynamic count: check via Idx0, then Count, then the store.
+		acc := f.temp()
+		f.emit(OpIdx0, acc, ri, am, 0, 0, e)
+		f.endCntEmit(1, line)
+		f.emit(OpStFlatT, rs, acc, am, 0, uint32(line), 0)
+		return
+	}
+	if len(dst.Idx) == 2 && am < 256 && f.exprSafe(dst.Idx[1]) {
+		r0 := f.lowerExpr(dst.Idx[0], line)
+		f.addCnt(1)
+		r1 := f.lowerExpr(dst.Idx[1], line)
+		f.addCnt(1)
+		e0 := f.rc.errOOBSite(dst.Arr, 0, meta.d0, line)
+		f.rc.errOOBSite(dst.Arr, 1, meta.d1, line) // e0+1
+		if !f.traced {
+			f.emit(OpSt2, rs, r0, r1, am, 0, e0)
+			f.endCnt()
+			return
+		}
+		if f.cntIsStatic() {
+			cnt := f.cnts[len(f.cnts)-1].static + 1
+			f.endCnt()
+			f.emit(OpSt2TC, rs, r0, r1, am, uint32(cnt), e0)
+			return
+		}
+		acc := f.temp()
+		f.emit(OpIdx0, acc, r0, am, 0, 0, e0)
+		f.emit(OpIdxN, acc, r1, am, 1, 0, e0+1)
+		f.endCntEmit(1, line)
+		f.emit(OpStFlatT, rs, acc, am, 0, uint32(line), 0)
+		return
+	}
+	acc := f.lowerElemIndex(dst, am, meta, line)
+	if !f.traced {
+		f.emit(OpStFlat, rs, acc, am, 0, 0, 0)
+		f.endCnt()
+		return
+	}
+	f.endCntEmit(1, line)
+	f.emit(OpStFlatT, rs, acc, am, 0, uint32(line), 0)
+}
+
+func (f *flow) lowerFor(s *ir.For, line int32) {
+	f.beginCnt(needsAcc(s.Start) || needsAcc(s.End) || needsAcc(s.Step))
+	tCur := f.temp()
+	tEnd := f.temp()
+	tStep := f.temp()
+	f.lowerExprInto(tCur, s.Start, line)
+	f.lowerExprInto(tEnd, s.End, line)
+	f.lowerExprInto(tStep, s.Step, line)
+	if k, ok := s.Step.(ir.Const); !ok || k.V <= 0 {
+		e := f.rc.newErr(rerr{loop: s.LoopID, line: line})
+		f.emit(OpForPrep, tStep, 0, 0, 0, 0, e)
+	}
+	f.endCntEmit(0, line) // Count(n1+n2+n3), after the step check
+
+	slot := f.slots[s.Var]
+	if !f.defined[s.Var] {
+		// The tree engine creates the slot before iterating, so the
+		// variable reads as defined (and zero) even after a zero-trip loop.
+		f.emit(OpSetDef, slot, 0, 0, 0, 0, 0)
+		f.defined[s.Var] = true
+	}
+	loopIdx := f.rc.intern(s.LoopID)
+	errLoop := f.rc.newErr(rerr{loop: s.LoopID, line: line, nameIdx: loopIdx})
+	lHead := f.newLabel()
+	lExit := f.newLabel()
+	var tIter int
+	if f.traced {
+		f.emit(OpEmitLoopEnter, 0, 0, 0, 0, uint32(line), loopIdx)
+		tIter = f.temp()
+		f.emit(OpConst, tIter, f.rc.kidx(0), 0, 0, 0, 0)
+	}
+	f.loops = append(f.loops, loopCtx{exitLabel: lExit, nameIdx: loopIdx})
+	f.induct[s.Var]++
+
+	f.place(lHead)
+	tracedFused := f.traced && f.rc.fuse && tIter < 256
+	if tracedFused {
+		// The traced header superinstruction: test, gate, bind, LoopIter and
+		// the header's Count(2) in one dispatch.
+		f.asm = append(f.asm, ains{op: OpForIterT, a: slot, b: tCur, c: tEnd, d: tIter, hi: errLoop, tgt: lExit})
+	} else {
+		f.asm = append(f.asm, ains{op: OpForIter, a: slot, b: tCur, c: tEnd, hi: errLoop, tgt: lExit})
+	}
+	lBody := f.newLabel()
+	f.place(lBody)
+	if f.traced && !tracedFused {
+		f.emit(OpEmitLoopIter, tIter, 0, 0, 0, 0, loopIdx)
+		f.emit(OpEmitCount, 0, 0, 0, 0, uint32(line), 2) // compare + increment
+	}
+	saved := copyDefined(f.defined)
+	f.lowerStmts(s.Body)
+	f.defined, f.terminated = saved, false
+	switch {
+	case !f.traced && f.rc.fuse && tEnd < 256:
+		// The fused backedge: advance, test, gate and bind in one dispatch,
+		// jumping straight to the body.
+		f.asm = append(f.asm, ains{op: OpForNext, a: slot, b: tCur, c: tStep, d: tEnd, hi: errLoop, tgt: lBody})
+	case tracedFused:
+		f.asm = append(f.asm, ains{op: OpForAdvT, a: tCur, b: tStep, tgt: lHead})
+	default:
+		f.emit(OpAdd, tCur, tCur, tStep, 0, 0, 0)
+		f.emitJump(OpJump, 0, 0, lHead)
+	}
+	f.place(lExit)
+	if f.traced {
+		f.emit(OpEmitLoopExit, 0, 0, 0, 0, 0, loopIdx)
+	}
+	f.induct[s.Var]--
+	f.loops = f.loops[:len(f.loops)-1]
+}
+
+func (f *flow) lowerWhile(s *ir.While, line int32) {
+	loopIdx := f.rc.intern(s.LoopID)
+	errLoop := f.rc.newErr(rerr{loop: s.LoopID})
+	var tIter int
+	if f.traced {
+		f.emit(OpEmitLoopEnter, 0, 0, 0, 0, uint32(line), loopIdx)
+		tIter = f.temp()
+		f.emit(OpConst, tIter, f.rc.kidx(0), 0, 0, 0, 0)
+	}
+	lHead := f.newLabel()
+	lExit := f.newLabel()
+	f.loops = append(f.loops, loopCtx{exitLabel: lExit, nameIdx: loopIdx})
+	f.place(lHead)
+	f.emit(OpStepLoop, 0, 0, 0, 0, 0, errLoop)
+	f.beginCnt(needsAcc(s.Cond))
+	rc := f.lowerExpr(s.Cond, line)
+	f.endCntEmit(1, line)
+	f.emitJump(OpJumpZ, rc, 0, lExit)
+	if f.traced {
+		f.emit(OpEmitLoopIter, tIter, 0, 0, 0, 0, loopIdx)
+	}
+	saved := copyDefined(f.defined)
+	f.lowerStmts(s.Body)
+	f.defined, f.terminated = saved, false
+	f.emitJump(OpJump, 0, 0, lHead)
+	f.place(lExit)
+	if f.traced {
+		f.emit(OpEmitLoopExit, 0, 0, 0, 0, 0, loopIdx)
+	}
+	f.loops = f.loops[:len(f.loops)-1]
+}
+
+func copyDefined(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectDefined(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a))
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Peephole fusion and assembly
+// ---------------------------------------------------------------------------
+
+// loCarriesLine marks the fusable ops whose lo field is the statement's
+// source line (shared with the fused gate) rather than free for it.
+var loCarriesLine = map[OpCode]bool{
+	OpDiv: true, OpMod: true, OpLd1Mod: true, OpSt1Mod: true,
+	OpEmitLoadVar: true, OpEmitLoopEnter: true, OpEmitCount: true,
+}
+
+// fusePeephole runs the adjacent-pair superinstruction selection over the
+// lowered list: read-modify-write triples, mod+access index wraps,
+// compare+branch pairs, and finally the statement gate folded into the
+// following instruction. Patterns never straddle a jump target and only
+// consume single-use temporaries, which the lowering discipline guarantees
+// for the registers matched here.
+func (f *flow) fusePeephole() {
+	labelAt := make(map[int]bool, len(f.labels))
+	for _, idx := range f.labels {
+		if idx >= 0 {
+			labelAt[idx] = true
+		}
+	}
+	isTemp := func(r int) bool { return r >= f.nnamed }
+	prevLive := func(i int) int {
+		for j := i - 1; j >= 0; j-- {
+			if !f.asm[j].dead {
+				return j
+			}
+		}
+		return -1
+	}
+
+	// Read-modify-write: Ld1 t0 / bin t1,t0,r / St1 t1 on the same index
+	// register and array collapse to one op with a single bounds check
+	// (the checks are identical twins from the same statement).
+	rmw := map[OpCode]OpCode{OpAdd: OpAddTo1, OpSub: OpSubTo1, OpMul: OpMulTo1, OpMin: OpMinTo1, OpMax: OpMaxTo1}
+	for i := range f.asm {
+		st := &f.asm[i]
+		if st.op != OpSt1 || labelAt[i] {
+			continue
+		}
+		bi := prevLive(i)
+		if bi < 0 || labelAt[bi] {
+			continue
+		}
+		bin := &f.asm[bi]
+		to1, ok := rmw[bin.op]
+		if !ok {
+			continue
+		}
+		li := prevLive(bi)
+		if li < 0 || labelAt[li] {
+			continue
+		}
+		ld := &f.asm[li]
+		if ld.op != OpLd1 ||
+			ld.b != st.b || ld.c != st.c || // same index register and array
+			bin.b != ld.a || bin.a != st.a || // loaded value -> bin -> stored value
+			!isTemp(ld.a) || !isTemp(bin.a) ||
+			bin.c == ld.a || bin.a == st.b ||
+			f.rc.errs[ld.hi].line != f.rc.errs[st.hi].line {
+			continue
+		}
+		*st = ains{op: to1, a: bin.c, b: st.b, c: st.c, hi: ld.hi, tgt: -1}
+		ld.dead, bin.dead = true, true
+	}
+
+	// Index wrap: Mod t / Ld1|St1 over t becomes one op carrying both the
+	// mod-by-zero line and the bounds-check site.
+	for i := range f.asm {
+		ac := &f.asm[i]
+		if (ac.op != OpLd1 && ac.op != OpSt1) || labelAt[i] || ac.c >= 256 {
+			continue
+		}
+		mi := prevLive(i)
+		if mi < 0 || labelAt[mi] {
+			continue
+		}
+		md := &f.asm[mi]
+		if md.op != OpMod || md.a != ac.b || !isTemp(md.a) || md.a == ac.a {
+			continue
+		}
+		op := OpLd1Mod
+		if ac.op == OpSt1 {
+			op = OpSt1Mod
+		}
+		*ac = ains{op: op, a: ac.a, b: md.b, c: md.c, d: ac.c, lo: md.lo, hi: ac.hi, tgt: -1}
+		md.dead = true
+	}
+
+	// Compare + JumpZ: the branch tests the comparison directly. EmitCount
+	// ops between them (traced while/if conditions) are skipped — they
+	// neither read nor write the condition register.
+	cmpJ := map[OpCode]OpCode{OpLt: OpJLtF, OpLe: OpJLeF, OpGt: OpJGtF, OpGe: OpJGeF, OpEq: OpJEqF, OpNe: OpJNeF}
+	for i := range f.asm {
+		jz := &f.asm[i]
+		if jz.op != OpJumpZ || labelAt[i] {
+			continue
+		}
+		ci := prevLive(i)
+		for ci >= 0 && f.asm[ci].op == OpEmitCount && !labelAt[ci] {
+			ci = prevLive(ci)
+		}
+		if ci < 0 || labelAt[ci] {
+			continue
+		}
+		cmp := &f.asm[ci]
+		jf, ok := cmpJ[cmp.op]
+		if !ok || cmp.a != jz.a || !isTemp(cmp.a) {
+			continue
+		}
+		*jz = ains{op: jf, a: cmp.b, b: cmp.c, tgt: jz.tgt}
+		cmp.dead = true
+	}
+
+	// Whole-statement reduction fusion: the dominant hot shape in the
+	// committed opcode-pair profile is the multiply-accumulate statement
+	// t = t + A[..]*B[..]. Its gate, variable-read event, both element
+	// loads and the accumulating store collapse into one extended Mac op —
+	// a single dispatch per loop-body statement. The two loads' error
+	// sites are consecutive allocations from the same statement, which the
+	// match verifies along with single-use temporaries and name/line
+	// agreement between the traced bracket events.
+	for i := range f.asm {
+		ma := &f.asm[i]
+		if ma.op != OpMulAdd || labelAt[i] || ma.b != ma.a {
+			continue
+		}
+		l2i := prevLive(i)
+		if l2i < 0 || labelAt[l2i] {
+			continue
+		}
+		l2 := &f.asm[l2i]
+		l1i := prevLive(l2i)
+		if l1i < 0 || labelAt[l1i] || f.asm[l1i].op != l2.op {
+			continue
+		}
+		l1 := &f.asm[l1i]
+		var mop OpCode
+		var span uint32
+		traced := false
+		switch l1.op {
+		case OpLd1:
+			mop, span = OpMac1, 1
+		case OpLd2:
+			mop, span = OpMac2, 2
+		case OpLd1T:
+			mop, span, traced = OpMac1T, 1, true
+		case OpLd2T:
+			mop, span, traced = OpMac2T, 2, true
+		default:
+			continue
+		}
+		if l1.a != ma.c || l2.a != ma.d || !isTemp(l1.a) || !isTemp(l2.a) ||
+			l1.a == l2.a || ma.a == l1.a || ma.a == l2.a ||
+			l2.hi != l1.hi+span {
+			continue
+		}
+		pi := prevLive(l1i)
+		if pi < 0 {
+			continue
+		}
+		sti := -1
+		if traced {
+			if labelAt[pi] {
+				continue
+			}
+			lv := &f.asm[pi]
+			if lv.op != OpEmitLoadVar || lv.a != ma.a {
+				continue
+			}
+			si := i + 1
+			for si < len(f.asm) && f.asm[si].dead {
+				si++
+			}
+			if si >= len(f.asm) || labelAt[si] {
+				continue
+			}
+			st := &f.asm[si]
+			if st.op != OpEmitStoreVarC || st.a != ma.a || st.hi != lv.hi || st.c > 255 {
+				continue
+			}
+			sti = si
+			pi = prevLive(pi)
+			if pi < 0 {
+				continue
+			}
+		}
+		step := &f.asm[pi]
+		if step.op != OpStep || f.rc.errs[l1.hi].line != int32(step.lo) {
+			continue
+		}
+		m := ains{op: mop, ext: true, a: ma.a, lo: step.lo, hi: l1.hi, tgt: -1}
+		if span == 2 {
+			if l1.d >= 256 {
+				continue
+			}
+			m.b, m.c, m.d = l1.b, l1.c, l1.d
+			m.x, m.y, m.z = l2.b, l2.c, l2.d
+		} else {
+			if l1.c >= 256 {
+				continue
+			}
+			m.b, m.c, m.d = l1.b, l2.b, l1.c
+			m.z = l2.c
+		}
+		if traced {
+			lv := &f.asm[pi+1]
+			m.w = f.asm[sti].c
+			m.lo2 = lv.hi
+			lv.dead = true
+			f.asm[sti].dead = true
+		}
+		*step = m
+		l1.dead, l2.dead, ma.dead = true, true, true
+	}
+
+	// Statement gate last, so it can fuse with superinstructions formed
+	// above: Step + X becomes StepX whenever X has a fused form and no jump
+	// lands between them.
+	for i := range f.asm {
+		step := &f.asm[i]
+		if step.op != OpStep || step.dead {
+			continue
+		}
+		ni := i + 1
+		for ni < len(f.asm) && f.asm[ni].dead {
+			ni++
+		}
+		if ni >= len(f.asm) || labelAt[ni] {
+			continue
+		}
+		next := &f.asm[ni]
+		fusedOp := stepFused[next.op]
+		if fusedOp == OpInvalid {
+			continue
+		}
+		if loCarriesLine[next.op] && next.lo != step.lo {
+			continue
+		}
+		merged := *next
+		merged.op = fusedOp
+		if !loCarriesLine[next.op] {
+			merged.lo = step.lo
+		}
+		*step = merged
+		next.dead = true
+	}
+}
+
+// assemble resolves labels and packs the live instructions into the final
+// two-word encoding.
+func (f *flow) assemble() []uint64 {
+	offs := make([]int, len(f.asm)+1)
+	w := 0
+	for i := range f.asm {
+		offs[i] = w
+		if !f.asm[i].dead {
+			if f.asm[i].ext {
+				w += 4
+			} else {
+				w += 2
+			}
+		}
+	}
+	offs[len(f.asm)] = w
+	code := make([]uint64, 0, w)
+	for i := range f.asm {
+		ins := &f.asm[i]
+		if ins.dead {
+			continue
+		}
+		lo := ins.lo
+		if ins.tgt >= 0 {
+			lo = uint32(offs[f.labels[ins.tgt]])
+		}
+		code = append(code,
+			uint64(ins.op)|uint64(ins.a)<<8|uint64(ins.b)<<24|uint64(ins.c)<<40|uint64(ins.d)<<56,
+			uint64(lo)|uint64(ins.hi)<<32)
+		if ins.ext {
+			code = append(code,
+				uint64(ins.x)<<8|uint64(ins.y)<<24|uint64(ins.z)<<40|uint64(ins.w)<<56,
+				uint64(ins.lo2))
+		}
+	}
+	return code
+}

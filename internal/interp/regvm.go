@@ -1,0 +1,282 @@
+package interp
+
+import (
+	"fmt"
+	"time"
+)
+
+//go:generate go run gen_ops.go
+
+// The register-IR engine ("regvm", Options.Engine == EngineRegVM). Where the
+// closure engine threads Go closures, the regvm lowers each function to a
+// dense []uint64 instruction stream over a frame-slot register file and runs
+// it through a flat generated switch (op_exec.go, produced by gen_ops.go).
+// Dispatch is one load + one switch per instruction, variables are direct
+// slot operands (a plain scalar read costs no instruction at all), and the
+// hottest statement shapes are fused into superinstructions selected from
+// the committed opcode-pair profile (testdata/opcode_pairs.json).
+//
+// The observational contract is the same as the closure engine's: identical
+// results, step counts, error text and event stream to the tree walker,
+// including aborted prefixes; scalar address values are again the one
+// permitted difference. Each function is compiled twice — an untraced and a
+// traced stream — so a functional run never tests a tracing flag and a
+// traced run pays for event emission only where the tree engine would emit.
+
+// rerr is one compile-time error/event site. Fully static errors are
+// precomputed into err; the rest carry the operands their lazy formatting
+// needs. Array ops also reuse their site's line for trace events.
+type rerr struct {
+	err     error  // precomputed (undefined var, break outside loop, unknown node)
+	arr     string // out-of-range: array name
+	dim     int    // out-of-range: dimension index
+	size    int    // out-of-range: dimension size
+	line    int32
+	loop    string // non-positive step / in-loop step limit: loop ID
+	nameIdx uint32 // the loop's name index (fused traced loop headers)
+}
+
+// arrMeta is one array's lowered layout: off is the arrayMem index of
+// element 0 (= base address - 1), abase the Addr of element 0 for events.
+type arrMeta struct {
+	off     int
+	d0, d1  int
+	dims    []int
+	abase   uint64
+	nameIdx uint32
+	name    string
+}
+
+// rfunc is one lowered function. code is the untraced stream, tcode the
+// traced stream (same semantics plus event emission); nslots covers both.
+type rfunc struct {
+	name    string
+	nameIdx uint32
+	nparams int
+	nslots  int
+	code    []uint64
+	tcode   []uint64
+}
+
+// rprog is a whole lowered program plus the shared tables instructions
+// index into.
+type rprog struct {
+	funcs  []rfunc
+	entry  int
+	consts []float64
+	names  []string
+	errs   []rerr
+	arrays []arrMeta
+}
+
+// rvm executes an rprog. It mirrors the closure vm's run-time state: the
+// machine's array memory (shared slice), a flat register stack grown per
+// call and never reused, the same step/depth accounting and the same
+// pooled event buffer.
+type rvm struct {
+	p        *rprog
+	arrayMem []float64
+
+	regs  []float64
+	flags []uint8 // nonzero = slot holds a defined variable
+
+	steps       int64
+	maxSteps    int64
+	depth       int
+	maxDepth    int
+	hasDeadline bool
+	deadline    time.Time
+
+	tracing bool
+	tracer  Tracer
+	batch   BatchTracer
+	buf     []Event
+	bufn    int
+
+	// lstack tracks the loop IDs the traced stream has entered but not yet
+	// exited, so an aborting run can emit the LoopExit events the tree
+	// engine's defers would, innermost first.
+	lstack []uint32
+
+	// pairs, when non-nil, selects the execPairs dispatcher and accumulates
+	// dynamic opcode-pair counts keyed prev<<8|next (the superinstruction
+	// selection profile).
+	pairs map[uint16]int64
+}
+
+func newRVM(p *rprog, m *Machine) *rvm {
+	v := &rvm{
+		p:        p,
+		arrayMem: m.arrayMem,
+		maxSteps: m.opts.MaxSteps,
+		maxDepth: m.opts.MaxDepth,
+		tracer:   m.tracer,
+	}
+	if !m.opts.Deadline.IsZero() {
+		v.hasDeadline = true
+		v.deadline = m.opts.Deadline
+	}
+	if m.tracer != nil {
+		v.tracing = true
+		v.buf = eventBufPool.Get().([]Event)
+		if bt, ok := m.tracer.(BatchTracer); ok {
+			v.batch = bt
+		}
+	}
+	return v
+}
+
+// run executes the entry function. As in the closure vm, the event buffer is
+// flushed on every return path so an aborted run delivers exactly the events
+// that preceded the abort.
+func (v *rvm) run() (float64, error) {
+	ret, err := v.call(v.p.entry, 0, 0)
+	v.flush()
+	if v.buf != nil {
+		eventBufPool.Put(v.buf)
+		v.buf = nil
+		v.tracing = false
+	}
+	return ret, err
+}
+
+// call invokes function fi with its arguments staged at regs[argBase:]. The
+// callee frame is appended above every live frame (slots are never reused,
+// the tree engine's address discipline), parameters are copied in untraced,
+// and on an error the loops the callee still had open are exited and the
+// CallExit event emitted — the unwind order of the tree engine's defers.
+func (v *rvm) call(fi, argBase int, callLine int32) (float64, error) {
+	f := &v.p.funcs[fi]
+	if v.depth >= v.maxDepth {
+		return 0, fmt.Errorf("interp: call depth limit %d exceeded at %s (line %d)", v.maxDepth, f.name, callLine)
+	}
+	v.depth++
+	if v.tracing {
+		v.emitLoop(EvCallEnter, f.nameIdx, callLine)
+	}
+	base := len(v.regs)
+	need := base + f.nslots
+	if cap(v.regs) < need {
+		v.regs = growZeroed(v.regs, need)
+		v.flags = growZeroedBytes(v.flags, need)
+	} else {
+		v.regs = v.regs[:need]
+		v.flags = v.flags[:need]
+	}
+	for i := 0; i < f.nparams; i++ {
+		v.regs[base+i] = v.regs[argBase+i]
+		v.flags[base+i] = 1
+	}
+	lmark := len(v.lstack)
+	code := f.code
+	if v.tracing {
+		code = f.tcode
+	}
+	var ret float64
+	var err error
+	if v.pairs != nil {
+		ret, err = v.execPairs(code, base)
+	} else {
+		ret, err = v.exec(code, base)
+	}
+	if err != nil {
+		if v.tracing {
+			for len(v.lstack) > lmark {
+				v.emitLoop(EvLoopExit, v.lstack[len(v.lstack)-1], 0)
+				v.lstack = v.lstack[:len(v.lstack)-1]
+			}
+			v.emitLoop(EvCallExit, f.nameIdx, 0)
+		}
+		v.depth--
+		return 0, err
+	}
+	if v.tracing {
+		v.emitLoop(EvCallExit, f.nameIdx, 0)
+	}
+	v.depth--
+	return ret, nil
+}
+
+// gateSlow is the cold half of the per-statement gate: the generated $GATE
+// sequence calls it when the step limit is crossed or a deadline poll is
+// due. steps is the dispatcher's local count (not yet synced to v.steps).
+func (v *rvm) gateSlow(steps int64, line int32) error {
+	if steps > v.maxSteps {
+		return fmt.Errorf("%w: limit %d at line %d", ErrMaxSteps, v.maxSteps, line)
+	}
+	if time.Now().After(v.deadline) {
+		return fmt.Errorf("%w after %d steps at line %d", ErrDeadline, steps, line)
+	}
+	return nil
+}
+
+func (v *rvm) errLoopLimit(idx uint32) error {
+	return fmt.Errorf("%w: limit %d in loop %s", ErrMaxSteps, v.maxSteps, v.p.errs[idx].loop)
+}
+
+func (v *rvm) errOOB(idx uint32, i int) error {
+	e := &v.p.errs[idx]
+	return fmt.Errorf("interp: %s index %d out of range [0,%d) in dim %d (line %d)",
+		e.arr, i, e.size, e.dim, e.line)
+}
+
+func (v *rvm) errPosStep(idx uint32, step float64) error {
+	e := &v.p.errs[idx]
+	return fmt.Errorf("interp: loop %s has non-positive step %g (line %d)", e.loop, step, e.line)
+}
+
+func (v *rvm) errStatic(idx uint32) error { return v.p.errs[idx].err }
+
+func (v *rvm) errDivZero(line int32) error {
+	return fmt.Errorf("interp: division by zero (line %d)", line)
+}
+
+func (v *rvm) errModZero(line int32) error {
+	return fmt.Errorf("interp: modulus by zero (line %d)", line)
+}
+
+// Event emission mirrors the closure vm: indexed stores into the pooled
+// buffer, flushed to the batch tracer (or replayed) when full.
+
+func (v *rvm) slot() *Event {
+	if v.bufn == eventBufSize {
+		v.flush()
+	}
+	e := &v.buf[v.bufn&(eventBufSize-1)]
+	v.bufn++
+	return e
+}
+
+func (v *rvm) flush() {
+	if v.bufn == 0 {
+		return
+	}
+	if v.batch != nil {
+		v.batch.TraceBatch(v.p.names, v.buf[:v.bufn])
+	} else {
+		ReplayBatch(v.tracer, v.p.names, v.buf[:v.bufn])
+	}
+	v.bufn = 0
+}
+
+func (v *rvm) emitCount(n int64, line int32) {
+	e := v.slot()
+	*e = Event{Kind: EvCount, A: uint64(n), Line: line}
+}
+
+func (v *rvm) emitAccess(kind EventKind, addr uint64, name uint32, array bool, line int32) {
+	e := v.slot()
+	*e = Event{Kind: kind, A: addr, Name: name, Array: array, Line: line}
+}
+
+// emitLoop covers every name+line event kind (loop enter/exit, call
+// enter/exit).
+func (v *rvm) emitLoop(kind EventKind, name uint32, line int32) {
+	e := v.slot()
+	*e = Event{Kind: kind, Name: name, Line: line}
+}
+
+func (v *rvm) emitIter(name uint32, iter int64) {
+	e := v.slot()
+	*e = Event{Kind: EvLoopIter, Name: name, A: uint64(iter)}
+}

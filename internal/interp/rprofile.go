@@ -1,0 +1,59 @@
+package interp
+
+import (
+	"sort"
+
+	"pardetect/internal/ir"
+)
+
+// ProfileOpcodePairs runs prog once under the regvm with superinstruction
+// fusion disabled and counting dispatch enabled, and returns the dynamic
+// opcode-pair frequencies keyed "Prev>Next". The committed union of these
+// profiles over the 17 apps (testdata/opcode_pairs.json) is the evidence the
+// superinstruction set in gen_ops.go was selected from; the profiler stays
+// in the package so the profile can be regenerated when the app suite or the
+// lowering changes.
+//
+// Fusion is disabled so the counts describe the base opcode stream — pair
+// selection over an already-fused stream would hide exactly the pairs it
+// fused. opts.Engine is ignored; tracing follows opts.Tracer as usual.
+func ProfileOpcodePairs(prog *ir.Program, opts Options) (map[string]int64, error) {
+	opts.Engine = EngineTree // Machine-level engine state stays unused
+	m, err := New(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := regCompile(prog, m.arrayBase, false)
+	if err != nil {
+		return nil, err
+	}
+	v := newRVM(rp, m)
+	v.pairs = make(map[uint16]int64)
+	if _, err := v.run(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(v.pairs))
+	for k, n := range v.pairs {
+		out[OpCode(k>>8).String()+">"+OpCode(k&0xff).String()] += n
+	}
+	return out, nil
+}
+
+// TopOpcodePairs flattens a pair-count map into its n most frequent entries,
+// most frequent first (ties by key, for determinism).
+func TopOpcodePairs(pairs map[string]int64, n int) []string {
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if pairs[keys[i]] != pairs[keys[j]] {
+			return pairs[keys[i]] > pairs[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if n < len(keys) {
+		keys = keys[:n]
+	}
+	return keys
+}

@@ -3,13 +3,14 @@
 #
 # The committed files under testdata/goldens/ are the byte-exact renderings
 # of Tables III, IV and V (cmd/benchtab -table N). "check" (the default, and
-# what ci.sh runs) regenerates each table under BOTH interpreter engines
-# (tree and bytecode) and byte-compares each against the one golden; any
-# drift — an intentional detector change, an accidental regression, or an
-# engine divergence — fails the gate and prints the diff. After an
+# what ci.sh runs) regenerates each table under ALL THREE interpreter
+# engines (tree, bytecode, regvm) and byte-compares each against the one
+# golden; any drift — an intentional detector change, an accidental
+# regression, or an engine divergence — fails the gate and prints the
+# diff. After an
 # intentional change, rerun in "update" mode (goldens are written from the
-# tree engine, then re-checked under bytecode) and commit the new goldens
-# with the change that caused them.
+# tree engine, then re-checked under the compiled engines) and commit the
+# new goldens with the change that caused them.
 #
 # Usage: scripts/goldens.sh [check|update]
 set -eu
@@ -36,7 +37,7 @@ for t in 3 4 5; do
         "$bin" -engine tree -table "$t" >"$golden"
         echo "goldens: wrote $golden"
     fi
-    for engine in tree bytecode; do
+    for engine in tree bytecode regvm; do
         tmp="$golden.new"
         "$bin" -engine "$engine" -table "$t" >"$tmp"
         if [ ! -f "$golden" ]; then
@@ -56,5 +57,5 @@ for t in 3 4 5; do
         fi
     done
 done
-[ "$rc" -eq 0 ] && echo "goldens: all tables match under both engines"
+[ "$rc" -eq 0 ] && echo "goldens: all tables match under all three engines"
 exit "$rc"

@@ -1,0 +1,73 @@
+//go:build ignore
+
+// opprofile regenerates internal/interp/testdata/opcode_pairs.json, the
+// committed dynamic opcode-pair profile the regvm superinstruction set was
+// selected from (DESIGN.md §10).
+//
+// Usage:
+//
+//	go run scripts/opprofile.go [-out internal/interp/testdata/opcode_pairs.json] [-top 40]
+//
+// Every Table III app runs twice under the regvm with fusion disabled — an
+// untraced functional run and a traced profiling run — and the dynamic
+// opcode-pair counts of all runs are summed. Rerun this after changing the
+// lowering or the app suite, then revisit which pairs deserve a fused form
+// in internal/interp/gen_ops.go; TestOpcodePairProfile pins the fused
+// shapes to the committed evidence.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pardetect/internal/apps"
+	"pardetect/internal/interp"
+	"pardetect/internal/trace"
+)
+
+type profile struct {
+	Schema string           `json:"schema"`
+	Apps   []string         `json:"apps"`
+	Top    []string         `json:"top"`
+	Pairs  map[string]int64 `json:"pairs"`
+}
+
+func main() {
+	out := flag.String("out", "internal/interp/testdata/opcode_pairs.json", "output path")
+	top := flag.Int("top", 40, "how many most-frequent pairs to list in the top field")
+	flag.Parse()
+
+	p := profile{Schema: "pardetect.interp.oppairs/v1", Pairs: map[string]int64{}}
+	for _, name := range apps.TableIIIOrder {
+		prog := apps.Get(name).Build()
+		for _, traced := range []bool{false, true} {
+			opts := interp.Options{}
+			if traced {
+				opts.Tracer = trace.NewCollector()
+			}
+			pairs, err := interp.ProfileOpcodePairs(prog, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "opprofile: %s traced=%v: %v\n", name, traced, err)
+				os.Exit(1)
+			}
+			for k, n := range pairs {
+				p.Pairs[k] += n
+			}
+		}
+		p.Apps = append(p.Apps, name)
+	}
+	p.Top = interp.TopOpcodePairs(p.Pairs, *top)
+
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprofile:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "opprofile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("opprofile: %d pairs over %d apps -> %s\n", len(p.Pairs), len(p.Apps), *out)
+}
