@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench ci serve router servesmoke servebench stats execbench fuzz fuzz-smoke goldens goldens-update hygiene gen opprofile
+.PHONY: build test bench ci serve router servesmoke servebench corpus corpussmoke corpusbench stats execbench fuzz fuzz-smoke goldens goldens-update hygiene gen opprofile
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,21 @@ servesmoke:
 # leg) that scripts/servegate.go gates CI against.
 servebench:
 	$(GO) run ./cmd/servebench -dur 3s -c 4 -replicas 3 -out BENCH_serve.json
+
+# corpus runs corpus mode over CORPUS_DIR (see README "Corpus mode"):
+# analyse every wire-IR program under the directory, re-analysing only what
+# changed since the last run. corpussmoke is the end-to-end CI smoke;
+# corpusbench regenerates BENCH_corpus.json, the committed cold/warm/dirty
+# baseline that scripts/corpusgate.go gates CI against.
+CORPUS_DIR ?= corpus
+corpus:
+	$(GO) run ./cmd/parcorpus -dir $(CORPUS_DIR) -store-dir $(CORPUS_DIR)/.store
+
+corpussmoke:
+	$(GO) run scripts/corpussmoke.go
+
+corpusbench:
+	$(GO) run ./cmd/parcorpus -bench 1000 -bench-out BENCH_corpus.json
 
 # hygiene runs the repo-hygiene gate CI runs first: no tracked binaries or
 # scratch benchmark artifacts.

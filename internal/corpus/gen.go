@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pardetect/internal/fuzzer"
+	"pardetect/internal/wire"
+)
+
+// The corpus generator: fuzzer-seeded wire-IR fleets for benchmarks, CI
+// smokes and local experiments. File names are a function of the index
+// alone (p00042.json), so regenerating an index with a different seed
+// models exactly the incremental case that matters — "this program
+// changed" — while generation with the same base seed is fully
+// deterministic and reproducible.
+
+// FileName returns the canonical corpus file name for program index i.
+func FileName(i int) string { return fmt.Sprintf("p%05d.json", i) }
+
+// GenerateFile writes one generated program (fuzzer.Generate(seed), wire
+// encoding) at index i under dir, creating dir if needed. Rewriting an
+// existing index with a different seed is the "touch one program" move the
+// incremental tests and benchmarks use.
+func GenerateFile(dir string, i int, seed uint64) error {
+	p := fuzzer.Generate(seed)
+	data, err := wire.EncodeProgram(p)
+	if err != nil {
+		return fmt.Errorf("corpus: encode seed %#x: %w", seed, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, FileName(i)), append(data, '\n'), 0o644)
+}
+
+// GenerateFiles writes n programs into dir, index i seeded with base+i.
+// Seeds are offset by one so base 0 never feeds the degenerate zero seed.
+func GenerateFiles(dir string, n int, base uint64) error {
+	for i := 0; i < n; i++ {
+		if err := GenerateFile(dir, i, base+uint64(i)+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

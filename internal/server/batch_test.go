@@ -132,7 +132,11 @@ func TestBatchClientErrors(t *testing.T) {
 		{"empty", "POST", "/analyze/batch", []byte("\n\n"), 400, "empty batch"},
 		{"too many", "POST", "/analyze/batch", three, 400, "exceeds the limit"},
 		{"bad parallel", "POST", "/analyze/batch?parallel=0", wire, 400, "bad parallel"},
+		{"negative parallel", "POST", "/analyze/batch?parallel=-3", wire, 400, "bad parallel"},
+		{"overflow parallel", "POST", "/analyze/batch?parallel=99999999999999999999999", wire, 400, "bad parallel"},
+		{"fractional parallel", "POST", "/analyze/batch?parallel=2.5", wire, 400, "bad parallel"},
 		{"bad engine", "POST", "/analyze/batch?engine=llvm", wire, 400, "unknown engine"},
+		{"trailing data line", "POST", "/analyze/batch", append(append([]byte{}, wire...), []byte("garbage")...), 200, "trailing data"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {

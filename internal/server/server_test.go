@@ -349,6 +349,8 @@ func TestClientErrors(t *testing.T) {
 		{"unparseable IR", "POST", "/analyze", "{", 400, "unexpected"},
 		{"unknown stmt kind", "POST", "/analyze", `{"name":"x","entry":"main","funcs":[{"name":"main","body":[{"kind":"goto"}]}]}`, 400, "goto"},
 		{"invalid program", "POST", "/analyze", `{"name":"x","entry":"main","funcs":[{"name":"main","body":[{"kind":"expr","x":{"kind":"call","fn":"missing"}}]}]}`, 400, "missing"},
+		{"trailing garbage", "POST", "/analyze", `{"name":"x","entry":"main","funcs":[{"name":"main","line":1,"body":[{"kind":"return","line":2,"val":{"kind":"const","v":1}}]}]}garbage`, 400, "trailing data"},
+		{"concatenated documents", "POST", "/analyze", `{"name":"x","entry":"main","funcs":[{"name":"main","line":1,"body":[{"kind":"return","line":2,"val":{"kind":"const","v":1}}]}]}` + "\n" + `{"name":"y","entry":"main","funcs":[{"name":"main","line":1,"body":[{"kind":"return","line":2,"val":{"kind":"const","v":1}}]}]}`, 400, "trailing data"},
 		{"unknown ir app", "GET", "/ir?app=nope", "", 404, "unknown app"},
 	}
 	for _, tc := range tests {

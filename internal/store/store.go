@@ -281,8 +281,14 @@ func (s *Store) Len() int {
 
 // RecentKeys returns up to k keys, most recently written first — the warm
 // set a restarted server loads into its in-memory LRU. Keys with equal
-// stamps order deterministically (lexicographically).
+// stamps order deterministically (lexicographically). k values below zero
+// return nothing: without the clamp a negative k survived the k > len(all)
+// comparison and reached make([]string, 0, k) as a negative capacity, which
+// panics.
 func (s *Store) RecentKeys(k int) []string {
+	if k < 0 {
+		k = 0
+	}
 	s.mu.Lock()
 	type ks struct {
 		key   string

@@ -229,6 +229,32 @@ func TestRecentKeysOrder(t *testing.T) {
 	}
 }
 
+// TestRecentKeysClamp is the regression test for the negative-k panic:
+// k = -1 used to survive the k > len(all) clamp and reach make() as a
+// negative capacity. The table walks the boundary values around the entry
+// count.
+func TestRecentKeysClamp(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(&Entry{Key: testKey(i), Program: "p", Fingerprint: "f",
+			Body: []byte("b"), SavedUnixNS: int64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct{ k, want int }{
+		{-1, 0},
+		{0, 0},
+		{n, n},
+		{n + 1, n},
+	} {
+		got := s.RecentKeys(tc.k)
+		if len(got) != tc.want {
+			t.Fatalf("RecentKeys(%d) = %d keys, want %d", tc.k, len(got), tc.want)
+		}
+	}
+}
+
 func TestBadKeysRejected(t *testing.T) {
 	s := open(t, t.TempDir(), 0)
 	for _, key := range []string{"", "ab", "../../../../etc/passwd", "ABCD1234", "zz00", "0123456789abcdeX"} {

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"pardetect/internal/core"
+	"pardetect/internal/fuzzer"
+)
+
+// minimal is the smallest useful wire program: one function returning a
+// constant.
+const minimal = `{"name":"t","entry":"main","funcs":[{"name":"main","line":1,"body":[{"kind":"return","line":2,"val":{"kind":"const","v":1}}]}]}`
+
+// TestRoundTripFuzzerPrograms pins the codec's totality over generated
+// programs (the corpus generator's output): every program round-trips to an
+// equal printed form and content fingerprint.
+func TestRoundTripFuzzerPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 64; seed++ {
+		p := fuzzer.Generate(seed)
+		data, err := EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("seed %#x: encode: %v", seed, err)
+		}
+		q, err := DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("seed %#x: decode: %v", seed, err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("seed %#x: printed form changed across the wire", seed)
+		}
+		if got, want := core.ProgramFingerprint(q), core.ProgramFingerprint(p); got != want {
+			t.Fatalf("seed %#x: fingerprint %s round-tripped to %s", seed, want, got)
+		}
+	}
+}
+
+// TestDecodeRejectsTrailingData is the regression test for the silent
+// trailing-bytes accept: DecodeProgram used to stop at the end of the first
+// JSON value, so `{...}garbage` and two concatenated documents both decoded
+// as the first document. Trailing whitespace must still pass — HTTP bodies
+// routinely end in a newline.
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"clean", minimal, true},
+		{"trailing newline", minimal + "\n", true},
+		{"trailing whitespace", minimal + " \t\r\n  ", true},
+		{"trailing garbage", minimal + "garbage", false},
+		{"trailing brace", minimal + "}", false},
+		{"concatenated document", minimal + minimal, false},
+		{"concatenated with newline", minimal + "\n" + minimal, false},
+		{"trailing null", minimal + "\x00", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := DecodeProgram([]byte(tc.in))
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("DecodeProgram: %v", err)
+				}
+				if p.Name != "t" {
+					t.Fatalf("decoded program %q, want %q", p.Name, "t")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decoded a document with trailing data")
+			}
+			if !strings.Contains(err.Error(), "trailing data") {
+				t.Fatalf("error %q does not name trailing data", err)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsBadDocuments pins the strictness carried over from the
+// server codec: unknown fields, kinds and operators all fail.
+func TestDecodeRejectsBadDocuments(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		frag string
+	}{
+		{"not json", "{", "decode program"},
+		{"unknown field", `{"name":"x","entry":"main","funcs":[],"extra":1}`, "unknown field"},
+		{"unknown stmt", `{"name":"x","entry":"main","funcs":[{"name":"main","body":[{"kind":"goto","line":2}]}]}`, "unknown statement kind"},
+		{"invalid program", `{"name":"x","entry":"main","funcs":[{"name":"main","body":[{"kind":"expr","x":{"kind":"call","fn":"missing"}}]}]}`, "missing"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeProgram([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("decoded invalid wire document")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not contain %q", err, tc.frag)
+			}
+		})
+	}
+}

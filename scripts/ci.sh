@@ -40,6 +40,16 @@
 # populated /metrics histograms, router affinity >= 0.95 with zero failover
 # errors, no throughput collapse against the committed BENCH_serve.json).
 #
+# Corpus mode gets the same two-layer treatment: an end-to-end smoke
+# (scripts/corpussmoke.go — generates a CORPUS_N-program corpus, proves the
+# shipped parcorpus binary emits byte-identical cold reports across -jobs
+# and -engine, a 100%-skipped warm rerun, and exactly-one re-analysis after
+# touching one file) and a benchmark gate (parcorpus -bench into a temp-dir
+# BENCH_corpus.fresh.json, validated structurally by scripts/corpusgate.go
+# alongside the committed BENCH_corpus.json: cold analyses everything, warm
+# re-analyses nothing, dirty re-analyses exactly the touched programs, and
+# warm beats cold on wall time).
+#
 # Usage: scripts/ci.sh   (or: make ci)
 set -eu
 
@@ -78,8 +88,8 @@ go test ./...
 echo "==> go test -shuffle=on -count=1 ./...  (order-independence)"
 go test -shuffle=on -count=1 ./...
 
-echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/..."
-go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/...
+echo "==> go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/... ./internal/corpus/..."
+go test -race ./internal/parallel/... ./internal/obs/... ./internal/farm/... ./internal/fuzzer/... ./internal/server/... ./internal/router/... ./internal/corpus/...
 
 echo "==> golden tables III-V under all three engines (scripts/goldens.sh)"
 sh scripts/goldens.sh check
@@ -90,6 +100,13 @@ go run scripts/servesmoke.go
 echo "==> servebench smoke (cmd/servebench, 3-replica router leg, vs committed BENCH_serve.json)"
 go run ./cmd/servebench -dur "${SERVEBENCH_DUR:-2s}" -c 4 -replicas 3 -out "$scratch/BENCH_serve.fresh.json"
 go run scripts/servegate.go -baseline BENCH_serve.json -fresh "$scratch/BENCH_serve.fresh.json"
+
+echo "==> corpus-mode smoke (scripts/corpussmoke.go, ${CORPUS_N:-1000} programs)"
+go run scripts/corpussmoke.go
+
+echo "==> corpus benchmark gate (parcorpus -bench vs committed BENCH_corpus.json)"
+go run ./cmd/parcorpus -bench "${CORPUSBENCH_N:-200}" -bench-out "$scratch/BENCH_corpus.fresh.json"
+go run scripts/corpusgate.go -baseline BENCH_corpus.json -fresh "$scratch/BENCH_corpus.fresh.json"
 
 echo "==> fuzzer campaign (${CAMPAIGN_N:-500} programs)"
 CAMPAIGN_N="${CAMPAIGN_N:-500}" go test -run '^TestCampaign$' -count=1 -v ./internal/fuzzer/
